@@ -1,0 +1,172 @@
+// Command dprbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	dprbench -table all -scale small
+//	dprbench -table 3 -scale paper        # full paper sizes (slow, GBs of RAM)
+//	dprbench -table quality               # section 4.3 text claims
+//	dprbench -table webscale              # section 4.6.2 estimates
+//	dprbench -table solvers               # centralized-solver ablation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dpr/internal/experiments"
+	"dpr/internal/metrics"
+)
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1,2,3,4,5,6,quality,webscale,exectime,insertcost,solvers,all")
+	scaleName := flag.String("scale", "small", "experiment scale: small, medium, paper")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "small":
+		sc = experiments.Small()
+	case "medium":
+		sc = experiments.Medium()
+	case "paper":
+		sc = experiments.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "dprbench: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+
+	show := func(t *metrics.Table) {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "dprbench: %s failed: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *table == "all" || *table == name }
+
+	if want("1") {
+		run("table 1", func() error {
+			res, err := experiments.Table1(sc)
+			if err != nil {
+				return err
+			}
+			show(res.Render())
+			return nil
+		})
+	}
+	if want("2") {
+		run("table 2", func() error {
+			res, err := experiments.Table2(sc)
+			if err != nil {
+				return err
+			}
+			for _, t := range res.Render() {
+				show(t)
+			}
+			return nil
+		})
+	}
+	if want("3") {
+		run("table 3", func() error {
+			res, err := experiments.Table3(sc)
+			if err != nil {
+				return err
+			}
+			show(res.Render())
+			return nil
+		})
+	}
+	if want("4") {
+		run("table 4", func() error {
+			res, err := experiments.Table4(sc)
+			if err != nil {
+				return err
+			}
+			for _, t := range res.Render() {
+				show(t)
+			}
+			return nil
+		})
+	}
+	if want("5") {
+		run("table 5", func() error {
+			show(experiments.Table5())
+			return nil
+		})
+	}
+	if want("6") {
+		run("table 6", func() error {
+			res, err := experiments.Table6(sc)
+			if err != nil {
+				return err
+			}
+			show(res.Render())
+			return nil
+		})
+	}
+	if want("quality") {
+		run("quality-vs-pass", func() error {
+			rs, err := experiments.QualityVsPass(sc)
+			if err != nil {
+				return err
+			}
+			show(experiments.RenderQualityVsPass(rs))
+			return nil
+		})
+	}
+	if want("webscale") {
+		run("webscale", func() error {
+			rows, err := experiments.WebScale(sc)
+			if err != nil {
+				return err
+			}
+			show(experiments.RenderWebScale(rows))
+			return nil
+		})
+	}
+	if want("exectime") {
+		run("exectime", func() error {
+			rows, err := experiments.ExecTimeValidation(sc)
+			if err != nil {
+				return err
+			}
+			show(experiments.RenderExecTime(rows))
+			return nil
+		})
+	}
+	if want("insertcost") {
+		run("insertcost", func() error {
+			rows, err := experiments.InsertCost(sc)
+			if err != nil {
+				return err
+			}
+			show(experiments.RenderInsertCost(rows))
+			return nil
+		})
+	}
+	if want("solvers") {
+		run("solvers", func() error {
+			rows, err := experiments.SolverComparison(sc, 1e-10)
+			if err != nil {
+				return err
+			}
+			show(experiments.RenderSolverComparison(rows))
+			return nil
+		})
+	}
+}

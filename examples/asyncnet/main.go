@@ -1,0 +1,53 @@
+// Asyncnet: the live chaotic iteration — one goroutine per peer
+// exchanging pagerank update messages over channels with no barriers,
+// no coordinator and no pass structure. Termination is detected by
+// credit-counted quiescence. This is the deployment the paper
+// describes (its own evaluation simulates it with synchronized
+// passes); goroutines and channels let us actually run it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"runtime"
+	"time"
+
+	"dpr"
+)
+
+func main() {
+	g, err := dpr.GenerateWebGraph(20000, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d documents, %d links\n", g.NumNodes(), g.NumEdges())
+	fmt.Printf("machine: %d CPUs\n\n", runtime.NumCPU())
+
+	ref, err := dpr.CentralizedPageRank(g, 0.85)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("peers  wall-clock  network msgs  max rel err")
+	for _, peers := range []int{1, 4, 16, 64, 256} {
+		start := time.Now()
+		res, err := dpr.ComputePageRank(g, dpr.Options{
+			Peers: peers, Epsilon: 1e-6, Async: true, Seed: 5,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		worst := 0.0
+		for i := range ref {
+			if rel := math.Abs(res.Ranks[i]-ref[i]) / ref[i]; rel > worst {
+				worst = rel
+			}
+		}
+		fmt.Printf("%5d  %10v  %12d  %.2e\n",
+			peers, elapsed.Round(time.Millisecond), res.NetworkMessages, worst)
+	}
+	fmt.Println("\nevery peer count converges to the same ranks — the chaotic")
+	fmt.Println("iteration tolerates any message interleaving (Chazan-Miranker).")
+}

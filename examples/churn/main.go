@@ -1,0 +1,54 @@
+// Churn: the distributed pagerank computation keeps converging while
+// peers randomly leave and rejoin between passes (the paper's Table 1
+// dynamic experiment). Updates destined to absent peers wait in
+// sender-side retry queues and are delivered when the peer returns,
+// so no rank mass is ever lost.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"dpr"
+)
+
+func main() {
+	g, err := dpr.GenerateWebGraph(5000, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("graph: %d documents, %d links, 100 peers\n\n", g.NumNodes(), g.NumEdges())
+
+	// Run the same computation at decreasing peer availability.
+	var fullRanks []float64
+	fmt.Println("availability  passes  network messages")
+	for _, avail := range []float64{1.0, 0.75, 0.50} {
+		res, err := dpr.ComputePageRank(g, dpr.Options{
+			Peers:        100,
+			Availability: avail,
+			Epsilon:      1e-6,
+			Seed:         7,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Converged {
+			log.Fatalf("availability %.0f%%: did not converge", avail*100)
+		}
+		fmt.Printf("%10.0f%%  %6d  %16d\n", avail*100, res.Passes, res.NetworkMessages)
+		if avail == 1.0 {
+			fullRanks = res.Ranks
+		} else {
+			// The fixed point does not depend on churn: compare.
+			worst := 0.0
+			for i := range fullRanks {
+				if d := math.Abs(res.Ranks[i]-fullRanks[i]) / fullRanks[i]; d > worst {
+					worst = d
+				}
+			}
+			fmt.Printf("              (max deviation from churn-free ranks: %.2e)\n", worst)
+		}
+	}
+	fmt.Println("\nchurn slows convergence but never changes the answer.")
+}

@@ -1,0 +1,3 @@
+module dpr
+
+go 1.22

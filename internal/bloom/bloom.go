@@ -1,0 +1,146 @@
+// Package bloom implements the Bloom filter (Bloom, CACM 1970) the
+// paper cites as the existing remedy for multi-word query traffic on
+// DHT systems (section 2.4.2): instead of shipping full document-ID
+// lists between the peers owning each term's index partition, a peer
+// ships a compact filter and the next peer intersects locally. The
+// search package combines this with pagerank-ordered incremental
+// forwarding.
+package bloom
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+)
+
+// Filter is a classic Bloom filter with double hashing. The zero value
+// is not usable; construct with New or NewWithParams.
+type Filter struct {
+	bits   []uint64
+	nbits  uint64
+	hashes int
+	items  int
+}
+
+// New sizes a filter for the expected number of items and target
+// false-positive rate using the standard optima
+// m = -n ln p / (ln 2)^2 and k = m/n ln 2.
+func New(expectedItems int, fpRate float64) (*Filter, error) {
+	if expectedItems < 1 {
+		return nil, fmt.Errorf("bloom: expectedItems %d < 1", expectedItems)
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		return nil, fmt.Errorf("bloom: fpRate %v outside (0,1)", fpRate)
+	}
+	ln2 := math.Ln2
+	m := uint64(math.Ceil(-float64(expectedItems) * math.Log(fpRate) / (ln2 * ln2)))
+	k := int(math.Round(float64(m) / float64(expectedItems) * ln2))
+	if k < 1 {
+		k = 1
+	}
+	return NewWithParams(m, k)
+}
+
+// NewWithParams builds a filter with an explicit bit count and hash
+// count.
+func NewWithParams(nbits uint64, hashes int) (*Filter, error) {
+	if nbits < 8 {
+		nbits = 8
+	}
+	if hashes < 1 || hashes > 64 {
+		return nil, fmt.Errorf("bloom: hash count %d outside [1,64]", hashes)
+	}
+	return &Filter{
+		bits:   make([]uint64, (nbits+63)/64),
+		nbits:  nbits,
+		hashes: hashes,
+	}, nil
+}
+
+// hash2 derives two independent 64-bit hashes of data; probe i uses
+// h1 + i*h2 (Kirsch-Mitzenmacher double hashing).
+func hash2(data []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(data)
+	h1 := h.Sum64()
+	h.Write([]byte{0x9e, 0x37}) // extend the stream for a second digest
+	h2 := h.Sum64()
+	if h2%2 == 0 { // keep the stride odd so probes cycle all bits
+		h2++
+	}
+	return h1, h2
+}
+
+func (f *Filter) setBit(i uint64)      { f.bits[i/64] |= 1 << (i % 64) }
+func (f *Filter) getBit(i uint64) bool { return f.bits[i/64]&(1<<(i%64)) != 0 }
+
+// Add inserts data into the filter.
+func (f *Filter) Add(data []byte) {
+	h1, h2 := hash2(data)
+	for i := 0; i < f.hashes; i++ {
+		f.setBit((h1 + uint64(i)*h2) % f.nbits)
+	}
+	f.items++
+}
+
+// Contains reports whether data may have been added. False positives
+// occur at roughly the configured rate; false negatives never.
+func (f *Filter) Contains(data []byte) bool {
+	h1, h2 := hash2(data)
+	for i := 0; i < f.hashes; i++ {
+		if !f.getBit((h1 + uint64(i)*h2) % f.nbits) {
+			return false
+		}
+	}
+	return true
+}
+
+// AddUint32 and ContainsUint32 adapt the filter to document IDs.
+func (f *Filter) AddUint32(v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	f.Add(buf[:])
+}
+
+// ContainsUint32 reports whether the document ID may be present.
+func (f *Filter) ContainsUint32(v uint32) bool {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	return f.Contains(buf[:])
+}
+
+// Items returns how many values have been added.
+func (f *Filter) Items() int { return f.items }
+
+// SizeBits returns the filter's bit capacity — the number that goes
+// over the wire in the Bloom-assisted search protocol.
+func (f *Filter) SizeBits() uint64 { return f.nbits }
+
+// SizeBytes returns the wire size in bytes.
+func (f *Filter) SizeBytes() int64 { return int64((f.nbits + 7) / 8) }
+
+// FillRatio returns the fraction of set bits (diagnostic; ~50% at the
+// design load).
+func (f *Filter) FillRatio() float64 {
+	set := 0
+	for _, w := range f.bits {
+		set += popcount(w)
+	}
+	return float64(set) / float64(f.nbits)
+}
+
+// EstimatedFPRate returns the expected false-positive probability at
+// the current fill: (fill)^k.
+func (f *Filter) EstimatedFPRate() float64 {
+	return math.Pow(f.FillRatio(), float64(f.hashes))
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,133 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f, err := New(1000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		f.Add([]byte(fmt.Sprintf("item-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.Contains([]byte(fmt.Sprintf("item-%d", i))) {
+			t.Fatalf("false negative for item-%d", i)
+		}
+	}
+	if f.Items() != 1000 {
+		t.Fatalf("Items = %d", f.Items())
+	}
+}
+
+func TestFalsePositiveRateNearTarget(t *testing.T) {
+	f, err := New(5000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		f.AddUint32(uint32(i))
+	}
+	fp := 0
+	const probes = 20000
+	for i := 0; i < probes; i++ {
+		if f.ContainsUint32(uint32(1_000_000 + i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %.4f, target 0.01", rate)
+	}
+	// Fill ratio should be around 50% at design load.
+	if fill := f.FillRatio(); fill < 0.3 || fill > 0.7 {
+		t.Fatalf("fill ratio %.2f at design load", fill)
+	}
+	if est := f.EstimatedFPRate(); est > 0.05 {
+		t.Fatalf("estimated FP rate %.4f", est)
+	}
+}
+
+func TestEmptyFilterContainsNothing(t *testing.T) {
+	f, err := New(100, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if f.ContainsUint32(uint32(i)) {
+			t.Fatalf("empty filter claims to contain %d", i)
+		}
+	}
+}
+
+func TestParamValidation(t *testing.T) {
+	if _, err := New(0, 0.01); err == nil {
+		t.Error("accepted zero items")
+	}
+	if _, err := New(10, 0); err == nil {
+		t.Error("accepted zero fp rate")
+	}
+	if _, err := New(10, 1); err == nil {
+		t.Error("accepted fp rate 1")
+	}
+	if _, err := NewWithParams(100, 0); err == nil {
+		t.Error("accepted zero hashes")
+	}
+	if _, err := NewWithParams(100, 100); err == nil {
+		t.Error("accepted 100 hashes")
+	}
+	// Tiny bit counts are clamped, not rejected.
+	f, err := NewWithParams(1, 1)
+	if err != nil || f.SizeBits() < 8 {
+		t.Errorf("tiny filter: %v, bits=%d", err, f.SizeBits())
+	}
+}
+
+func TestSizeAccounting(t *testing.T) {
+	f, err := NewWithParams(1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.SizeBits() != 1024 || f.SizeBytes() != 128 {
+		t.Fatalf("size: bits=%d bytes=%d", f.SizeBits(), f.SizeBytes())
+	}
+}
+
+// Property: anything added is always found (no false negatives), for
+// arbitrary byte strings.
+func TestNoFalseNegativesProperty(t *testing.T) {
+	f, err := New(10000, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(data []byte) bool {
+		f.Add(data)
+		return f.Contains(data)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	f, _ := New(1_000_000, 0.01)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		f.AddUint32(uint32(i))
+	}
+}
+
+func BenchmarkContains(b *testing.B) {
+	f, _ := New(1_000_000, 0.01)
+	for i := 0; i < 100000; i++ {
+		f.AddUint32(uint32(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ContainsUint32(uint32(i))
+	}
+}

@@ -1,0 +1,223 @@
+// Package chaotic generalizes the paper's approach beyond pagerank:
+// the distributed computation is an instance of chaotic (asynchronous)
+// relaxation for linear systems (Chazan & Miranker 1969), and the
+// paper's future-work section proposes applying the same machinery to
+// other problem domains where matrix elements are distributed across a
+// network.
+//
+// The package solves fixed-point systems
+//
+//	x = c + M x
+//
+// by delta pushing: when x_j changes by delta, every dependent row i
+// with M[i][j] != 0 receives M[i][j]*delta. Convergence is guaranteed
+// when some norm of M is below 1 (e.g. max absolute column or row sum
+// — pagerank's M = d*A^T has column sums <= d < 1).
+//
+// Pagerank is recovered with c = (1-d)*ones and M[i][j] = d/outdeg(j)
+// for each link j->i.
+package chaotic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Entry is one non-zero coefficient M[Row][Col] = Coeff.
+type Entry struct {
+	Row, Col int
+	Coeff    float64
+}
+
+// System is an immutable fixed-point system x = c + M x with M stored
+// column-major, the natural orientation for delta pushing ("column j's
+// entries are j's out-links").
+type System struct {
+	n        int
+	c        []float64
+	colStart []int64
+	rows     []int32
+	coeffs   []float64
+}
+
+// NewSystem builds a system from the constant vector and the non-zero
+// entries of M. Duplicate (row, col) entries are summed.
+func NewSystem(c []float64, entries []Entry) (*System, error) {
+	n := len(c)
+	if n == 0 {
+		return nil, fmt.Errorf("chaotic: empty system")
+	}
+	counts := make([]int64, n+1)
+	for _, e := range entries {
+		if e.Row < 0 || e.Row >= n || e.Col < 0 || e.Col >= n {
+			return nil, fmt.Errorf("chaotic: entry (%d,%d) outside %dx%d", e.Row, e.Col, n, n)
+		}
+		if math.IsNaN(e.Coeff) || math.IsInf(e.Coeff, 0) {
+			return nil, fmt.Errorf("chaotic: non-finite coefficient at (%d,%d)", e.Row, e.Col)
+		}
+		counts[e.Col+1]++
+	}
+	for i := 0; i < n; i++ {
+		counts[i+1] += counts[i]
+	}
+	s := &System{
+		n:        n,
+		c:        append([]float64(nil), c...),
+		colStart: counts,
+		rows:     make([]int32, len(entries)),
+		coeffs:   make([]float64, len(entries)),
+	}
+	cursor := make([]int64, n)
+	copy(cursor, counts[:n])
+	for _, e := range entries {
+		i := cursor[e.Col]
+		s.rows[i] = int32(e.Row)
+		s.coeffs[i] = e.Coeff
+		cursor[e.Col]++
+	}
+	s.mergeDuplicates()
+	return s, nil
+}
+
+// mergeDuplicates combines repeated (row, col) pairs within a column.
+func (s *System) mergeDuplicates() {
+	newRows := s.rows[:0]
+	newCoeffs := s.coeffs[:0]
+	newStart := make([]int64, s.n+1)
+	for col := 0; col < s.n; col++ {
+		seen := map[int32]int{}
+		for i := s.colStart[col]; i < s.colStart[col+1]; i++ {
+			r := s.rows[i]
+			if at, dup := seen[r]; dup {
+				newCoeffs[at] += s.coeffs[i]
+				continue
+			}
+			seen[r] = len(newRows)
+			newRows = append(newRows, r)
+			newCoeffs = append(newCoeffs, s.coeffs[i])
+		}
+		newStart[col+1] = int64(len(newRows))
+	}
+	s.rows, s.coeffs, s.colStart = newRows, newCoeffs, newStart
+}
+
+// N returns the dimension.
+func (s *System) N() int { return s.n }
+
+// MaxColumnSum returns max_j sum_i |M[i][j]|; below 1 it certifies
+// convergence of the chaotic iteration (contraction in the 1-norm).
+func (s *System) MaxColumnSum() float64 {
+	worst := 0.0
+	for col := 0; col < s.n; col++ {
+		sum := 0.0
+		for i := s.colStart[col]; i < s.colStart[col+1]; i++ {
+			sum += math.Abs(s.coeffs[i])
+		}
+		if sum > worst {
+			worst = sum
+		}
+	}
+	return worst
+}
+
+// Options configures a solve.
+type Options struct {
+	Eps      float64 // absolute delta below which updates stop; 0 means 1e-10
+	MaxSteps int64   // relaxation-step cap; 0 means 100 * n^2 + 10000
+}
+
+func (o Options) withDefaults(n int) Options {
+	if o.Eps == 0 {
+		o.Eps = 1e-10
+	}
+	if o.MaxSteps == 0 {
+		o.MaxSteps = int64(100*n*n + 10000)
+	}
+	return o
+}
+
+// Result reports a solve.
+type Result struct {
+	X         []float64
+	Steps     int64 // delta propagations performed
+	Converged bool
+}
+
+// Solve runs sequential chaotic relaxation with a worklist: start from
+// x = c (every component "pushes" its constant), and propagate deltas
+// until all pending deltas fall below Eps. Component processing order
+// is deliberately FIFO-arbitrary — the algorithm tolerates any order,
+// which is the Chazan-Miranker result the paper builds on.
+func (s *System) Solve(opt Options) (Result, error) {
+	opt = opt.withDefaults(s.n)
+	if opt.Eps <= 0 {
+		return Result{}, fmt.Errorf("chaotic: Eps must be positive")
+	}
+	x := append([]float64(nil), s.c...)
+	pending := make([]float64, s.n) // un-propagated change per component
+	inQueue := make([]bool, s.n)
+	queue := make([]int32, 0, s.n)
+	for j := 0; j < s.n; j++ {
+		pending[j] = x[j]
+		if pending[j] != 0 {
+			queue = append(queue, int32(j))
+			inQueue[j] = true
+		}
+	}
+	res := Result{}
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		inQueue[j] = false
+		delta := pending[j]
+		pending[j] = 0
+		if math.Abs(delta) <= opt.Eps {
+			continue
+		}
+		res.Steps++
+		if res.Steps > opt.MaxSteps {
+			res.X = x
+			return res, fmt.Errorf("chaotic: exceeded %d steps; system may not contract (max column sum %.3f)",
+				opt.MaxSteps, s.MaxColumnSum())
+		}
+		for i := s.colStart[j]; i < s.colStart[j+1]; i++ {
+			row := s.rows[i]
+			d := s.coeffs[i] * delta
+			x[row] += d
+			pending[row] += d
+			if !inQueue[row] && math.Abs(pending[row]) > opt.Eps {
+				queue = append(queue, row)
+				inQueue[row] = true
+			}
+		}
+	}
+	res.X = x
+	res.Converged = true
+	return res, nil
+}
+
+// FromJacobi converts a square linear system A x = b with non-zero
+// diagonal into the fixed-point form x = c + M x with c = b/diag and
+// M = -offdiag/diag (the Jacobi splitting). dense is row-major n*n.
+func FromJacobi(dense []float64, b []float64) (*System, error) {
+	n := len(b)
+	if len(dense) != n*n {
+		return nil, fmt.Errorf("chaotic: matrix size %d != %d^2", len(dense), n)
+	}
+	c := make([]float64, n)
+	var entries []Entry
+	for i := 0; i < n; i++ {
+		diag := dense[i*n+i]
+		if diag == 0 {
+			return nil, fmt.Errorf("chaotic: zero diagonal at row %d", i)
+		}
+		c[i] = b[i] / diag
+		for j := 0; j < n; j++ {
+			if i == j || dense[i*n+j] == 0 {
+				continue
+			}
+			entries = append(entries, Entry{Row: i, Col: j, Coeff: -dense[i*n+j] / diag})
+		}
+	}
+	return NewSystem(c, entries)
+}

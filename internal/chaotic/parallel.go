@@ -1,0 +1,139 @@
+package chaotic
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// SolveParallel runs the chaotic relaxation across `workers`
+// goroutines, components partitioned round-robin, exchanging deltas
+// through unbounded mailboxes — the same peer structure as the
+// pagerank AsyncEngine, demonstrating the paper's claim that the
+// machinery extends to other distributed linear systems. Termination
+// is credit-counted quiescence.
+func (s *System) SolveParallel(workers int, opt Options) (Result, error) {
+	opt = opt.withDefaults(s.n)
+	if workers < 1 {
+		return Result{}, fmt.Errorf("chaotic: workers %d < 1", workers)
+	}
+	if workers > s.n {
+		workers = s.n
+	}
+	x := append([]float64(nil), s.c...)
+
+	type msg struct {
+		comp  int32
+		delta float64
+	}
+	boxes := make([]*pmailbox[msg], workers)
+	for i := range boxes {
+		boxes[i] = newPMailbox[msg]()
+	}
+	owner := func(comp int32) int { return int(comp) % workers }
+
+	var inflight atomic.Int64
+	var steps atomic.Int64
+	done := make(chan struct{})
+	var doneOnce sync.Once
+	settle := func(n int) {
+		if inflight.Add(-int64(n)) == 0 {
+			doneOnce.Do(func() { close(done) })
+		}
+	}
+
+	// push propagates a delta at component j to its dependents,
+	// batching messages per destination worker.
+	push := func(j int32, delta float64, out map[int][]msg) {
+		steps.Add(1)
+		for i := s.colStart[j]; i < s.colStart[j+1]; i++ {
+			row := s.rows[i]
+			out[owner(row)] = append(out[owner(row)], msg{row, s.coeffs[i] * delta})
+		}
+	}
+
+	inflight.Store(int64(workers))
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(self int) {
+			defer wg.Done()
+			out := make(map[int][]msg)
+			pending := make(map[int32]float64)
+			flush := func() {
+				for dest, ms := range out {
+					inflight.Add(int64(len(ms)))
+					boxes[dest].put(ms)
+					delete(out, dest)
+				}
+			}
+			// Initial push of the constants this worker owns.
+			for j := int32(self); int(j) < s.n; j += int32(workers) {
+				if math.Abs(x[j]) > opt.Eps {
+					push(j, x[j], out)
+				}
+			}
+			flush()
+			settle(1)
+			for {
+				select {
+				case <-quit:
+					return
+				case <-boxes[self].wakeup:
+					ms := boxes[self].drain()
+					if len(ms) == 0 {
+						continue
+					}
+					clear(pending)
+					for _, m := range ms {
+						x[m.comp] += m.delta
+						pending[m.comp] += m.delta
+					}
+					for j, d := range pending {
+						if math.Abs(d) > opt.Eps {
+							push(j, d, out)
+						}
+					}
+					flush()
+					settle(len(ms))
+				}
+			}
+		}(w)
+	}
+	<-done
+	close(quit)
+	wg.Wait()
+	return Result{X: x, Steps: steps.Load(), Converged: true}, nil
+}
+
+// pmailbox is the unbounded mailbox from the async pagerank engine,
+// generic over message type.
+type pmailbox[T any] struct {
+	mu     sync.Mutex
+	buf    []T
+	wakeup chan struct{}
+}
+
+func newPMailbox[T any]() *pmailbox[T] {
+	return &pmailbox[T]{wakeup: make(chan struct{}, 1)}
+}
+
+func (m *pmailbox[T]) put(ms []T) {
+	m.mu.Lock()
+	m.buf = append(m.buf, ms...)
+	m.mu.Unlock()
+	select {
+	case m.wakeup <- struct{}{}:
+	default:
+	}
+}
+
+func (m *pmailbox[T]) drain() []T {
+	m.mu.Lock()
+	ms := m.buf
+	m.buf = nil
+	m.mu.Unlock()
+	return ms
+}

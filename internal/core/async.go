@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+)
+
+// AsyncEngine is the live chaotic-iteration system the paper
+// describes: one goroutine per peer, pagerank update messages flowing
+// over channels with no global synchronization of any kind. Peers
+// process whatever has arrived, push the resulting rank changes, and
+// go idle; the run ends when the whole network quiesces.
+//
+// Termination uses credit counting (in the style of Dijkstra-Scholten):
+// every message increments an in-flight counter before it is enqueued
+// and decrements it only after the receiving peer has processed it and
+// sent all consequent messages. The counter reaching zero therefore
+// proves global quiescence. The engine assumes a fully available
+// network; churn experiments use the PassEngine, whose pass boundary
+// is where the paper's leave/join model is defined.
+type AsyncEngine struct {
+	g   graph.Linker
+	net *p2p.Network
+	opt Options
+
+	st *state
+
+	boxes    []*mailbox
+	inflight atomic.Int64
+	done     chan struct{}
+	doneOnce sync.Once
+
+	interMsgs atomic.Int64
+	intraMsgs atomic.Int64
+	batches   atomic.Int64
+}
+
+// mailbox is an unbounded, mutex-guarded message queue with a edge-
+// triggered wakeup channel, so senders never block (a blocked sender
+// holding messages for a blocked receiver would deadlock the ring).
+type mailbox struct {
+	mu     sync.Mutex
+	buf    []p2p.Update
+	wakeup chan struct{}
+}
+
+func newMailbox() *mailbox {
+	return &mailbox{wakeup: make(chan struct{}, 1)}
+}
+
+func (m *mailbox) put(us []p2p.Update) {
+	m.mu.Lock()
+	m.buf = append(m.buf, us...)
+	m.mu.Unlock()
+	select {
+	case m.wakeup <- struct{}{}:
+	default:
+	}
+}
+
+func (m *mailbox) drain() []p2p.Update {
+	m.mu.Lock()
+	us := m.buf
+	m.buf = nil
+	m.mu.Unlock()
+	return us
+}
+
+// NewAsyncEngine creates a live engine over graph g with documents
+// already placed on net.
+func NewAsyncEngine(g graph.Linker, net *p2p.Network, opt Options) (*AsyncEngine, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.checkTeleport(g.NumNodes()); err != nil {
+		return nil, err
+	}
+	for d := 0; d < g.NumNodes(); d++ {
+		if net.PeerOf(graph.NodeID(d)) == p2p.NoPeer {
+			return nil, fmt.Errorf("core: document %d is not placed on any peer", d)
+		}
+	}
+	e := &AsyncEngine{
+		g:    g,
+		net:  net,
+		opt:  opt,
+		st:   newState(g, opt),
+		done: make(chan struct{}),
+	}
+	e.boxes = make([]*mailbox, net.NumPeers())
+	for i := range e.boxes {
+		e.boxes[i] = newMailbox()
+	}
+	return e, nil
+}
+
+// Run starts one goroutine per peer, lets the chaotic iteration play
+// out, and returns the converged ranks. It blocks until quiescence.
+func (e *AsyncEngine) Run() Result {
+	numPeers := e.net.NumPeers()
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Seed credit: each peer owes one unit for its initial push.
+	e.inflight.Store(int64(numPeers))
+
+	wg.Add(numPeers)
+	for p := 0; p < numPeers; p++ {
+		go e.peerLoop(p2p.PeerID(p), quit, &wg)
+	}
+	<-e.done
+	close(quit)
+	wg.Wait()
+
+	return Result{
+		Ranks:     e.st.rank,
+		Passes:    0, // asynchronous: there is no pass structure
+		Converged: true,
+		Counters: p2p.Counters{
+			InterPeerMsgs: e.interMsgs.Load(),
+			IntraPeerMsgs: e.intraMsgs.Load(),
+		},
+	}
+}
+
+// Batches returns the number of peer-to-peer batch transmissions, the
+// unit the execution-time model's "one network call per peer" transfer
+// assumption is based on.
+func (e *AsyncEngine) Batches() int64 { return e.batches.Load() }
+
+// credit bookkeeping: add before enqueue, settle after processing.
+func (e *AsyncEngine) addCredit(n int) { e.inflight.Add(int64(n)) }
+func (e *AsyncEngine) settleCredit(n int) {
+	if e.inflight.Add(-int64(n)) == 0 {
+		e.doneOnce.Do(func() { close(e.done) })
+	}
+}
+
+// peerLoop is one peer's behaviour: an initial push of every local
+// document's starting rank, then an event loop reacting to arriving
+// update messages exactly as Figure 1 prescribes.
+func (e *AsyncEngine) peerLoop(self p2p.PeerID, quit <-chan struct{}, wg *sync.WaitGroup) {
+	defer wg.Done()
+	out := make(map[p2p.PeerID][]p2p.Update)
+
+	// Initial push (the "At time = 0" block of Figure 1).
+	for _, d := range e.net.Docs(self) {
+		e.pushAsync(self, d, out)
+	}
+	e.flush(self, out)
+	e.settleCredit(1) // the seed unit for this peer's initial work
+
+	box := e.boxes[self]
+	dirtyDocs := make(map[graph.NodeID]struct{})
+	for {
+		select {
+		case <-quit:
+			return
+		case <-box.wakeup:
+			us := box.drain()
+			if len(us) == 0 {
+				continue
+			}
+			clear(dirtyDocs)
+			for _, u := range us {
+				e.st.acc[u.Doc] += u.Delta
+				dirtyDocs[u.Doc] = struct{}{}
+			}
+			for d := range dirtyDocs {
+				old, new := e.st.recompute(d)
+				if e.st.exceeds(old, new) {
+					e.pushAsync(self, d, out)
+				}
+			}
+			e.flush(self, out)
+			e.settleCredit(len(us))
+		}
+	}
+}
+
+// pushAsync batches document d's pending rank change into per-peer
+// outboxes. Same-peer updates loop back through the peer's own mailbox
+// so all processing shares one path; they are counted as intra-peer
+// (free) messages.
+func (e *AsyncEngine) pushAsync(self p2p.PeerID, d graph.NodeID, out map[p2p.PeerID][]p2p.Update) {
+	links := e.g.OutLinks(d)
+	if len(links) == 0 {
+		e.st.markPushed(d)
+		return
+	}
+	share := e.st.share(d, e.st.pendingDelta(d))
+	if share == 0 {
+		e.st.markPushed(d)
+		return
+	}
+	for _, t := range links {
+		dest := e.net.PeerOf(t)
+		out[dest] = append(out[dest], p2p.Update{Doc: t, Delta: share})
+		if dest == self {
+			e.intraMsgs.Add(1)
+		} else {
+			e.interMsgs.Add(1)
+		}
+	}
+	e.st.markPushed(d)
+}
+
+// flush transmits and clears the per-peer outboxes.
+func (e *AsyncEngine) flush(self p2p.PeerID, out map[p2p.PeerID][]p2p.Update) {
+	for dest, us := range out {
+		if len(us) == 0 {
+			continue
+		}
+		e.addCredit(len(us))
+		e.boxes[dest].put(us)
+		if dest != self {
+			e.batches.Add(1)
+		}
+		delete(out, dest)
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+	"dpr/internal/rng"
+)
+
+func runAsync(t *testing.T, g *graph.Graph, peers int, opt Options, seed uint64) Result {
+	t.Helper()
+	net := p2p.NewNetwork(peers)
+	net.AssignRandom(g, rng.New(seed))
+	e, err := NewAsyncEngine(g, net, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e.Run()
+}
+
+func TestAsyncCycleUniform(t *testing.T) {
+	res := runAsync(t, graph.Cycle(12), 4, Options{Epsilon: 1e-10}, 1)
+	for i, r := range res.Ranks {
+		if math.Abs(r-1) > 1e-6 {
+			t.Fatalf("rank[%d] = %v", i, r)
+		}
+	}
+}
+
+func TestAsyncMatchesSolver(t *testing.T) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(2000, 41))
+	want := reference(t, g)
+	res := runAsync(t, g, 16, Options{Epsilon: 1e-9}, 2)
+	if err := maxRelErr(res.Ranks, want); err > 1e-5 {
+		t.Fatalf("async max rel error %v", err)
+	}
+}
+
+func TestAsyncMatchesPassEngine(t *testing.T) {
+	// Both engines approximate the same fixed point; at tight epsilon
+	// their answers agree even though message schedules differ wildly.
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(1000, 42))
+	pass, _ := setup(t, g, 8, Options{Epsilon: 1e-9}, 3)
+	a := pass.Run()
+	b := runAsync(t, g, 8, Options{Epsilon: 1e-9}, 3)
+	for i := range a.Ranks {
+		if math.Abs(a.Ranks[i]-b.Ranks[i]) > 1e-5 {
+			t.Fatalf("rank[%d]: pass=%v async=%v", i, a.Ranks[i], b.Ranks[i])
+		}
+	}
+}
+
+func TestAsyncSinglePeer(t *testing.T) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(300, 43))
+	res := runAsync(t, g, 1, Options{Epsilon: 1e-8}, 4)
+	if res.Counters.InterPeerMsgs != 0 {
+		t.Fatalf("single peer sent %d network messages", res.Counters.InterPeerMsgs)
+	}
+	want := reference(t, g)
+	if err := maxRelErr(res.Ranks, want); err > 1e-4 {
+		t.Fatalf("single-peer async error %v", err)
+	}
+}
+
+func TestAsyncManyPeersFewDocs(t *testing.T) {
+	// More peers than documents: some peers idle, termination must
+	// still fire.
+	g := graph.Cycle(5)
+	res := runAsync(t, g, 32, Options{Epsilon: 1e-8}, 5)
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	for i, r := range res.Ranks {
+		if math.Abs(r-1) > 1e-4 {
+			t.Fatalf("rank[%d] = %v", i, r)
+		}
+	}
+}
+
+func TestAsyncEmptyEdgeGraph(t *testing.T) {
+	// No links at all: quiescence without any messages.
+	g := graph.NewBuilder(10).Build()
+	res := runAsync(t, g, 4, Options{}, 6)
+	if res.Counters.Total() != 0 {
+		t.Fatalf("edgeless graph produced %d messages", res.Counters.Total())
+	}
+	for i, r := range res.Ranks {
+		if math.Abs(r-(1-DefaultDamping)) > 1e-12 {
+			t.Fatalf("rank[%d] = %v, want the no-in-links fixed point 1-d", i, r)
+		}
+	}
+}
+
+func TestAsyncBatchesCounted(t *testing.T) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(500, 44))
+	net := p2p.NewNetwork(8)
+	net.AssignRandom(g, rng.New(7))
+	e, err := NewAsyncEngine(g, net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	if e.Batches() == 0 {
+		t.Fatal("no batches recorded")
+	}
+	// Batching can only reduce transmissions relative to messages.
+	if e.Batches() > res.Counters.InterPeerMsgs {
+		t.Fatalf("batches %d exceed messages %d", e.Batches(), res.Counters.InterPeerMsgs)
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	g := graph.Cycle(4)
+	net := p2p.NewNetwork(2)
+	net.AssignRandom(g, rng.New(1))
+	if _, err := NewAsyncEngine(g, net, Options{Damping: 3}); err == nil {
+		t.Fatal("accepted bad damping")
+	}
+	empty := p2p.NewNetwork(2)
+	if _, err := NewAsyncEngine(g, empty, Options{}); err == nil {
+		t.Fatal("accepted unplaced documents")
+	}
+}
+
+func TestAsyncRepeatedRunsConsistent(t *testing.T) {
+	// Schedules differ across runs, but every run must land within the
+	// epsilon neighbourhood of the fixed point.
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(800, 45))
+	want := reference(t, g)
+	for trial := 0; trial < 3; trial++ {
+		res := runAsync(t, g, 12, Options{Epsilon: 1e-8}, uint64(trial))
+		if err := maxRelErr(res.Ranks, want); err > 1e-4 {
+			t.Fatalf("trial %d error %v", trial, err)
+		}
+	}
+}
+
+func BenchmarkAsyncEngine2k(b *testing.B) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(2000, 1))
+	for i := 0; i < b.N; i++ {
+		net := p2p.NewNetwork(16)
+		net.AssignRandom(g, rng.New(1))
+		e, err := NewAsyncEngine(g, net, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Run()
+	}
+}
+
+func BenchmarkPassEngine10k(b *testing.B) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(10000, 1))
+	for i := 0; i < b.N; i++ {
+		net := p2p.NewNetwork(500)
+		net.AssignRandom(g, rng.New(1))
+		e, err := NewPassEngine(g, net, nil, Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		e.Run()
+	}
+}

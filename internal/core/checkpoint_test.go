@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+	"dpr/internal/rng"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(1000, 61))
+	e, net := setup(t, g, 20, Options{Epsilon: 1e-8}, 1)
+	res := e.Run()
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := NewPassEngine(g, net, nil, Options{Epsilon: 1e-8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Ranks {
+		if restored.Ranks()[i] != res.Ranks[i] {
+			t.Fatalf("rank[%d] differs after restore", i)
+		}
+	}
+	// A restored converged state is quiescent: running produces no new
+	// network messages.
+	r2 := restored.Run()
+	if !r2.Converged {
+		t.Fatal("restored engine not converged")
+	}
+	if r2.Counters.InterPeerMsgs != 0 {
+		t.Fatalf("restored converged engine sent %d messages", r2.Counters.InterPeerMsgs)
+	}
+}
+
+func TestCheckpointResumeRefinement(t *testing.T) {
+	// Converge loosely, checkpoint, restore with a tighter threshold:
+	// refinement resumes from the stored state and lands on the exact
+	// fixed point without recomputing from scratch.
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(1500, 62))
+	loose, net := setup(t, g, 25, Options{Epsilon: 1e-2}, 2)
+	loose.Run()
+	var buf bytes.Buffer
+	if err := loose.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	tight, err := NewPassEngine(g, net, nil, Options{Epsilon: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tight.RestoreCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Resume refinement: the residual deltas the loose run was allowed
+	// to keep are above the tighter threshold and must propagate.
+	if tight.FlushPending() == 0 {
+		t.Fatal("nothing to refine; loose checkpoint unexpectedly exact")
+	}
+	resumed := tight.Run()
+	if !resumed.Converged {
+		t.Fatal("refinement did not converge")
+	}
+
+	want := reference(t, g)
+	if err := maxRelErr(resumed.Ranks, want); err > 1e-5 {
+		t.Fatalf("refined ranks off by %v", err)
+	}
+
+	// And it is cheaper than computing from scratch at the tight
+	// threshold.
+	scratch, _ := setup(t, g, 25, Options{Epsilon: 1e-9}, 2)
+	sres := scratch.Run()
+	if resumed.Counters.InterPeerMsgs >= sres.Counters.InterPeerMsgs {
+		t.Fatalf("resume (%d msgs) not cheaper than scratch (%d msgs)",
+			resumed.Counters.InterPeerMsgs, sres.Counters.InterPeerMsgs)
+	}
+}
+
+func TestCheckpointPreservesRemovalsAndPending(t *testing.T) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(500, 63))
+	e, net := setup(t, g, 10, Options{Epsilon: 1e-6}, 3)
+	e.Run()
+	if err := e.RemoveDoc(7); err != nil {
+		t.Fatal(err)
+	}
+	// Leave the retraction un-propagated: checkpoint mid-change.
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewPassEngine(g, net, nil, Options{Epsilon: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.RestoreCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !restored.Removed(7) {
+		t.Fatal("removal flag lost")
+	}
+	res := restored.Run()
+	if !res.Converged {
+		t.Fatal("did not converge after restore")
+	}
+	if res.Ranks[7] != 0 {
+		t.Fatal("removed doc regained rank after restore")
+	}
+	// The retraction that was pending at checkpoint time completes.
+	finish := e.Run()
+	for i := range finish.Ranks {
+		if math.Abs(finish.Ranks[i]-res.Ranks[i]) > 1e-9 {
+			t.Fatalf("restored run diverged from original at %d: %v vs %v",
+				i, res.Ranks[i], finish.Ranks[i])
+		}
+	}
+}
+
+func TestCheckpointValidation(t *testing.T) {
+	g := graph.Cycle(5)
+	e, _ := setup(t, g, 2, Options{}, 4)
+	e.Run()
+	var buf bytes.Buffer
+	if err := e.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Garbage and truncation rejected.
+	for _, input := range []string{"", "NOPE", string(full[:10]), string(full[:len(full)-5])} {
+		e2, _ := setup(t, g, 2, Options{}, 4)
+		if err := e2.RestoreCheckpoint(strings.NewReader(input)); err == nil {
+			t.Errorf("accepted corrupt checkpoint of length %d", len(input))
+		}
+	}
+	// Wrong graph size rejected.
+	other := graph.Cycle(6)
+	net := p2p.NewNetwork(2)
+	net.AssignRandom(other, rng.New(1))
+	e3, err := NewPassEngine(other, net, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e3.RestoreCheckpoint(bytes.NewReader(full)); err == nil {
+		t.Error("accepted checkpoint for different graph size")
+	}
+	// Wrong damping rejected.
+	net2 := p2p.NewNetwork(2)
+	net2.AssignRandom(g, rng.New(1))
+	e4, err := NewPassEngine(g, net2, nil, Options{Damping: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e4.RestoreCheckpoint(bytes.NewReader(full)); err == nil {
+		t.Error("accepted checkpoint with mismatched damping")
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+	"dpr/internal/rng"
+)
+
+// runWithAvailability runs the engine with a fraction of peers present
+// each pass.
+func runWithAvailability(t *testing.T, g *graph.Graph, peers int, avail float64, opt Options, seed uint64) Result {
+	t.Helper()
+	net := p2p.NewNetwork(peers)
+	net.AssignRandom(g, rng.New(seed))
+	var churn *p2p.Churn
+	if avail < 1 {
+		var err error
+		churn, err = p2p.NewChurn(net, avail, rng.New(seed+100))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	e, err := NewPassEngine(g, net, churn, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	// After convergence the retry queue must be empty.
+	if res.Converged && e.RetryQueueLen() != 0 {
+		t.Fatalf("converged with %d deferred messages", e.RetryQueueLen())
+	}
+	return res
+}
+
+func TestChurnStillConverges(t *testing.T) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(2000, 21))
+	want := reference(t, g)
+
+	full := runWithAvailability(t, g, 50, 1.0, Options{Epsilon: 1e-6}, 1)
+	half := runWithAvailability(t, g, 50, 0.5, Options{Epsilon: 1e-6}, 1)
+	if !full.Converged || !half.Converged {
+		t.Fatalf("convergence: full=%v half=%v", full.Converged, half.Converged)
+	}
+	// Same fixed point regardless of churn.
+	if err := maxRelErr(half.Ranks, want); err > 1e-3 {
+		t.Fatalf("churned ranks off by %v", err)
+	}
+	// Table 1: reduced availability slows convergence.
+	if half.Passes < full.Passes {
+		t.Fatalf("half availability converged faster (%d) than full (%d)",
+			half.Passes, full.Passes)
+	}
+	// And by roughly the paper's magnitude (about 2x, not 20x).
+	if half.Passes > 10*full.Passes {
+		t.Fatalf("half availability took %dx longer", half.Passes/full.Passes)
+	}
+}
+
+func TestChurnTable1Shape(t *testing.T) {
+	// Passes grow as availability drops: 100% <= 75% <= 50%.
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(1500, 22))
+	p100 := runWithAvailability(t, g, 50, 1.0, Options{}, 3).Passes
+	p75 := runWithAvailability(t, g, 50, 0.75, Options{}, 3).Passes
+	p50 := runWithAvailability(t, g, 50, 0.50, Options{}, 3).Passes
+	if !(p100 <= p75 && p75 <= p50) {
+		t.Fatalf("passes not monotone in churn: 100%%=%d 75%%=%d 50%%=%d", p100, p75, p50)
+	}
+}
+
+func TestChurnDefersAndRedelivers(t *testing.T) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(1000, 23))
+	net := p2p.NewNetwork(20)
+	net.AssignRandom(g, rng.New(4))
+	churn, err := p2p.NewChurn(net, 0.5, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewPassEngine(g, net, churn, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	if !res.Converged {
+		t.Fatal("did not converge under churn")
+	}
+	if res.Counters.Deferred == 0 {
+		t.Fatal("no messages were ever deferred at 50% availability")
+	}
+	if res.Counters.Redelivered != res.Counters.Deferred {
+		t.Fatalf("deferred %d but redelivered %d; messages were lost",
+			res.Counters.Deferred, res.Counters.Redelivered)
+	}
+}
+
+func TestChurnRanksEqualNoChurnRanks(t *testing.T) {
+	// The fixed point is churn-independent: with a tight epsilon both
+	// runs land on the same ranks.
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(800, 24))
+	a := runWithAvailability(t, g, 25, 1.0, Options{Epsilon: 1e-9}, 6)
+	b := runWithAvailability(t, g, 25, 0.75, Options{Epsilon: 1e-9}, 6)
+	for i := range a.Ranks {
+		if math.Abs(a.Ranks[i]-b.Ranks[i]) > 1e-5 {
+			t.Fatalf("rank[%d]: %v vs %v", i, a.Ranks[i], b.Ranks[i])
+		}
+	}
+}
+
+func TestOfflineDocsInitializeWhenTheyAppear(t *testing.T) {
+	// Force one peer offline for the first passes; its documents join
+	// the computation late but the result is unaffected.
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(500, 25))
+	want := reference(t, g)
+	net := p2p.NewNetwork(5)
+	net.AssignRandom(g, rng.New(7))
+	e, err := NewPassEngine(g, net, nil, Options{Epsilon: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.SetOnline(0, false)
+	for i := 0; i < 5; i++ {
+		e.RunPass()
+	}
+	if e.Converged() {
+		t.Fatal("converged while a peer was offline with pending docs")
+	}
+	net.SetOnline(0, true)
+	res := e.Run()
+	if !res.Converged {
+		t.Fatal("did not converge after peer returned")
+	}
+	if err := maxRelErr(res.Ranks, want); err > 1e-5 {
+		t.Fatalf("late-joining docs corrupted ranks: %v", err)
+	}
+}

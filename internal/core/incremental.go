@@ -1,0 +1,135 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+)
+
+// InsertDoc integrates a freshly inserted document into a running
+// computation (section 3.1): the new document immediately sends
+// update messages to its out-links. A new document cannot yet have
+// in-links (its row in the A matrix is all zeros), so its rank is
+// exactly 1-d and that is the value whose contributions enter the
+// system; the increments then propagate on subsequent passes. The new
+// document itself lives outside the engine's graph.
+func (e *PassEngine) InsertDoc(onPeer p2p.PeerID, outlinks []graph.NodeID) error {
+	if len(outlinks) == 0 {
+		return nil
+	}
+	for _, t := range outlinks {
+		if t < 0 || int(t) >= e.st.g.NumNodes() {
+			return fmt.Errorf("core: InsertDoc out-link %d outside graph", t)
+		}
+	}
+	newDocRank := 1 - e.st.opt.Damping
+	share := e.st.opt.Damping * newDocRank / float64(len(outlinks))
+	for _, t := range outlinks {
+		e.deliver(onPeer, p2p.Update{Doc: t, Delta: share})
+	}
+	e.counters.InterPeerMsgs += e.passInter
+	e.counters.IntraPeerMsgs += e.passIntra
+	e.passInter, e.passIntra = 0, 0
+	return nil
+}
+
+// RemoveDoc deletes document d (section 3.1): an update with the
+// negated pagerank contribution goes to every out-link, the document
+// stops receiving messages, and the system re-converges on later
+// passes.
+func (e *PassEngine) RemoveDoc(d graph.NodeID) error {
+	if d < 0 || int(d) >= e.st.g.NumNodes() {
+		return fmt.Errorf("core: RemoveDoc %d outside graph", d)
+	}
+	if e.removed[d] {
+		return fmt.Errorf("core: document %d already removed", d)
+	}
+	// Retract everything this document has contributed so far.
+	retract := -e.st.last[d]
+	if retract != 0 {
+		share := e.st.share(d, retract)
+		fromPeer := e.net.PeerOf(d)
+		for _, t := range e.st.g.OutLinks(d) {
+			e.deliver(fromPeer, p2p.Update{Doc: t, Delta: share})
+		}
+	}
+	e.removed[d] = true
+	if !e.initialized[d] {
+		e.initialized[d] = true
+		e.uninitialized--
+	}
+	e.st.rank[d] = 0
+	e.st.last[d] = 0
+	e.st.acc[d] = 0
+	e.incoming[d] = 0
+	e.counters.InterPeerMsgs += e.passInter
+	e.counters.IntraPeerMsgs += e.passIntra
+	e.passInter, e.passIntra = 0, 0
+	return nil
+}
+
+// Removed reports whether document d has been deleted.
+func (e *PassEngine) Removed(d graph.NodeID) bool { return e.removed[d] }
+
+// PropagationResult measures how far a single document insert's rank
+// increments travel, the metrics of the paper's Table 4.
+type PropagationResult struct {
+	PathLength int   // hops traversed by the deepest message sent
+	Coverage   int   // distinct documents that received a message
+	Messages   int64 // total update messages generated
+}
+
+// MeasureInsertPropagation performs the paper's section 4.7
+// experiment: a document with pagerank `initial` is inserted with one
+// out-link to start's position — equivalently, start's rank is bumped
+// by the initial value — and the resulting increments fan out along
+// out-links, each hop multiplying by damping/outdeg, until increments
+// fall below eps and no more messages are generated.
+//
+// The wave is level-synchronous: increments arriving at the same node
+// in the same hop merge before forwarding, exactly like messages
+// landing within one pass. Coverage counts distinct documents that
+// received at least one message; path length is the hop index of the
+// last message sent.
+func MeasureInsertPropagation(g graph.Linker, start graph.NodeID, initial, damping, eps float64) PropagationResult {
+	if damping <= 0 || damping > 1 {
+		panic(fmt.Sprintf("core: damping %v outside (0,1]", damping))
+	}
+	if eps <= 0 {
+		panic("core: eps must be positive")
+	}
+	res := PropagationResult{}
+	covered := make(map[graph.NodeID]struct{})
+	// current holds per-document increments at this hop depth.
+	current := map[graph.NodeID]float64{start: initial}
+	depth := 0
+	for len(current) > 0 {
+		depth++
+		next := make(map[graph.NodeID]float64)
+		sent := false
+		for d, inc := range current {
+			if math.Abs(inc) <= eps {
+				continue // below threshold: no further messages
+			}
+			links := g.OutLinks(d)
+			if len(links) == 0 {
+				continue
+			}
+			share := damping * inc / float64(len(links))
+			for _, t := range links {
+				next[t] += share
+				covered[t] = struct{}{}
+				res.Messages++
+				sent = true
+			}
+		}
+		if sent {
+			res.PathLength = depth
+		}
+		current = next
+	}
+	res.Coverage = len(covered)
+	return res
+}

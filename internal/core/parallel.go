@@ -1,0 +1,140 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+)
+
+// Parallel pass execution. Figure 1's "concurrently on all peers"
+// computes every peer's documents independently within a pass; the
+// serial RunPass emulates that sequentially, while this file does it
+// with real workers, bulk-synchronous-parallel style:
+//
+//   - compute phase (parallel): the pass's work list is split into
+//     deterministic chunks; each worker folds its documents'
+//     accumulated mass, recomputes ranks and *collects* the resulting
+//     update messages in a private outbox. Per-document state is
+//     touched only by the worker owning the chunk, so no locks are
+//     needed.
+//   - merge phase (serial, deterministic): outboxes are delivered in
+//     worker order through the same deliver path as the serial engine
+//     (counting, routing, retry queues), so results and statistics are
+//     bit-identical to the serial engine's for the same inputs.
+
+// workerOutbox collects one worker's phase-A results.
+type workerOutbox struct {
+	updates   []pendingUpdate
+	held      []graph.NodeID
+	maxChange float64
+}
+
+type pendingUpdate struct {
+	fromPeer p2p.PeerID
+	update   p2p.Update
+}
+
+// runPassParallel is RunPass's compute+merge core for workers > 1.
+// The caller has already handled churn, retry drain and initialization.
+func (e *PassEngine) runPassParallel(work []graph.NodeID, workers int) {
+	chunks := splitChunks(work, workers)
+	outs := make([]workerOutbox, len(chunks))
+	var wg sync.WaitGroup
+	wg.Add(len(chunks))
+	for ci, chunk := range chunks {
+		go func(ci int, chunk []graph.NodeID) {
+			defer wg.Done()
+			out := &outs[ci]
+			for _, d := range chunk {
+				if e.removed[d] {
+					e.dirty[d] = false
+					e.incoming[d] = 0
+					continue
+				}
+				if !e.net.DocOnline(d) {
+					out.held = append(out.held, d)
+					continue
+				}
+				e.dirty[d] = false
+				delta := e.incoming[d]
+				e.incoming[d] = 0
+				e.st.acc[d] += delta
+				old, new := e.st.recompute(d)
+				if rel := relChange(old, new); rel > out.maxChange {
+					out.maxChange = rel
+				}
+				if e.st.exceeds(old, new) {
+					e.collectPush(d, out)
+				}
+			}
+		}(ci, chunk)
+	}
+	wg.Wait()
+
+	// Merge deterministically.
+	for i := range outs {
+		for _, pu := range outs[i].updates {
+			e.deliver(pu.fromPeer, pu.update)
+		}
+		e.dirtyList = append(e.dirtyList, outs[i].held...)
+		if outs[i].maxChange > e.passMaxChange {
+			e.passMaxChange = outs[i].maxChange
+		}
+	}
+}
+
+// collectPush is push() with delivery deferred into the outbox.
+func (e *PassEngine) collectPush(d graph.NodeID, out *workerOutbox) {
+	links := e.st.g.OutLinks(d)
+	if len(links) == 0 {
+		e.st.markPushed(d)
+		return
+	}
+	share := e.st.share(d, e.st.pendingDelta(d))
+	if share == 0 {
+		e.st.markPushed(d)
+		return
+	}
+	fromPeer := e.net.PeerOf(d)
+	for _, t := range links {
+		out.updates = append(out.updates, pendingUpdate{fromPeer, p2p.Update{Doc: t, Delta: share}})
+	}
+	e.st.markPushed(d)
+}
+
+// splitChunks divides work into at most n contiguous chunks of nearly
+// equal size (deterministic for a given input).
+func splitChunks(work []graph.NodeID, n int) [][]graph.NodeID {
+	if n < 1 {
+		n = 1
+	}
+	if n > len(work) {
+		n = len(work)
+	}
+	if n == 0 {
+		return nil
+	}
+	chunks := make([][]graph.NodeID, 0, n)
+	size := (len(work) + n - 1) / n
+	for start := 0; start < len(work); start += size {
+		end := start + size
+		if end > len(work) {
+			end = len(work)
+		}
+		chunks = append(chunks, work[start:end])
+	}
+	return chunks
+}
+
+// defaultWorkers resolves the Options.Workers setting.
+func defaultWorkers(w int) int {
+	if w == 0 {
+		return 1 // serial unless explicitly requested
+	}
+	if w < 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+	"dpr/internal/rng"
+)
+
+func TestParallelIdenticalToSerial(t *testing.T) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(3000, 101))
+	run := func(workers int) Result {
+		net := p2p.NewNetwork(50)
+		net.AssignRandom(g, rng.New(1))
+		e, err := NewPassEngine(g, net, nil, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e.Run()
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 4, 8, -1} {
+		par := run(workers)
+		if par.Passes != serial.Passes {
+			t.Fatalf("workers=%d: %d passes vs serial %d", workers, par.Passes, serial.Passes)
+		}
+		if par.Counters.InterPeerMsgs != serial.Counters.InterPeerMsgs ||
+			par.Counters.IntraPeerMsgs != serial.Counters.IntraPeerMsgs {
+			t.Fatalf("workers=%d: counters %+v vs serial %+v",
+				workers, par.Counters, serial.Counters)
+		}
+		for i := range serial.Ranks {
+			if par.Ranks[i] != serial.Ranks[i] {
+				t.Fatalf("workers=%d: rank[%d] %v vs serial %v",
+					workers, i, par.Ranks[i], serial.Ranks[i])
+			}
+		}
+	}
+}
+
+func TestParallelWithChurn(t *testing.T) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(1500, 102))
+	want := reference(t, g)
+	net := p2p.NewNetwork(25)
+	net.AssignRandom(g, rng.New(2))
+	churn, err := p2p.NewChurn(net, 0.6, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewPassEngine(g, net, churn, Options{Epsilon: 1e-8, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	if !res.Converged {
+		t.Fatal("parallel engine did not converge under churn")
+	}
+	if err := maxRelErr(res.Ranks, want); err > 1e-4 {
+		t.Fatalf("parallel churn error %v", err)
+	}
+}
+
+func TestSplitChunks(t *testing.T) {
+	work := make([]graph.NodeID, 10)
+	for i := range work {
+		work[i] = graph.NodeID(i)
+	}
+	for _, n := range []int{1, 2, 3, 10, 20} {
+		chunks := splitChunks(work, n)
+		total := 0
+		last := graph.NodeID(-1)
+		for _, c := range chunks {
+			total += len(c)
+			for _, v := range c {
+				if v != last+1 {
+					t.Fatalf("n=%d: chunks not contiguous", n)
+				}
+				last = v
+			}
+		}
+		if total != len(work) {
+			t.Fatalf("n=%d: lost elements (%d)", n, total)
+		}
+	}
+	if splitChunks(nil, 4) != nil {
+		t.Fatal("empty work should produce no chunks")
+	}
+}
+
+func TestDefaultWorkers(t *testing.T) {
+	if defaultWorkers(0) != 1 {
+		t.Fatal("0 should mean serial")
+	}
+	if defaultWorkers(3) != 3 {
+		t.Fatal("explicit count ignored")
+	}
+	if defaultWorkers(-1) < 1 {
+		t.Fatal("negative should resolve to GOMAXPROCS")
+	}
+}
+
+func BenchmarkPassEngineWorkers(b *testing.B) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(50000, 1))
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "serial", 4: "workers4"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				net := p2p.NewNetwork(500)
+				net.AssignRandom(g, rng.New(1))
+				e, err := NewPassEngine(g, net, nil, Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				e.Run()
+			}
+		})
+	}
+}

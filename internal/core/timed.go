@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+	"dpr/internal/simnet"
+)
+
+// TimedEngine replays the chaotic iteration on a discrete-event
+// network simulation with real message timing: per-peer uplinks with
+// finite bandwidth and latency, serialized transmission (the paper's
+// Equation 4 assumption), per-update compute cost, and per-destination
+// batching ("the peers collect together all the pagerank messages for
+// each other generated during one pass into a single message"). The
+// run ends when the event queue drains — natural quiescence — and the
+// simulated clock then reads the computation's execution time, the
+// quantity the paper could only estimate analytically.
+//
+// A reproduction insight: fine-grained asynchrony inflates the message
+// count. When a hub document's in-link mass arrives staggered across
+// many network deliveries, each sufficiently large piece triggers its
+// own recompute-and-push, where the pass-synchronized engine folds
+// them into one update per pass. The ProcessInterval coalescing window
+// trades latency for message economy — the paper's per-pass batching
+// assumption is exactly the limit of a long window, and its absence is
+// why a naive per-message implementation would drown; see
+// EXPERIMENTS.md.
+type TimedEngine struct {
+	st  *state
+	net *p2p.Network
+	opt TimedOptions
+
+	sim     simnet.Sim
+	uplinks []*simnet.Uplink
+	peers   []timedPeer
+
+	interMsgs, intraMsgs int64
+}
+
+// timedPeer is one peer's event-loop state: an inbox coalescing all
+// updates that arrive while the peer is between processing ticks.
+// Without coalescing, every single update would trigger its own
+// recompute-and-push and the fine-grained cascade would blow up
+// combinatorially; with it, the timed engine matches the behaviour of
+// a real event-loop peer (and of the paper's per-pass batching).
+type timedPeer struct {
+	inbox     []p2p.Update
+	scheduled bool
+}
+
+// TimedOptions extends Options with the network/compute cost model.
+type TimedOptions struct {
+	Options
+
+	// Bandwidth is each peer's uplink rate in bytes/second.
+	// 0 means the paper's conservative 32 KB/s.
+	Bandwidth float64
+
+	// Latency is the per-message propagation delay. 0 means 50 ms
+	// (a wide-area round trip's worth); use a negative value for a
+	// true zero-latency network.
+	Latency time.Duration
+
+	// ComputePerUpdate is the processing cost of one received update.
+	// 0 means 1 microsecond; negative means free.
+	ComputePerUpdate time.Duration
+
+	// BatchHeaderBytes is the fixed per-batch wire overhead.
+	// 0 means 64 bytes; each update adds p2p.UpdateWireBytes (24).
+	BatchHeaderBytes int64
+
+	// ProcessInterval is how often a peer's event loop drains its
+	// inbox; arrivals within a tick coalesce into one recompute.
+	// 0 means 10 ms; negative means immediate (no coalescing —
+	// exponentially more messages; only for tiny graphs).
+	ProcessInterval time.Duration
+
+	// MaxEvents aborts runaway simulations. 0 means unlimited.
+	MaxEvents int64
+}
+
+func (o TimedOptions) withDefaults() TimedOptions {
+	if o.Bandwidth == 0 {
+		o.Bandwidth = 32 * 1024
+	}
+	if o.Latency == 0 {
+		o.Latency = 50 * time.Millisecond
+	}
+	if o.Latency < 0 {
+		o.Latency = 0
+	}
+	if o.ComputePerUpdate == 0 {
+		o.ComputePerUpdate = time.Microsecond
+	}
+	if o.ComputePerUpdate < 0 {
+		o.ComputePerUpdate = 0
+	}
+	if o.BatchHeaderBytes == 0 {
+		o.BatchHeaderBytes = 64
+	}
+	if o.ProcessInterval == 0 {
+		o.ProcessInterval = 10 * time.Millisecond
+	}
+	if o.ProcessInterval < 0 {
+		o.ProcessInterval = 0
+	}
+	return o
+}
+
+// TimedResult extends Result with the simulation's timing outputs.
+type TimedResult struct {
+	Result
+	SimulatedTime time.Duration // clock at quiescence
+	Batches       int64         // peer-to-peer batch transmissions
+	BytesSent     int64         // total wire bytes
+	Events        int64         // simulator events fired
+}
+
+// NewTimedEngine builds a timed engine over placed documents.
+func NewTimedEngine(g graph.Linker, net *p2p.Network, opt TimedOptions) (*TimedEngine, error) {
+	opt.Options = opt.Options.withDefaults()
+	if err := opt.Options.validate(); err != nil {
+		return nil, err
+	}
+	if err := opt.Options.checkTeleport(g.NumNodes()); err != nil {
+		return nil, err
+	}
+	opt = opt.withDefaults()
+	if opt.Bandwidth < 0 {
+		return nil, fmt.Errorf("core: negative bandwidth")
+	}
+	for d := 0; d < g.NumNodes(); d++ {
+		if net.PeerOf(graph.NodeID(d)) == p2p.NoPeer {
+			return nil, fmt.Errorf("core: document %d is not placed on any peer", d)
+		}
+	}
+	e := &TimedEngine{st: newState(g, opt.Options), net: net, opt: opt}
+	e.uplinks = make([]*simnet.Uplink, net.NumPeers())
+	e.peers = make([]timedPeer, net.NumPeers())
+	for i := range e.uplinks {
+		e.uplinks[i] = &simnet.Uplink{Bandwidth: opt.Bandwidth, Latency: opt.Latency}
+	}
+	return e, nil
+}
+
+// Run executes the simulation to quiescence.
+func (e *TimedEngine) Run() (TimedResult, error) {
+	// At t=0 every peer pushes its documents' starting ranks.
+	for p := 0; p < e.net.NumPeers(); p++ {
+		peer := p2p.PeerID(p)
+		e.sim.After(0, func() { e.initialPush(peer) })
+	}
+	end, err := e.sim.Run(e.opt.MaxEvents)
+	if err != nil {
+		return TimedResult{}, err
+	}
+	var bytes, batches int64
+	for _, u := range e.uplinks {
+		b, s, _ := u.Stats()
+		bytes += b
+		batches += s
+	}
+	return TimedResult{
+		Result: Result{
+			Ranks:     e.st.rank,
+			Converged: true,
+			Counters: p2p.Counters{
+				InterPeerMsgs: e.interMsgs,
+				IntraPeerMsgs: e.intraMsgs,
+			},
+		},
+		SimulatedTime: end,
+		Batches:       batches,
+		BytesSent:     bytes,
+		Events:        e.sim.Events(),
+	}, nil
+}
+
+// initialPush emits every local document's starting contribution.
+func (e *TimedEngine) initialPush(self p2p.PeerID) {
+	out := make(map[p2p.PeerID][]p2p.Update)
+	for _, d := range e.net.Docs(self) {
+		e.collect(self, d, out)
+	}
+	e.transmit(self, out)
+}
+
+// handleBatch enqueues a delivered batch into the peer's inbox and
+// arms the next processing tick if none is pending.
+func (e *TimedEngine) handleBatch(self p2p.PeerID, batch []p2p.Update) {
+	ps := &e.peers[self]
+	ps.inbox = append(ps.inbox, batch...)
+	if !ps.scheduled {
+		ps.scheduled = true
+		e.sim.After(e.opt.ProcessInterval, func() { e.processTick(self) })
+	}
+}
+
+// processTick drains everything that arrived since the last tick, pays
+// the compute cost, folds the coalesced mass, recomputes each touched
+// document once, and pushes the results onward.
+func (e *TimedEngine) processTick(self p2p.PeerID) {
+	ps := &e.peers[self]
+	batch := ps.inbox
+	ps.inbox = nil
+	ps.scheduled = false
+	if len(batch) == 0 {
+		return
+	}
+	compute := time.Duration(len(batch)) * e.opt.ComputePerUpdate
+	e.sim.After(compute, func() {
+		seen := make(map[graph.NodeID]struct{}, len(batch))
+		dirty := make([]graph.NodeID, 0, len(batch))
+		for _, u := range batch {
+			e.st.acc[u.Doc] += u.Delta
+			if _, dup := seen[u.Doc]; !dup {
+				seen[u.Doc] = struct{}{}
+				dirty = append(dirty, u.Doc)
+			}
+		}
+		// Deterministic processing order (arrival order) keeps the
+		// whole simulation reproducible bit for bit.
+		out := make(map[p2p.PeerID][]p2p.Update)
+		for _, d := range dirty {
+			old, new := e.st.recompute(d)
+			if e.st.exceeds(old, new) {
+				e.collect(self, d, out)
+			}
+		}
+		e.transmit(self, out)
+	})
+}
+
+// collect batches document d's pending delta per destination peer.
+func (e *TimedEngine) collect(self p2p.PeerID, d graph.NodeID, out map[p2p.PeerID][]p2p.Update) {
+	links := e.st.g.OutLinks(d)
+	if len(links) == 0 {
+		e.st.markPushed(d)
+		return
+	}
+	share := e.st.share(d, e.st.pendingDelta(d))
+	if share == 0 {
+		e.st.markPushed(d)
+		return
+	}
+	for _, t := range links {
+		dest := e.net.PeerOf(t)
+		out[dest] = append(out[dest], p2p.Update{Doc: t, Delta: share})
+		if dest == self {
+			e.intraMsgs++
+		} else {
+			e.interMsgs++
+		}
+	}
+	e.st.markPushed(d)
+}
+
+// transmit ships each destination's batch: local batches cost only
+// compute; remote batches serialize through the sender's uplink.
+func (e *TimedEngine) transmit(self p2p.PeerID, out map[p2p.PeerID][]p2p.Update) {
+	// Deterministic order over map keys.
+	for dest := p2p.PeerID(0); int(dest) < e.net.NumPeers(); dest++ {
+		batch := out[dest]
+		if len(batch) == 0 {
+			continue
+		}
+		if dest == self {
+			d, b := dest, batch
+			e.sim.After(0, func() { e.handleBatch(d, b) })
+			continue
+		}
+		size := e.opt.BatchHeaderBytes + int64(len(batch))*p2p.UpdateWireBytes
+		d, b := dest, batch
+		e.uplinks[self].Send(&e.sim, size, func() { e.handleBatch(d, b) })
+	}
+}

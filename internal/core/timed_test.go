@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+	"dpr/internal/rng"
+)
+
+func runTimed(t *testing.T, g *graph.Graph, peers int, topt TimedOptions, seed uint64) TimedResult {
+	t.Helper()
+	net := p2p.NewNetwork(peers)
+	net.AssignRandom(g, rng.New(seed))
+	e, err := NewTimedEngine(g, net, topt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestTimedEngineMatchesSolver(t *testing.T) {
+	// The paper's operating point (eps=1e-3). Note that fine-grained
+	// asynchrony inflates message counts relative to pass-synchronized
+	// runs (staggered arrivals at hub documents trigger many small
+	// pushes), so very tight thresholds are exercised on a small graph
+	// in TestTimedEngineTightThreshold instead.
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(1000, 111))
+	want := reference(t, g)
+	res := runTimed(t, g, 16, TimedOptions{Options: Options{Epsilon: 1e-3}}, 1)
+	if err := maxRelErr(res.Ranks, want); err > 0.05 {
+		t.Fatalf("timed engine error %v", err)
+	}
+	if res.SimulatedTime <= 0 {
+		t.Fatal("no simulated time elapsed")
+	}
+	if res.BytesSent == 0 || res.Batches == 0 || res.Events == 0 {
+		t.Fatalf("missing stats: %+v", res)
+	}
+}
+
+func TestTimedEngineTightThreshold(t *testing.T) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(200, 117))
+	want := reference(t, g)
+	res := runTimed(t, g, 4, TimedOptions{Options: Options{Epsilon: 1e-7}}, 7)
+	if err := maxRelErr(res.Ranks, want); err > 1e-4 {
+		t.Fatalf("tight-threshold timed error %v", err)
+	}
+}
+
+func TestTimedEngineDeterministic(t *testing.T) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(600, 112))
+	a := runTimed(t, g, 8, TimedOptions{}, 2)
+	b := runTimed(t, g, 8, TimedOptions{}, 2)
+	if a.SimulatedTime != b.SimulatedTime || a.BytesSent != b.BytesSent ||
+		a.Events != b.Events {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b)
+	}
+	for i := range a.Ranks {
+		if a.Ranks[i] != b.Ranks[i] {
+			t.Fatalf("rank[%d] differs", i)
+		}
+	}
+}
+
+func TestTimedEngineBandwidthScaling(t *testing.T) {
+	// ~6x more bandwidth should shrink the transfer-bound completion
+	// time substantially (the Table 3 32 vs 200 KB/s columns).
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(2000, 113))
+	slow := runTimed(t, g, 50, TimedOptions{Bandwidth: 32 * 1024, Latency: -1}, 3)
+	fast := runTimed(t, g, 50, TimedOptions{Bandwidth: 200 * 1024, Latency: -1}, 3)
+	if fast.SimulatedTime >= slow.SimulatedTime {
+		t.Fatalf("faster network not faster: %v vs %v", fast.SimulatedTime, slow.SimulatedTime)
+	}
+	ratio := float64(slow.SimulatedTime) / float64(fast.SimulatedTime)
+	if ratio < 2 {
+		t.Fatalf("bandwidth speedup only %.1fx; computation should be transfer-bound", ratio)
+	}
+}
+
+func TestTimedEngineLatencyAddsTime(t *testing.T) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(800, 114))
+	noLat := runTimed(t, g, 16, TimedOptions{Latency: -1}, 4)
+	withLat := runTimed(t, g, 16, TimedOptions{Latency: 200 * time.Millisecond}, 4)
+	if withLat.SimulatedTime <= noLat.SimulatedTime {
+		t.Fatalf("latency did not slow completion: %v vs %v",
+			withLat.SimulatedTime, noLat.SimulatedTime)
+	}
+}
+
+func TestTimedEngineBatchingSavesBytes(t *testing.T) {
+	// Batches amortize headers: total bytes must stay well under
+	// one-header-per-message.
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(1500, 115))
+	res := runTimed(t, g, 10, TimedOptions{}, 5)
+	perMsgWorstCase := res.Counters.InterPeerMsgs * (64 + p2p.UpdateWireBytes)
+	if res.BytesSent >= perMsgWorstCase {
+		t.Fatalf("batching saved nothing: %d bytes vs %d unbatched",
+			res.BytesSent, perMsgWorstCase)
+	}
+	if res.Batches >= res.Counters.InterPeerMsgs {
+		t.Fatalf("batches %d not fewer than messages %d", res.Batches, res.Counters.InterPeerMsgs)
+	}
+}
+
+func TestTimedEngineSinglePeerInstantNetwork(t *testing.T) {
+	// One peer: everything is local, no uplink traffic at all.
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(300, 116))
+	res := runTimed(t, g, 1, TimedOptions{}, 6)
+	if res.BytesSent != 0 || res.Counters.InterPeerMsgs != 0 {
+		t.Fatalf("single peer used the network: %+v", res)
+	}
+	want := reference(t, g)
+	// Default epsilon: coarse agreement.
+	if err := maxRelErr(res.Ranks, want); err > 0.05 {
+		t.Fatalf("single-peer error %v", err)
+	}
+}
+
+func TestTimedEngineValidation(t *testing.T) {
+	g := graph.Cycle(4)
+	net := p2p.NewNetwork(2)
+	net.AssignRandom(g, rng.New(1))
+	if _, err := NewTimedEngine(g, net, TimedOptions{Options: Options{Damping: 5}}); err == nil {
+		t.Fatal("accepted bad damping")
+	}
+	if _, err := NewTimedEngine(g, net, TimedOptions{Bandwidth: -3}); err == nil {
+		t.Fatal("accepted negative bandwidth")
+	}
+	empty := p2p.NewNetwork(2)
+	if _, err := NewTimedEngine(g, empty, TimedOptions{}); err == nil {
+		t.Fatal("accepted unplaced docs")
+	}
+	// MaxEvents aborts rather than spinning.
+	e, err := NewTimedEngine(g, net, TimedOptions{MaxEvents: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(); err == nil {
+		t.Fatal("MaxEvents not enforced")
+	}
+}

@@ -1,0 +1,199 @@
+package corpus
+
+import (
+	"sort"
+	"testing"
+
+	"dpr/internal/rng"
+)
+
+func smallConfig(seed uint64) Config {
+	return Config{NumDocs: 800, NumTerms: 300, MinDocTerms: 5, MaxDocTerms: 40, Seed: seed}
+}
+
+func TestGenerateDefaults(t *testing.T) {
+	c, err := Generate(Config{NumDocs: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Docs) != 500 || c.NumTerms != 1880 {
+		t.Fatalf("docs=%d terms=%d", len(c.Docs), c.NumTerms)
+	}
+	for i, d := range c.Docs {
+		if d.ID != uint32(i) {
+			t.Fatalf("doc %d has id %d", i, d.ID)
+		}
+		if len(d.Terms) < 20 || len(d.Terms) > 200 {
+			t.Fatalf("doc %d has %d terms, want [20,200]", i, len(d.Terms))
+		}
+		if !sort.SliceIsSorted(d.Terms, func(a, b int) bool { return d.Terms[a] < d.Terms[b] }) {
+			t.Fatalf("doc %d terms unsorted", i)
+		}
+		for j := 1; j < len(d.Terms); j++ {
+			if d.Terms[j] == d.Terms[j-1] {
+				t.Fatalf("doc %d has duplicate term %d", i, d.Terms[j])
+			}
+		}
+	}
+}
+
+func TestPostingListsConsistent(t *testing.T) {
+	c, err := Generate(smallConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every (doc, term) pair appears in the posting list and vice versa.
+	var totalPostings int
+	for _, d := range c.Docs {
+		for _, term := range d.Terms {
+			list := c.DocsWithTerm(term)
+			i := sort.Search(len(list), func(i int) bool { return list[i] >= d.ID })
+			if i == len(list) || list[i] != d.ID {
+				t.Fatalf("doc %d missing from posting list of term %d", d.ID, term)
+			}
+		}
+		totalPostings += len(d.Terms)
+	}
+	s := c.ComputeStats()
+	if s.Postings != int64(totalPostings) {
+		t.Fatalf("stats postings %d, want %d", s.Postings, totalPostings)
+	}
+	if c.DocsWithTerm(-1) != nil || c.DocsWithTerm(TermID(c.NumTerms)) != nil {
+		t.Fatal("out-of-range term returned postings")
+	}
+}
+
+func TestZipfShape(t *testing.T) {
+	c, err := Generate(Config{NumDocs: 3000, NumTerms: 500, MinDocTerms: 10, MaxDocTerms: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Term 0 (rank 1) must be far more frequent than term 100.
+	if c.DocFreq(0) <= c.DocFreq(100) {
+		t.Fatalf("no Zipf head: freq(0)=%d freq(100)=%d", c.DocFreq(0), c.DocFreq(100))
+	}
+	// The head term appears in a large share of documents.
+	if c.DocFreq(0) < len(c.Docs)/10 {
+		t.Fatalf("head term only in %d/%d docs", c.DocFreq(0), len(c.Docs))
+	}
+}
+
+func TestTopTermsOrdered(t *testing.T) {
+	c, err := Generate(smallConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := c.TopTerms(50)
+	if len(top) != 50 {
+		t.Fatalf("TopTerms returned %d", len(top))
+	}
+	for i := 1; i < len(top); i++ {
+		if c.DocFreq(top[i-1]) < c.DocFreq(top[i]) {
+			t.Fatalf("top terms out of order at %d", i)
+		}
+	}
+	all := c.TopTerms(10000)
+	if len(all) != c.NumTerms {
+		t.Fatalf("TopTerms clamp: %d", len(all))
+	}
+}
+
+func TestMakeQueries(t *testing.T) {
+	c, err := Generate(smallConfig(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	qs, err := c.MakeQueries(r, 20, 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 20 {
+		t.Fatalf("%d queries", len(qs))
+	}
+	topSet := map[TermID]bool{}
+	for _, term := range c.TopTerms(100) {
+		topSet[term] = true
+	}
+	for qi, q := range qs {
+		if len(q) != 3 {
+			t.Fatalf("query %d has %d words", qi, len(q))
+		}
+		seen := map[TermID]bool{}
+		for _, term := range q {
+			if !topSet[term] {
+				t.Fatalf("query %d uses non-top term %d", qi, term)
+			}
+			if seen[term] {
+				t.Fatalf("query %d repeats term %d", qi, term)
+			}
+			seen[term] = true
+		}
+	}
+}
+
+func TestMakeQueriesErrors(t *testing.T) {
+	c, err := Generate(smallConfig(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	if _, err := c.MakeQueries(r, 5, 0, 100); err == nil {
+		t.Error("accepted zero-word query")
+	}
+	if _, err := c.MakeQueries(r, 5, 4, 3); err == nil {
+		t.Error("accepted words > fromTop")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	bad := []Config{
+		{NumDocs: -1},
+		{NumDocs: 10, NumTerms: 1},
+		{NumDocs: 10, NumTerms: 50, MinDocTerms: 10, MaxDocTerms: 5},
+		{NumDocs: 10, NumTerms: 50, MinDocTerms: 10, MaxDocTerms: 100},
+	}
+	for i, cfg := range bad {
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d accepted %+v", i, cfg)
+		}
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Docs {
+		if len(a.Docs[i].Terms) != len(b.Docs[i].Terms) {
+			t.Fatalf("doc %d differs between runs", i)
+		}
+		for j := range a.Docs[i].Terms {
+			if a.Docs[i].Terms[j] != b.Docs[i].Terms[j] {
+				t.Fatalf("doc %d term %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	c, err := Generate(smallConfig(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := c.ComputeStats()
+	if s.Docs != 800 || s.Terms != 300 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if s.AvgTermsPerDoc < 5 || s.AvgTermsPerDoc > 40 {
+		t.Fatalf("avg terms per doc %v", s.AvgTermsPerDoc)
+	}
+	if s.MaxDocFreq == 0 || s.MedianDocFreq > s.MaxDocFreq {
+		t.Fatalf("freq stats: %+v", s)
+	}
+}

@@ -1,0 +1,67 @@
+package dht
+
+import "fmt"
+
+// fingerBits is the ring width: fingers[i] targets id + 2^i.
+const fingerBits = 64
+
+// successorListLen is the number of successors each node tracks, which
+// bounds how many simultaneous adjacent failures the ring survives.
+const successorListLen = 4
+
+// Node is one peer's view of the Chord ring. All routing uses only
+// this node's successor list and finger table, never global state.
+type Node struct {
+	id      ID
+	name    string
+	pred    *Node
+	succ    [successorListLen]*Node
+	fingers [fingerBits]*Node
+	alive   bool
+
+	// keys maps document GUID ring positions to opaque values (the
+	// pagerank layer stores document references here).
+	keys map[ID]interface{}
+}
+
+// ID returns the node's ring position.
+func (n *Node) ID() ID { return n.id }
+
+// Name returns the node's human-readable name.
+func (n *Node) Name() string { return n.name }
+
+// Alive reports whether the node is currently in the ring.
+func (n *Node) Alive() bool { return n.alive }
+
+// Successor returns the first live successor, skipping failed entries.
+func (n *Node) Successor() *Node {
+	for _, s := range n.succ {
+		if s != nil && s.alive {
+			return s
+		}
+	}
+	return nil
+}
+
+// NumKeys reports how many keys this node stores.
+func (n *Node) NumKeys() int { return len(n.keys) }
+
+// closestPrecedingNode returns the live finger (or successor) whose id
+// most closely precedes k, the Chord routing step.
+func (n *Node) closestPrecedingNode(k ID) *Node {
+	for i := fingerBits - 1; i >= 0; i-- {
+		f := n.fingers[i]
+		if f != nil && f.alive && betweenOpen(f.id, n.id, k) {
+			return f
+		}
+	}
+	if s := n.Successor(); s != nil && betweenOpen(s.id, n.id, k) {
+		return s
+	}
+	return nil
+}
+
+// String renders the node for debugging.
+func (n *Node) String() string {
+	return fmt.Sprintf("node(%s@%016x alive=%v keys=%d)", n.name, uint64(n.id), n.alive, len(n.keys))
+}

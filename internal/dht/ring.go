@@ -1,0 +1,318 @@
+package dht
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring simulates a Chord network. It tracks every node ever added
+// (dead ones stay around so they can rejoin, as peers do in the
+// paper's section 3.1) and keeps a sorted oracle of live nodes for
+// validation and deterministic pointer repair.
+type Ring struct {
+	byID   map[ID]*Node
+	byName map[string]*Node
+	sorted []*Node // live nodes in ascending id order
+}
+
+// NewRing returns an empty ring.
+func NewRing() *Ring {
+	return &Ring{byID: make(map[ID]*Node), byName: make(map[string]*Node)}
+}
+
+// NumAlive returns the number of live peers.
+func (r *Ring) NumAlive() int { return len(r.sorted) }
+
+// Nodes returns the live peers in ring order. The slice is shared;
+// callers must not modify it.
+func (r *Ring) Nodes() []*Node { return r.sorted }
+
+// NodeByName returns the named peer, alive or not.
+func (r *Ring) NodeByName(name string) *Node { return r.byName[name] }
+
+// AddPeer creates a peer named name, joins it to the ring, hands over
+// the keys it now owns, and repairs routing state. It returns an error
+// on duplicate names or (astronomically unlikely) id collisions.
+func (r *Ring) AddPeer(name string) (*Node, error) {
+	if _, dup := r.byName[name]; dup {
+		return nil, fmt.Errorf("dht: peer %q already exists", name)
+	}
+	id := PeerIDFromName(name)
+	if _, dup := r.byID[id]; dup {
+		return nil, fmt.Errorf("dht: id collision for peer %q", name)
+	}
+	n := &Node{id: id, name: name, alive: true, keys: make(map[ID]interface{})}
+	r.byID[id] = n
+	r.byName[name] = n
+	r.insertSorted(n)
+	r.transferKeysOnJoin(n)
+	r.repairPointers()
+	return n, nil
+}
+
+// Rejoin brings a previously departed peer back, reclaiming the keys
+// it now owns from its successor.
+func (r *Ring) Rejoin(n *Node) error {
+	if n.alive {
+		return fmt.Errorf("dht: %s is already alive", n.name)
+	}
+	if r.byID[n.id] != n {
+		return fmt.Errorf("dht: %s is not a member of this ring", n.name)
+	}
+	n.alive = true
+	r.insertSorted(n)
+	r.transferKeysOnJoin(n)
+	r.repairPointers()
+	return nil
+}
+
+// LeaveGraceful removes a peer, handing its keys to its successor
+// (used for permanent departures where data must survive).
+func (r *Ring) LeaveGraceful(n *Node) error {
+	if err := r.checkLive(n); err != nil {
+		return err
+	}
+	if len(r.sorted) > 1 {
+		succ := r.ownerExcluding(n.id+1, n)
+		for k, v := range n.keys {
+			succ.keys[k] = v
+		}
+	}
+	n.keys = make(map[ID]interface{})
+	n.alive = false
+	r.removeSorted(n)
+	r.repairPointers()
+	return nil
+}
+
+// LeaveAbrupt marks a peer as failed without any handoff: its
+// documents disappear with it until it rejoins, exactly the transient
+// behaviour of section 3.1 ("when peers leave the P2P system, they
+// take away with them (until they reappear) all their documents").
+func (r *Ring) LeaveAbrupt(n *Node) error {
+	if err := r.checkLive(n); err != nil {
+		return err
+	}
+	n.alive = false
+	r.removeSorted(n)
+	r.repairPointers()
+	return nil
+}
+
+func (r *Ring) checkLive(n *Node) error {
+	if r.byID[n.id] != n {
+		return fmt.Errorf("dht: %s is not a member of this ring", n.name)
+	}
+	if !n.alive {
+		return fmt.Errorf("dht: %s is not alive", n.name)
+	}
+	return nil
+}
+
+// Owner returns the live node owning key k (the first node whose id
+// succeeds k on the ring). This is the brute-force oracle.
+func (r *Ring) Owner(k ID) *Node {
+	if len(r.sorted) == 0 {
+		return nil
+	}
+	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i].id >= k })
+	if i == len(r.sorted) {
+		i = 0 // wrap
+	}
+	return r.sorted[i]
+}
+
+func (r *Ring) ownerExcluding(k ID, skip *Node) *Node {
+	o := r.Owner(k)
+	if o != skip {
+		return o
+	}
+	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i].id >= o.id })
+	return r.sorted[(i+1)%len(r.sorted)]
+}
+
+// maxLookupHops bounds routing; beyond this the ring state is broken.
+func (r *Ring) maxLookupHops() int { return 2*fingerBits + len(r.sorted) + 4 }
+
+// Lookup routes from node start to the owner of key k using only
+// successor/finger knowledge, returning the owner and the number of
+// routing hops taken. A hop is one node-to-node forwarding step; a key
+// owned by the start node itself costs 0 hops.
+func (r *Ring) Lookup(k ID, start *Node) (*Node, int, error) {
+	if start == nil || !start.alive {
+		return nil, 0, fmt.Errorf("dht: lookup from dead or nil node")
+	}
+	cur := start
+	hops := 0
+	limit := r.maxLookupHops()
+	for {
+		pred := cur.pred
+		if pred != nil && pred.alive && between(k, pred.id, cur.id) {
+			return cur, hops, nil
+		}
+		succ := cur.Successor()
+		if succ == nil {
+			if len(r.sorted) == 1 && cur.alive {
+				return cur, hops, nil // singleton ring owns everything
+			}
+			return nil, hops, fmt.Errorf("dht: node %s has no live successor", cur.name)
+		}
+		if between(k, cur.id, succ.id) {
+			return succ, hops + 1, nil
+		}
+		next := cur.closestPrecedingNode(k)
+		if next == nil || next == cur {
+			next = succ
+		}
+		cur = next
+		hops++
+		if hops > limit {
+			return nil, hops, fmt.Errorf("dht: lookup for %016x exceeded %d hops", uint64(k), limit)
+		}
+	}
+}
+
+// Put stores value under key k at its owner (found via the oracle; the
+// storing path's routing cost is measured separately by Lookup).
+func (r *Ring) Put(k ID, v interface{}) (*Node, error) {
+	o := r.Owner(k)
+	if o == nil {
+		return nil, fmt.Errorf("dht: empty ring")
+	}
+	o.keys[k] = v
+	return o, nil
+}
+
+// Get routes from start to k's owner and returns the stored value.
+func (r *Ring) Get(k ID, start *Node) (interface{}, *Node, int, error) {
+	o, hops, err := r.Lookup(k, start)
+	if err != nil {
+		return nil, nil, hops, err
+	}
+	v, present := o.keys[k]
+	if !present {
+		return nil, o, hops, fmt.Errorf("dht: key %016x not found at owner %s", uint64(k), o.name)
+	}
+	return v, o, hops, nil
+}
+
+// --- membership plumbing ---
+
+func (r *Ring) insertSorted(n *Node) {
+	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i].id >= n.id })
+	r.sorted = append(r.sorted, nil)
+	copy(r.sorted[i+1:], r.sorted[i:])
+	r.sorted[i] = n
+}
+
+func (r *Ring) removeSorted(n *Node) {
+	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i].id >= n.id })
+	if i < len(r.sorted) && r.sorted[i] == n {
+		r.sorted = append(r.sorted[:i], r.sorted[i+1:]...)
+	}
+}
+
+// transferKeysOnJoin moves keys in (pred, n] from n's successor to n.
+func (r *Ring) transferKeysOnJoin(n *Node) {
+	if len(r.sorted) < 2 {
+		return
+	}
+	succ := r.ownerExcluding(n.id+1, n)
+	pred := r.predecessorOf(n)
+	for k, v := range succ.keys {
+		if between(k, pred.id, n.id) {
+			n.keys[k] = v
+			delete(succ.keys, k)
+		}
+	}
+}
+
+func (r *Ring) predecessorOf(n *Node) *Node {
+	i := sort.Search(len(r.sorted), func(i int) bool { return r.sorted[i].id >= n.id })
+	if i == 0 {
+		return r.sorted[len(r.sorted)-1]
+	}
+	return r.sorted[i-1]
+}
+
+// repairPointers deterministically rebuilds predecessor, successor
+// lists and finger tables for every live node, equivalent to Chord's
+// stabilization protocol having fully converged. The incremental
+// protocol itself is exercised by StabilizeRound.
+func (r *Ring) repairPointers() {
+	m := len(r.sorted)
+	if m == 0 {
+		return
+	}
+	for i, n := range r.sorted {
+		n.pred = r.sorted[(i-1+m)%m]
+		for j := 0; j < successorListLen; j++ {
+			n.succ[j] = r.sorted[(i+1+j)%m]
+		}
+		for b := 0; b < fingerBits; b++ {
+			target := n.id + (ID(1) << uint(b))
+			n.fingers[b] = r.Owner(target)
+		}
+	}
+	if m == 1 {
+		n := r.sorted[0]
+		n.pred = n
+		for j := range n.succ {
+			n.succ[j] = n
+		}
+	}
+}
+
+// StabilizeRound runs one round of the Chord stabilization protocol on
+// every live node: verify successor via its predecessor pointer,
+// notify, and refresh one finger per node. Repeated rounds converge
+// the routing state after churn without the global repair.
+func (r *Ring) StabilizeRound(fingerIndex int) {
+	for _, n := range r.sorted {
+		succ := n.Successor()
+		if succ == nil {
+			continue
+		}
+		if x := succ.pred; x != nil && x.alive && betweenOpen(x.id, n.id, succ.id) {
+			// A node slipped in between us and our successor.
+			copy(n.succ[1:], n.succ[:successorListLen-1])
+			n.succ[0] = x
+			succ = x
+		}
+		// notify: successor adopts us as predecessor if closer.
+		if succ.pred == nil || !succ.pred.alive || betweenOpen(n.id, succ.pred.id, succ.id) {
+			succ.pred = n
+		}
+		// refresh one finger via routing.
+		b := fingerIndex % fingerBits
+		target := n.id + (ID(1) << uint(b))
+		if owner, _, err := r.Lookup(target, n); err == nil {
+			n.fingers[b] = owner
+		}
+	}
+}
+
+// CheckInvariants validates ring structure: sorted order, live flags,
+// successor/predecessor consistency. Used by tests.
+func (r *Ring) CheckInvariants() error {
+	for i, n := range r.sorted {
+		if !n.alive {
+			return fmt.Errorf("dht: dead node %s in live list", n.name)
+		}
+		if i > 0 && r.sorted[i-1].id >= n.id {
+			return fmt.Errorf("dht: live list out of order at %d", i)
+		}
+	}
+	m := len(r.sorted)
+	for i, n := range r.sorted {
+		want := r.sorted[(i+1)%m]
+		if got := n.Successor(); got != want {
+			return fmt.Errorf("dht: %s successor = %v, want %v", n.name, got, want)
+		}
+		wantPred := r.sorted[(i-1+m)%m]
+		if n.pred != wantPred {
+			return fmt.Errorf("dht: %s predecessor = %v, want %v", n.name, n.pred, wantPred)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dpr/internal/core"
+	"dpr/internal/metrics"
+	"dpr/internal/netmodel"
+	"dpr/internal/p2p"
+	"dpr/internal/rng"
+)
+
+// ExecTimeRow compares the discrete-event-simulated completion time of
+// the distributed computation with the paper's Equation 4 analytic
+// estimates at one bandwidth.
+type ExecTimeRow struct {
+	Bandwidth    float64
+	Simulated    time.Duration // measured on the event simulator
+	EqFourWorst  time.Duration // Eq. 4 with concurrent peers (max over peers)
+	SerialBound  time.Duration // the paper's Table 3 all-serialized bound
+	Messages     int64
+	MsgInflation float64 // timed-engine messages / pass-engine messages
+}
+
+// ExecTimeValidation runs the timed engine on the smallest configured
+// graph at the paper's two peer bandwidths and sets the measured
+// completion time against the analytic model evaluated with the same
+// message counts — the validation the paper could not perform because
+// its simulation had no network model.
+func ExecTimeValidation(sc Scale) ([]ExecTimeRow, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	n := sc.GraphSizes[0]
+	g, err := sc.buildGraph(n)
+	if err != nil {
+		return nil, err
+	}
+	// Pass-engine message baseline for the inflation metric.
+	passRes, _, err := sc.runDistributed(g, 1e-3, 1.0)
+	if err != nil {
+		return nil, err
+	}
+
+	var rows []ExecTimeRow
+	for _, bw := range []float64{netmodel.RateSlowPeer, netmodel.RateFastPeer} {
+		net := p2p.NewNetwork(sc.Peers)
+		net.AssignRandom(g, rng.New(sc.Seed^0xa5a5))
+		e, err := core.NewTimedEngine(g, net, core.TimedOptions{
+			Options:   core.Options{Epsilon: 1e-3},
+			Bandwidth: bw,
+			Latency:   50 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.Run()
+		if err != nil {
+			return nil, err
+		}
+		// Equation 4 with the timed run's own traffic: distribute the
+		// messages over peers as the placement did.
+		perPeer := make([]int64, sc.Peers)
+		total := res.Counters.InterPeerMsgs
+		for i := range perPeer {
+			perPeer[i] = total / int64(sc.Peers)
+		}
+		model := netmodel.Model{Bandwidth: bw}
+		// The timed engine has no pass structure; scale Eq. 4 by the
+		// effective "rounds" the serial bound implies.
+		worst, err := model.EstimatePerPeer(perPeer, 1)
+		if err != nil {
+			return nil, err
+		}
+		serial, err := model.EstimateSerial(total, 0)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, ExecTimeRow{
+			Bandwidth:    bw,
+			Simulated:    res.SimulatedTime,
+			EqFourWorst:  worst,
+			SerialBound:  serial,
+			Messages:     total,
+			MsgInflation: float64(total) / float64(passRes.Counters.InterPeerMsgs),
+		})
+	}
+	return rows, nil
+}
+
+// RenderExecTime formats the validation table.
+func RenderExecTime(rows []ExecTimeRow) *metrics.Table {
+	t := metrics.NewTable(
+		"Execution-time validation: event simulation vs Equation 4 (eps=1e-3)",
+		"Bandwidth", "simulated", "Eq.4 concurrent", "serial bound", "messages", "msg inflation")
+	for _, r := range rows {
+		t.AddRow(
+			fmt.Sprintf("%.0f KB/s", r.Bandwidth/1024),
+			r.Simulated.Round(time.Millisecond).String(),
+			r.EqFourWorst.Round(time.Millisecond).String(),
+			r.SerialBound.Round(time.Millisecond).String(),
+			metrics.CellInt(r.Messages),
+			fmt.Sprintf("%.1fx", r.MsgInflation),
+		)
+	}
+	return t
+}

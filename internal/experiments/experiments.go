@@ -1,0 +1,150 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (section 4), each producing the same rows the
+// paper reports. Every driver takes a Scale so the full paper sizes
+// (10k-5000k documents on 500 peers) and laptop-fast test sizes share
+// one code path.
+package experiments
+
+import (
+	"fmt"
+
+	"dpr/internal/core"
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+	"dpr/internal/rng"
+	"dpr/internal/solver"
+)
+
+// Scale selects experiment sizes.
+type Scale struct {
+	GraphSizes   []int // document counts to sweep
+	Peers        int   // peers in the pagerank experiments (paper: 500)
+	SearchPeers  int   // peers in the search experiment (paper: 50)
+	InsertTrials int   // random nodes sampled for Table 4 (paper: 1000)
+	CorpusDocs   int   // documents in the search corpus (paper: 11000)
+	Seed         uint64
+}
+
+// Small returns a laptop-fast configuration preserving every
+// experimental dimension.
+func Small() Scale {
+	return Scale{
+		GraphSizes:   []int{1000, 5000, 20000},
+		Peers:        100,
+		SearchPeers:  50,
+		InsertTrials: 100,
+		CorpusDocs:   2000,
+		Seed:         42,
+	}
+}
+
+// Medium is an intermediate configuration for bench runs.
+func Medium() Scale {
+	return Scale{
+		GraphSizes:   []int{10000, 50000, 100000},
+		Peers:        500,
+		SearchPeers:  50,
+		InsertTrials: 300,
+		CorpusDocs:   11000,
+		Seed:         42,
+	}
+}
+
+// Paper returns the paper's exact sizes. The 5000k graph needs a few
+// GB of memory and minutes per threshold; use cmd/dprbench for these.
+func Paper() Scale {
+	return Scale{
+		GraphSizes:   []int{10000, 100000, 500000, 5000000},
+		Peers:        500,
+		SearchPeers:  50,
+		InsertTrials: 1000,
+		CorpusDocs:   11000,
+		Seed:         42,
+	}
+}
+
+func (sc Scale) validate() error {
+	if len(sc.GraphSizes) == 0 {
+		return fmt.Errorf("experiments: no graph sizes")
+	}
+	for _, n := range sc.GraphSizes {
+		if n < 2 {
+			return fmt.Errorf("experiments: graph size %d too small", n)
+		}
+	}
+	if sc.Peers < 1 || sc.SearchPeers < 1 {
+		return fmt.Errorf("experiments: peer counts must be positive")
+	}
+	if sc.InsertTrials < 1 {
+		return fmt.Errorf("experiments: InsertTrials must be positive")
+	}
+	return nil
+}
+
+// EpsSweep is the paper's threshold sweep for Tables 2 and 3:
+// 0.2 and 10^-1 through 10^-6.
+var EpsSweep = []float64{0.2, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5, 1e-6}
+
+// InsertEpsSweep is Table 4's sweep: 0.2 and 10^-1 through 10^-5.
+var InsertEpsSweep = []float64{0.2, 1e-1, 1e-2, 1e-3, 1e-4, 1e-5}
+
+// Availabilities are Table 1's peer-presence columns.
+var Availabilities = []float64{1.0, 0.75, 0.50}
+
+// buildGraph generates the standard power-law document graph for a
+// size, derived deterministically from the scale seed.
+func (sc Scale) buildGraph(n int) (*graph.Graph, error) {
+	return graph.GeneratePowerLaw(graph.DefaultPowerLawConfig(n, sc.Seed+uint64(n)))
+}
+
+// buildNetwork places a graph's documents on the scale's peers.
+func (sc Scale) buildNetwork(g *graph.Graph, peers int) *p2p.Network {
+	net := p2p.NewNetwork(peers)
+	net.AssignRandom(g, rng.New(sc.Seed^0xa5a5))
+	return net
+}
+
+// runDistributed runs the pass engine to convergence at the given
+// threshold and availability, returning the result and the engine.
+func (sc Scale) runDistributed(g *graph.Graph, eps, availability float64) (core.Result, *core.PassEngine, error) {
+	net := sc.buildNetwork(g, sc.Peers)
+	var churn *p2p.Churn
+	if availability < 1 {
+		var err error
+		churn, err = p2p.NewChurn(net, availability, rng.New(sc.Seed^0x5a5a))
+		if err != nil {
+			return core.Result{}, nil, err
+		}
+	}
+	e, err := core.NewPassEngine(g, net, churn, core.Options{Epsilon: eps, MaxPass: 100000})
+	if err != nil {
+		return core.Result{}, nil, err
+	}
+	res := e.Run()
+	if !res.Converged {
+		return res, e, fmt.Errorf("experiments: %d-node run at eps=%g did not converge in %d passes",
+			g.NumNodes(), eps, res.Passes)
+	}
+	return res, e, nil
+}
+
+// referenceRanks computes the centralized baseline R_c.
+func referenceRanks(g *graph.Graph) ([]float64, error) {
+	res, err := solver.Power(g, solver.Config{Tol: 1e-13, MaxIters: 2000})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Converged {
+		return nil, fmt.Errorf("experiments: reference solver did not converge")
+	}
+	return res.Ranks, nil
+}
+
+// sizeLabel renders a graph size the way the paper's tables do
+// (thousands).
+func sizeLabel(n int) string {
+	if n%1000 == 0 {
+		return fmt.Sprintf("%dk", n/1000)
+	}
+	return fmt.Sprintf("%d", n)
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dpr/internal/metrics"
+)
+
+// Table1Row is one graph size's convergence data: passes to converge
+// at each peer-availability level.
+type Table1Row struct {
+	GraphSize int
+	Passes    []int // aligned with Availabilities
+}
+
+// Table1Result is the paper's Table 1: convergence rate of the
+// distributed pagerank for 500 peers at error threshold 1e-3, with
+// 100%, 75% and 50% of peers present.
+type Table1Result struct {
+	Epsilon float64
+	Rows    []Table1Row
+}
+
+// Table1 runs the convergence experiment.
+func Table1(sc Scale) (*Table1Result, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	const eps = 1e-3
+	out := &Table1Result{Epsilon: eps}
+	for _, n := range sc.GraphSizes {
+		g, err := sc.buildGraph(n)
+		if err != nil {
+			return nil, err
+		}
+		row := Table1Row{GraphSize: n}
+		for _, avail := range Availabilities {
+			res, _, err := sc.runDistributed(g, eps, avail)
+			if err != nil {
+				return nil, err
+			}
+			row.Passes = append(row.Passes, res.Passes)
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render formats the result in the paper's Table 1 layout.
+func (r *Table1Result) Render() *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Table 1: convergence passes (error threshold %s), %% of peers present",
+			metrics.CellEps(r.Epsilon)),
+		"Graph size", "100", "75", "50")
+	for _, row := range r.Rows {
+		cells := []string{sizeLabel(row.GraphSize)}
+		for _, p := range row.Passes {
+			cells = append(cells, metrics.CellInt(int64(p)))
+		}
+		t.AddRow(cells...)
+	}
+	return t
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dpr/internal/metrics"
+)
+
+// Table2Block is one graph size's error distributions across the
+// threshold sweep.
+type Table2Block struct {
+	GraphSize int
+	Eps       []float64
+	Summaries []metrics.ErrorSummary // aligned with Eps
+}
+
+// Table2Result is the paper's Table 2: the distribution of relative
+// error |R_d - R_c| / R_c across documents, per threshold and graph
+// size, reported at the 50/75/90/99/99.9 percentiles plus max and
+// average.
+type Table2Result struct {
+	Blocks []Table2Block
+}
+
+// Table2 runs the pagerank-quality experiment.
+func Table2(sc Scale) (*Table2Result, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	out := &Table2Result{}
+	for _, n := range sc.GraphSizes {
+		g, err := sc.buildGraph(n)
+		if err != nil {
+			return nil, err
+		}
+		ref, err := referenceRanks(g)
+		if err != nil {
+			return nil, err
+		}
+		block := Table2Block{GraphSize: n, Eps: EpsSweep}
+		for _, eps := range EpsSweep {
+			res, _, err := sc.runDistributed(g, eps, 1.0)
+			if err != nil {
+				return nil, err
+			}
+			errs := metrics.RelativeErrors(res.Ranks, ref)
+			block.Summaries = append(block.Summaries, metrics.Summarize(errs))
+		}
+		out.Blocks = append(out.Blocks, block)
+	}
+	return out, nil
+}
+
+// Render formats one table per graph size, columns per threshold,
+// matching the paper's layout (values as relative error, not percent).
+func (r *Table2Result) Render() []*metrics.Table {
+	var tables []*metrics.Table
+	for _, block := range r.Blocks {
+		header := []string{"% pages"}
+		for _, eps := range block.Eps {
+			header = append(header, metrics.CellEps(eps))
+		}
+		t := metrics.NewTable(
+			fmt.Sprintf("Table 2: relative error distribution, %s nodes", sizeLabel(block.GraphSize)),
+			header...)
+		labels := []string{"50", "75", "90", "99", "99.9", "Max.", "Avg."}
+		for li, label := range labels {
+			cells := []string{label}
+			for _, s := range block.Summaries {
+				v := s.Rows()[li].Value
+				cells = append(cells, metrics.Cell(v))
+			}
+			t.AddRow(cells...)
+		}
+		tables = append(tables, t)
+	}
+	return tables
+}

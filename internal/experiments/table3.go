@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"dpr/internal/graph"
+	"dpr/internal/metrics"
+	"dpr/internal/netmodel"
+)
+
+// Table3Row is one threshold's message traffic across graph sizes,
+// plus execution-time estimates for the largest graph.
+type Table3Row struct {
+	Eps      float64
+	Total    []int64       // inter-peer messages per graph size
+	PerNode  []float64     // messages per document per graph size
+	ExecSlow time.Duration // largest graph at 32 KB/s
+	ExecFast time.Duration // largest graph at 200 KB/s
+}
+
+// Table3Result is the paper's Table 3: variation of update-message
+// traffic with the error threshold, and estimated execution time for
+// the largest graph on 32 KB/s and 200 KB/s networks.
+type Table3Result struct {
+	GraphSizes []int
+	Rows       []Table3Row
+}
+
+// Table3 runs the message-traffic experiment.
+func Table3(sc Scale) (*Table3Result, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	out := &Table3Result{GraphSizes: sc.GraphSizes}
+	graphs := make([]*graph.Graph, len(sc.GraphSizes))
+	for i, n := range sc.GraphSizes {
+		g, err := sc.buildGraph(n)
+		if err != nil {
+			return nil, err
+		}
+		graphs[i] = g
+	}
+	slow := netmodel.Model{Bandwidth: netmodel.RateSlowPeer, ComputePerPass: time.Minute}
+	fast := netmodel.Model{Bandwidth: netmodel.RateFastPeer, ComputePerPass: time.Minute}
+	for _, eps := range EpsSweep {
+		row := Table3Row{Eps: eps}
+		var lastMsgs int64
+		var lastPasses int
+		for _, g := range graphs {
+			res, _, err := sc.runDistributed(g, eps, 1.0)
+			if err != nil {
+				return nil, err
+			}
+			row.Total = append(row.Total, res.Counters.InterPeerMsgs)
+			row.PerNode = append(row.PerNode, res.Counters.PerNode(g.NumNodes()))
+			lastMsgs = res.Counters.InterPeerMsgs
+			lastPasses = res.Passes
+		}
+		var err error
+		if row.ExecSlow, err = slow.EstimateSerial(lastMsgs, lastPasses); err != nil {
+			return nil, err
+		}
+		if row.ExecFast, err = fast.EstimateSerial(lastMsgs, lastPasses); err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Render formats the result in the paper's Table 3 layout: per graph
+// size a Total (millions) and Avg (per node) column pair, then the
+// execution-time columns for the largest graph.
+func (r *Table3Result) Render() *metrics.Table {
+	header := []string{"Threshold"}
+	for _, n := range r.GraphSizes {
+		header = append(header,
+			fmt.Sprintf("Total(M) %s", sizeLabel(n)),
+			fmt.Sprintf("Avg %s", sizeLabel(n)))
+	}
+	header = append(header, "32KB/s (h)", "200KB/s (h)")
+	t := metrics.NewTable("Table 3: update messages vs error threshold", header...)
+	for _, row := range r.Rows {
+		cells := []string{metrics.CellEps(row.Eps)}
+		for i := range row.Total {
+			cells = append(cells,
+				fmt.Sprintf("%.2f", float64(row.Total[i])/1e6),
+				fmt.Sprintf("%.1f", row.PerNode[i]))
+		}
+		cells = append(cells,
+			fmt.Sprintf("%.1f", row.ExecSlow.Hours()),
+			fmt.Sprintf("%.1f", row.ExecFast.Hours()))
+		t.AddRow(cells...)
+	}
+	return t
+}

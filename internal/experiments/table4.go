@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dpr/internal/core"
+	"dpr/internal/graph"
+	"dpr/internal/metrics"
+	"dpr/internal/rng"
+)
+
+// Table4Cell is the averaged insert-propagation measurement for one
+// (threshold, graph size) pair.
+type Table4Cell struct {
+	PathLength float64
+	Coverage   float64
+}
+
+// Table4Result is the paper's Table 4: path length and node coverage
+// of the update wave triggered by a single document insert, averaged
+// over randomly picked nodes, per threshold and graph size.
+type Table4Result struct {
+	GraphSizes []int
+	Eps        []float64
+	Cells      [][]Table4Cell // [eps][graph size]
+	Damping    float64
+	Trials     int
+}
+
+// Table4 runs the insert-propagation experiment: for each graph, pick
+// InsertTrials random documents, set each one's pagerank to the
+// initial value (1.0), and measure how far the increments travel at
+// each threshold (section 4.7).
+func Table4(sc Scale) (*Table4Result, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	out := &Table4Result{
+		GraphSizes: sc.GraphSizes,
+		Eps:        InsertEpsSweep,
+		Damping:    core.DefaultDamping,
+		Trials:     sc.InsertTrials,
+	}
+	graphs := make([]*graph.Graph, len(sc.GraphSizes))
+	starts := make([][]graph.NodeID, len(sc.GraphSizes))
+	r := rng.New(sc.Seed ^ 0x7477)
+	for i, n := range sc.GraphSizes {
+		g, err := sc.buildGraph(n)
+		if err != nil {
+			return nil, err
+		}
+		graphs[i] = g
+		picks := make([]graph.NodeID, sc.InsertTrials)
+		for j := range picks {
+			picks[j] = graph.NodeID(r.Intn(n))
+		}
+		starts[i] = picks
+	}
+	for _, eps := range InsertEpsSweep {
+		row := make([]Table4Cell, len(graphs))
+		for gi, g := range graphs {
+			var path, cov float64
+			for _, s := range starts[gi] {
+				res := core.MeasureInsertPropagation(g, s, core.InitialRank, out.Damping, eps)
+				path += float64(res.PathLength)
+				cov += float64(res.Coverage)
+			}
+			n := float64(len(starts[gi]))
+			row[gi] = Table4Cell{PathLength: path / n, Coverage: cov / n}
+		}
+		out.Cells = append(out.Cells, row)
+	}
+	return out, nil
+}
+
+// Render produces the two stacked sub-tables of the paper's Table 4.
+func (r *Table4Result) Render() []*metrics.Table {
+	header := []string{"Threshold"}
+	for _, n := range r.GraphSizes {
+		header = append(header, sizeLabel(n))
+	}
+	paths := metrics.NewTable("Table 4a: insert propagation path length", header...)
+	covs := metrics.NewTable("Table 4b: insert propagation node coverage", header...)
+	for ei, eps := range r.Eps {
+		pc := []string{metrics.CellEps(eps)}
+		cc := []string{metrics.CellEps(eps)}
+		for gi := range r.GraphSizes {
+			pc = append(pc, fmt.Sprintf("%.1f", r.Cells[ei][gi].PathLength))
+			cc = append(cc, fmt.Sprintf("%.0f", r.Cells[ei][gi].Coverage))
+		}
+		paths.AddRow(pc...)
+		covs.AddRow(cc...)
+	}
+	return []*metrics.Table{paths, covs}
+}

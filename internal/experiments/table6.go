@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+
+	"dpr/internal/core"
+	"dpr/internal/corpus"
+	"dpr/internal/graph"
+	"dpr/internal/metrics"
+	"dpr/internal/p2p"
+	"dpr/internal/rng"
+	"dpr/internal/search"
+)
+
+// Table6Variant aggregates one forwarding policy's results over a
+// query set.
+type Table6Variant struct {
+	AvgReduction float64 // baseline traffic / incremental traffic
+	AvgHits      float64
+}
+
+// Table6Block holds one query length's results.
+type Table6Block struct {
+	Words            int
+	Top10, Top20     Table6Variant
+	BaselineAvgHits  float64
+	BaselineTraffic  float64
+	QueriesEvaluated int
+}
+
+// Table6Result is the paper's Table 6: traffic reduction and hits
+// returned when incremental search forwards the top 10% or 20% of
+// pagerank-sorted hits, for two- and three-word queries.
+type Table6Result struct {
+	TwoTerm, ThreeTerm Table6Block
+}
+
+// Table6 runs the incremental-search experiment end to end: generate
+// the corpus, derive a link graph over its documents, compute
+// pageranks with the distributed scheme on SearchPeers peers, build
+// the distributed index, and evaluate 20 two-word and 20 three-word
+// queries (the paper's counts).
+func Table6(sc Scale) (*Table6Result, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	c, err := corpus.Generate(corpus.Config{NumDocs: sc.CorpusDocs, Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	// Link structure among the corpus documents (the paper computes
+	// real pageranks for its crawled pages; our documents get the
+	// standard power-law linkage).
+	g, err := graph.GeneratePowerLaw(graph.DefaultPowerLawConfig(sc.CorpusDocs, sc.Seed^0xbeef))
+	if err != nil {
+		return nil, err
+	}
+	net := p2p.NewNetwork(sc.SearchPeers)
+	net.AssignRandom(g, rng.New(sc.Seed^0xcafe))
+	engine, err := core.NewPassEngine(g, net, nil, core.Options{Epsilon: 1e-3})
+	if err != nil {
+		return nil, err
+	}
+	res := engine.Run()
+	if !res.Converged {
+		return nil, fmt.Errorf("experiments: search pagerank did not converge")
+	}
+	idx, err := search.Build(c, res.Ranks, sc.SearchPeers)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table6Result{}
+	r := rng.New(sc.Seed ^ 0xd00d)
+	for _, words := range []int{2, 3} {
+		queries, err := c.MakeQueries(r, 20, words, 100)
+		if err != nil {
+			return nil, err
+		}
+		block, err := evaluateQueries(idx, queries)
+		if err != nil {
+			return nil, err
+		}
+		block.Words = words
+		if words == 2 {
+			out.TwoTerm = block
+		} else {
+			out.ThreeTerm = block
+		}
+	}
+	return out, nil
+}
+
+func evaluateQueries(idx *search.Index, queries [][]corpus.TermID) (Table6Block, error) {
+	block := Table6Block{QueriesEvaluated: len(queries)}
+	var baseTraffic, t10Traffic, t20Traffic float64
+	var baseHits, t10Hits, t20Hits float64
+	for _, q := range queries {
+		base, err := search.Baseline(idx, q)
+		if err != nil {
+			return block, err
+		}
+		t10, err := search.Incremental(idx, q, 0.10, search.DefaultForwardFloor)
+		if err != nil {
+			return block, err
+		}
+		t20, err := search.Incremental(idx, q, 0.20, search.DefaultForwardFloor)
+		if err != nil {
+			return block, err
+		}
+		baseTraffic += float64(base.TrafficIDs)
+		t10Traffic += float64(t10.TrafficIDs)
+		t20Traffic += float64(t20.TrafficIDs)
+		baseHits += float64(len(base.Hits))
+		t10Hits += float64(len(t10.Hits))
+		t20Hits += float64(len(t20.Hits))
+	}
+	n := float64(len(queries))
+	block.BaselineTraffic = baseTraffic / n
+	block.BaselineAvgHits = baseHits / n
+	if t10Traffic > 0 {
+		block.Top10 = Table6Variant{AvgReduction: baseTraffic / t10Traffic, AvgHits: t10Hits / n}
+	}
+	if t20Traffic > 0 {
+		block.Top20 = Table6Variant{AvgReduction: baseTraffic / t20Traffic, AvgHits: t20Hits / n}
+	}
+	return block, nil
+}
+
+// Render formats the result in the paper's Table 6 layout.
+func (r *Table6Result) Render() *metrics.Table {
+	t := metrics.NewTable("Table 6: incremental search with pagerank",
+		"", "2 Term queries", "3 Term queries")
+	t.AddRow("Average traffic reduction")
+	t.AddRow("Top 10% forwarded",
+		fmt.Sprintf("%.1f", r.TwoTerm.Top10.AvgReduction),
+		fmt.Sprintf("%.1f", r.ThreeTerm.Top10.AvgReduction))
+	t.AddRow("Top 20% forwarded",
+		fmt.Sprintf("%.1f", r.TwoTerm.Top20.AvgReduction),
+		fmt.Sprintf("%.1f", r.ThreeTerm.Top20.AvgReduction))
+	t.AddRow("Average # hits returned")
+	t.AddRow("Top 10% forwarded",
+		fmt.Sprintf("%.1f", r.TwoTerm.Top10.AvgHits),
+		fmt.Sprintf("%.1f", r.ThreeTerm.Top10.AvgHits))
+	t.AddRow("Top 20% forwarded",
+		fmt.Sprintf("%.1f", r.TwoTerm.Top20.AvgHits),
+		fmt.Sprintf("%.1f", r.ThreeTerm.Top20.AvgHits))
+	t.AddRow("Baseline",
+		fmt.Sprintf("%.1f", r.TwoTerm.BaselineAvgHits),
+		fmt.Sprintf("%.1f", r.ThreeTerm.BaselineAvgHits))
+	return t
+}

@@ -1,0 +1,163 @@
+package graph
+
+import (
+	"fmt"
+
+	"dpr/internal/rng"
+)
+
+// PowerLawConfig parameterizes the synthetic document-link graphs of
+// the paper's section 4.1. Broder et al. measured the web's in-degree
+// exponent as 2.1 and out-degree exponent as 2.4; the paper
+// hypothesizes P2P document stores look the same and synthesizes
+// graphs of 10k, 100k, 500k and 5000k nodes from that model.
+type PowerLawConfig struct {
+	Nodes       int     // number of documents
+	OutExponent float64 // out-degree power-law exponent (paper: 2.4)
+	InExponent  float64 // in-degree power-law exponent (paper: 2.1)
+	MaxDegree   int     // degree support cap; 0 means min(Nodes-1, 1000)
+	Seed        uint64  // generator seed; same seed, same graph
+}
+
+// DefaultPowerLawConfig returns the paper's parameters for n nodes.
+func DefaultPowerLawConfig(n int, seed uint64) PowerLawConfig {
+	return PowerLawConfig{Nodes: n, OutExponent: 2.4, InExponent: 2.1, Seed: seed}
+}
+
+// GeneratePowerLaw synthesizes a directed graph whose out-degrees
+// follow a power law with exponent OutExponent and whose in-degrees
+// follow (in expectation) a power law with exponent InExponent.
+//
+// Method: each node draws an exact out-degree from the out
+// distribution and an in-attractiveness weight from the in
+// distribution; link targets are then sampled proportionally to
+// attractiveness via an alias table. Self-loops and duplicate targets
+// are rejected, so out-degrees are exact up to saturation.
+func GeneratePowerLaw(cfg PowerLawConfig) (*Graph, error) {
+	n := cfg.Nodes
+	if n < 2 {
+		return nil, fmt.Errorf("graph: power-law generator needs >= 2 nodes, got %d", n)
+	}
+	if cfg.OutExponent <= 1 || cfg.InExponent <= 1 {
+		return nil, fmt.Errorf("graph: power-law exponents must exceed 1 (got out=%g in=%g)",
+			cfg.OutExponent, cfg.InExponent)
+	}
+	maxDeg := cfg.MaxDegree
+	if maxDeg == 0 {
+		maxDeg = n - 1
+		if maxDeg > 1000 {
+			maxDeg = 1000
+		}
+	}
+	if maxDeg < 1 || maxDeg >= n {
+		return nil, fmt.Errorf("graph: MaxDegree %d out of range [1,%d)", maxDeg, n)
+	}
+
+	r := rng.New(cfg.Seed)
+	outDist := rng.NewPowerLaw(1, maxDeg, cfg.OutExponent)
+	inDist := rng.NewPowerLaw(1, maxDeg, cfg.InExponent)
+
+	// Draw attractiveness weights, then an alias table for target choice.
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = float64(inDist.Draw(r))
+	}
+	targets := rng.NewAlias(weights)
+
+	outStart := make([]int64, n+1)
+	degs := make([]int, n)
+	var total int64
+	for v := range degs {
+		degs[v] = outDist.Draw(r)
+		total += int64(degs[v])
+	}
+	outAdj := make([]NodeID, 0, total)
+	seen := make(map[NodeID]struct{})
+	for v := 0; v < n; v++ {
+		clear(seen)
+		want := degs[v]
+		// Rejection sampling of distinct non-self targets. With degree
+		// << n collisions are rare; cap attempts to avoid pathological
+		// spins on tiny graphs.
+		attempts := 0
+		for len(seen) < want && attempts < 50*want+100 {
+			attempts++
+			t := NodeID(targets.Draw(r))
+			if int(t) == v {
+				continue
+			}
+			if _, dup := seen[t]; dup {
+				continue
+			}
+			seen[t] = struct{}{}
+			outAdj = append(outAdj, t)
+		}
+		outStart[v+1] = int64(len(outAdj))
+	}
+	return &Graph{n: n, outStart: outStart, outAdj: outAdj}, nil
+}
+
+// MustGeneratePowerLaw is GeneratePowerLaw, panicking on error. For
+// examples and benchmarks with known-good configs.
+func MustGeneratePowerLaw(cfg PowerLawConfig) *Graph {
+	g, err := GeneratePowerLaw(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Cycle returns the directed cycle 0 -> 1 -> ... -> n-1 -> 0. Its
+// pagerank is uniform, which makes it a useful analytic fixture.
+func Cycle(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(NodeID(v), NodeID((v+1)%n))
+	}
+	return b.Build()
+}
+
+// Complete returns the complete directed graph on n nodes (every
+// ordered pair except self-loops). Uniform pagerank by symmetry.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for t := 0; t < n; t++ {
+			if t != v {
+				b.AddEdge(NodeID(v), NodeID(t))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Star returns a graph where nodes 1..n-1 all link to node 0 and node 0
+// links back to all of them. Node 0's rank dominates.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		b.AddEdge(NodeID(v), 0)
+		b.AddEdge(0, NodeID(v))
+	}
+	return b.Build()
+}
+
+// Random returns a uniform random digraph where each node has exactly
+// outDeg distinct out-links.
+func Random(n, outDeg int, seed uint64) *Graph {
+	if outDeg >= n {
+		panic("graph: Random outDeg must be < n")
+	}
+	r := rng.New(seed)
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for _, t := range r.Sample(n-1, outDeg) {
+			// Map [0,n-1) onto [0,n) \ {v}.
+			if NodeID(t) >= NodeID(v) {
+				t++
+			}
+			b.AddEdge(NodeID(v), NodeID(t))
+		}
+	}
+	return b.Build()
+}

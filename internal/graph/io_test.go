@@ -1,0 +1,138 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func graphsEqual(a, b *Graph) bool {
+	if a.NumNodes() != b.NumNodes() || a.NumEdges() != b.NumEdges() {
+		return false
+	}
+	for v := 0; v < a.NumNodes(); v++ {
+		la, lb := a.OutLinks(NodeID(v)), b.OutLinks(NodeID(v))
+		if len(la) != len(lb) {
+			return false
+		}
+		for i := range la {
+			if la[i] != lb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := MustGeneratePowerLaw(DefaultPowerLawConfig(500, 3))
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("binary round trip mismatch")
+	}
+}
+
+func TestBinaryRoundTripEmpty(t *testing.T) {
+	g := NewBuilder(0).Build()
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumNodes() != 0 || got.NumEdges() != 0 {
+		t.Fatal("empty graph round trip mismatch")
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	for _, input := range []string{"", "XXXX", "DPRG", "DPRGgarbage"} {
+		if _, err := ReadBinary(strings.NewReader(input)); err == nil {
+			t.Errorf("ReadBinary accepted %q", input)
+		}
+	}
+}
+
+func TestReadBinaryRejectsTruncated(t *testing.T) {
+	g := Cycle(10)
+	var buf bytes.Buffer
+	if err := g.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{5, 20, len(full) - 3} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("accepted truncation at %d", cut)
+		}
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := MustGeneratePowerLaw(DefaultPowerLawConfig(200, 4))
+	var buf bytes.Buffer
+	if err := g.WriteEdgeList(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("edge list round trip mismatch")
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	cases := []string{
+		"0 1\n",                 // edge before header
+		"# nodes 2\n0\n",        // malformed edge
+		"# nodes 2\nx 1\n",      // bad source
+		"# nodes 2\n0 y\n",      // bad target
+		"",                      // no header
+		"# some comment only\n", // comment but no header
+	}
+	for i, in := range cases {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d: accepted %q", i, in)
+		}
+	}
+}
+
+func TestReadEdgeListSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# nodes 3\n\n# a comment\n0 1\n  \n1 2\n"
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("got %d nodes %d edges", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := MustGeneratePowerLaw(DefaultPowerLawConfig(300, 9))
+	path := filepath.Join(t.TempDir(), "g.dprg")
+	if err := g.SaveBinary(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBinary(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !graphsEqual(g, got) {
+		t.Fatal("file round trip mismatch")
+	}
+	if _, err := LoadBinary(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("loading missing file succeeded")
+	}
+}

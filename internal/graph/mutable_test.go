@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dpr/internal/rng"
+)
+
+func TestNewMutableCopies(t *testing.T) {
+	g := MustGeneratePowerLaw(DefaultPowerLawConfig(300, 141))
+	m := NewMutable(g)
+	if m.NumNodes() != g.NumNodes() {
+		t.Fatalf("nodes: %d vs %d", m.NumNodes(), g.NumNodes())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		a, b := g.OutLinks(NodeID(v)), m.OutLinks(NodeID(v))
+		if len(a) != len(b) {
+			t.Fatalf("node %d degree differs", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("node %d link %d differs", v, i)
+			}
+		}
+	}
+	// Mutating the copy leaves the original untouched.
+	if _, err := m.AddLink(0, NodeID(g.NumNodes()-1)); err != nil {
+		t.Fatal(err)
+	}
+	if NewMutable(nil).NumNodes() != 0 {
+		t.Fatal("nil graph should yield empty mutable")
+	}
+}
+
+func TestMutableAddNode(t *testing.T) {
+	m := NewMutable(Cycle(3))
+	id, err := m.AddNode([]NodeID{0, 2, 0}) // duplicate deduped
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id != 3 || m.NumNodes() != 4 {
+		t.Fatalf("id=%d nodes=%d", id, m.NumNodes())
+	}
+	if m.OutDegree(3) != 2 {
+		t.Fatalf("degree = %d", m.OutDegree(3))
+	}
+	if _, err := m.AddNode([]NodeID{99}); err == nil {
+		t.Fatal("accepted out-of-range link")
+	}
+	if _, err := m.AddNode([]NodeID{4}); err == nil {
+		t.Fatal("accepted self-link (new node's own id)")
+	}
+}
+
+func TestMutableAddRemoveLink(t *testing.T) {
+	m := NewMutable(Cycle(4))
+	added, err := m.AddLink(0, 2)
+	if err != nil || !added {
+		t.Fatalf("AddLink: %v %v", added, err)
+	}
+	if again, _ := m.AddLink(0, 2); again {
+		t.Fatal("duplicate link reported as new")
+	}
+	if m.OutDegree(0) != 2 {
+		t.Fatalf("degree = %d", m.OutDegree(0))
+	}
+	removed, err := m.RemoveLink(0, 2)
+	if err != nil || !removed {
+		t.Fatalf("RemoveLink: %v %v", removed, err)
+	}
+	if again, _ := m.RemoveLink(0, 2); again {
+		t.Fatal("double remove reported as existing")
+	}
+	if _, err := m.AddLink(0, 0); err == nil {
+		t.Fatal("accepted self-link")
+	}
+	if _, err := m.AddLink(99, 0); err == nil {
+		t.Fatal("accepted bad source")
+	}
+	if _, err := m.RemoveLink(99, 0); err == nil {
+		t.Fatal("accepted bad source on remove")
+	}
+}
+
+func TestMutableSnapshot(t *testing.T) {
+	m := NewMutable(Cycle(3))
+	if _, err := m.AddNode([]NodeID{0}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.AddLink(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	snap := m.Snapshot()
+	if snap.NumNodes() != 4 {
+		t.Fatalf("snapshot nodes = %d", snap.NumNodes())
+	}
+	if snap.NumEdges() != 5 {
+		t.Fatalf("snapshot edges = %d", snap.NumEdges())
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a Mutable built by replaying random operations always
+// matches its own Snapshot structurally.
+func TestMutableSnapshotProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		m := NewMutable(Cycle(3))
+		for op := 0; op < 40; op++ {
+			n := m.NumNodes()
+			switch r.Intn(3) {
+			case 0:
+				links := []NodeID{NodeID(r.Intn(n))}
+				if _, err := m.AddNode(links); err != nil {
+					return false
+				}
+			case 1:
+				from, to := NodeID(r.Intn(n)), NodeID(r.Intn(n))
+				if from != to {
+					if _, err := m.AddLink(from, to); err != nil {
+						return false
+					}
+				}
+			case 2:
+				from := NodeID(r.Intn(n))
+				if m.OutDegree(from) > 0 {
+					to := m.OutLinks(from)[r.Intn(m.OutDegree(from))]
+					if _, err := m.RemoveLink(from, to); err != nil {
+						return false
+					}
+				}
+			}
+		}
+		snap := m.Snapshot()
+		if snap.Validate() != nil || snap.NumNodes() != m.NumNodes() {
+			return false
+		}
+		for v := 0; v < m.NumNodes(); v++ {
+			if snap.OutDegree(NodeID(v)) != m.OutDegree(NodeID(v)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

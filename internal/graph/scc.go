@@ -1,0 +1,192 @@
+package graph
+
+// Strongly-connected-component machinery and the Broder et al.
+// "bow-tie" decomposition. The paper adopts Broder's degree
+// measurements for its synthetic graphs; Broder's same crawl
+// established the web's bow-tie macro-structure (a giant core SCC with
+// an IN set flowing into it and an OUT set flowing from it), which is
+// also what makes pagerank mass concentrate: documents in OUT collect
+// mass from the core. These tools let users inspect that structure on
+// generated or loaded graphs.
+
+// SCCResult labels every node with a component id (0..NumComponents-1)
+// in reverse topological order of the condensation (a component's id
+// is smaller than those of components it can reach... specifically,
+// Tarjan emits components in reverse topological order; we preserve
+// that emission order as ids).
+type SCCResult struct {
+	Component     []int32 // node -> component id
+	NumComponents int
+	Sizes         []int32 // component id -> node count
+}
+
+// StronglyConnectedComponents runs an iterative Tarjan over the graph
+// (explicit stack, safe for millions of nodes).
+func StronglyConnectedComponents(g *Graph) *SCCResult {
+	n := g.NumNodes()
+	res := &SCCResult{Component: make([]int32, n)}
+	for i := range res.Component {
+		res.Component[i] = -1
+	}
+	index := make([]int32, n)
+	lowlink := make([]int32, n)
+	onStack := make([]bool, n)
+	for i := range index {
+		index[i] = -1
+	}
+	var stack []NodeID // Tarjan's component stack
+	var nextIndex int32
+
+	// Explicit DFS frames: node + position within its out-links.
+	type frame struct {
+		v   NodeID
+		pos int
+	}
+	var dfs []frame
+
+	for root := 0; root < n; root++ {
+		if index[root] != -1 {
+			continue
+		}
+		dfs = append(dfs[:0], frame{NodeID(root), 0})
+		index[root] = nextIndex
+		lowlink[root] = nextIndex
+		nextIndex++
+		stack = append(stack, NodeID(root))
+		onStack[root] = true
+
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			links := g.OutLinks(f.v)
+			advanced := false
+			for f.pos < len(links) {
+				w := links[f.pos]
+				f.pos++
+				if index[w] == -1 {
+					index[w] = nextIndex
+					lowlink[w] = nextIndex
+					nextIndex++
+					stack = append(stack, w)
+					onStack[w] = true
+					dfs = append(dfs, frame{w, 0})
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < lowlink[f.v] {
+					lowlink[f.v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// f.v is finished.
+			v := f.v
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				parent := dfs[len(dfs)-1].v
+				if lowlink[v] < lowlink[parent] {
+					lowlink[parent] = lowlink[v]
+				}
+			}
+			if lowlink[v] == index[v] {
+				// Pop one component.
+				id := int32(res.NumComponents)
+				size := int32(0)
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					res.Component[w] = id
+					size++
+					if w == v {
+						break
+					}
+				}
+				res.Sizes = append(res.Sizes, size)
+				res.NumComponents++
+			}
+		}
+	}
+	return res
+}
+
+// BowTie is the Broder decomposition relative to the largest SCC.
+type BowTie struct {
+	CoreComponent int32 // id of the largest SCC
+	Core          int   // nodes in the largest SCC
+	In            int   // nodes that reach the core but are outside it
+	Out           int   // nodes reachable from the core, outside it
+	Other         int   // tendrils, tubes and disconnected pieces
+}
+
+// BowTieDecomposition classifies every node against the graph's
+// largest strongly connected component.
+func BowTieDecomposition(g *Graph) BowTie {
+	scc := StronglyConnectedComponents(g)
+	bt := BowTie{}
+	if scc.NumComponents == 0 {
+		return bt
+	}
+	for id, size := range scc.Sizes {
+		if int(size) > bt.Core {
+			bt.Core = int(size)
+			bt.CoreComponent = int32(id)
+		}
+	}
+	n := g.NumNodes()
+	inCore := func(v NodeID) bool { return scc.Component[v] == bt.CoreComponent }
+
+	// OUT: forward BFS from any core node.
+	reachable := make([]bool, n)
+	var queue []NodeID
+	for v := 0; v < n; v++ {
+		if inCore(NodeID(v)) {
+			reachable[v] = true
+			queue = append(queue, NodeID(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, t := range g.OutLinks(v) {
+			if !reachable[t] {
+				reachable[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	// IN: backward BFS from the core over the transpose.
+	g.Transpose()
+	reaching := make([]bool, n)
+	queue = queue[:0]
+	for v := 0; v < n; v++ {
+		if inCore(NodeID(v)) {
+			reaching[v] = true
+			queue = append(queue, NodeID(v))
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, s := range g.InLinks(v) {
+			if !reaching[s] {
+				reaching[s] = true
+				queue = append(queue, s)
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		id := NodeID(v)
+		switch {
+		case inCore(id):
+			// counted in Core
+		case reaching[v]:
+			bt.In++
+		case reachable[v]:
+			bt.Out++
+		default:
+			bt.Other++
+		}
+	}
+	return bt
+}

@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dpr/internal/rng"
+)
+
+func TestSCCCycleIsOneComponent(t *testing.T) {
+	scc := StronglyConnectedComponents(Cycle(10))
+	if scc.NumComponents != 1 {
+		t.Fatalf("cycle has %d components", scc.NumComponents)
+	}
+	if scc.Sizes[0] != 10 {
+		t.Fatalf("component size %d", scc.Sizes[0])
+	}
+}
+
+func TestSCCDagIsAllSingletons(t *testing.T) {
+	// 0 -> 1 -> 2 -> 3 with a skip edge.
+	g := FromAdjacency([][]NodeID{{1, 2}, {2}, {3}, {}})
+	scc := StronglyConnectedComponents(g)
+	if scc.NumComponents != 4 {
+		t.Fatalf("DAG has %d components, want 4", scc.NumComponents)
+	}
+	for id, s := range scc.Sizes {
+		if s != 1 {
+			t.Fatalf("component %d size %d", id, s)
+		}
+	}
+	// Distinct components for all nodes.
+	seen := map[int32]bool{}
+	for _, c := range scc.Component {
+		if seen[c] {
+			t.Fatal("two DAG nodes share a component")
+		}
+		seen[c] = true
+	}
+}
+
+func TestSCCTwoCyclesBridged(t *testing.T) {
+	// Cycle {0,1,2} -> bridge -> cycle {3,4}.
+	g := FromAdjacency([][]NodeID{
+		{1}, {2}, {0, 3}, {4}, {3},
+	})
+	scc := StronglyConnectedComponents(g)
+	if scc.NumComponents != 2 {
+		t.Fatalf("%d components, want 2", scc.NumComponents)
+	}
+	if scc.Component[0] != scc.Component[1] || scc.Component[1] != scc.Component[2] {
+		t.Fatal("first cycle split")
+	}
+	if scc.Component[3] != scc.Component[4] {
+		t.Fatal("second cycle split")
+	}
+	if scc.Component[0] == scc.Component[3] {
+		t.Fatal("cycles merged")
+	}
+}
+
+// Property: component ids partition the nodes, sizes sum to n, and
+// mutually-reachable pairs share a component.
+func TestSCCPartitionProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(60)
+		b := NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(NodeID(r.Intn(n)), NodeID(r.Intn(n)))
+		}
+		g := b.Build()
+		scc := StronglyConnectedComponents(g)
+		total := int32(0)
+		for _, s := range scc.Sizes {
+			total += s
+		}
+		if int(total) != n {
+			return false
+		}
+		for _, c := range scc.Component {
+			if c < 0 || int(c) >= scc.NumComponents {
+				return false
+			}
+		}
+		// Reachability oracle: same component iff mutually reachable.
+		reach := func(from, to NodeID) bool {
+			seen := make([]bool, n)
+			stack := []NodeID{from}
+			seen[from] = true
+			for len(stack) > 0 {
+				v := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if v == to {
+					return true
+				}
+				for _, t2 := range g.OutLinks(v) {
+					if !seen[t2] {
+						seen[t2] = true
+						stack = append(stack, t2)
+					}
+				}
+			}
+			return false
+		}
+		// Spot-check a handful of pairs.
+		for trial := 0; trial < 10; trial++ {
+			a := NodeID(r.Intn(n))
+			bb := NodeID(r.Intn(n))
+			same := scc.Component[a] == scc.Component[bb]
+			mutual := reach(a, bb) && reach(bb, a)
+			if same != mutual {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBowTieHandBuilt(t *testing.T) {
+	// IN = {0}, CORE = {1,2,3}, OUT = {4}, OTHER = {5}.
+	g := FromAdjacency([][]NodeID{
+		{1},    // 0 -> core
+		{2},    // core cycle
+		{3},    //
+		{1, 4}, // core -> out
+		{},     // out
+		{},     // disconnected
+	})
+	bt := BowTieDecomposition(g)
+	if bt.Core != 3 || bt.In != 1 || bt.Out != 1 || bt.Other != 1 {
+		t.Fatalf("bow tie: %+v", bt)
+	}
+}
+
+func TestBowTieCycleAllCore(t *testing.T) {
+	bt := BowTieDecomposition(Cycle(8))
+	if bt.Core != 8 || bt.In != 0 || bt.Out != 0 || bt.Other != 0 {
+		t.Fatalf("cycle bow tie: %+v", bt)
+	}
+}
+
+func TestBowTieEmptyGraph(t *testing.T) {
+	bt := BowTieDecomposition(NewBuilder(0).Build())
+	if bt.Core != 0 {
+		t.Fatalf("empty bow tie: %+v", bt)
+	}
+}
+
+func TestBowTiePartitionsPowerLawGraph(t *testing.T) {
+	g := MustGeneratePowerLaw(DefaultPowerLawConfig(5000, 81))
+	bt := BowTieDecomposition(g)
+	if bt.Core+bt.In+bt.Out+bt.Other != g.NumNodes() {
+		t.Fatalf("bow tie does not partition: %+v", bt)
+	}
+	// Power-law digraphs grow a giant core with nontrivial IN/OUT.
+	if bt.Core < g.NumNodes()/100 {
+		t.Fatalf("no giant core: %+v", bt)
+	}
+}
+
+func BenchmarkSCC10k(b *testing.B) {
+	g := MustGeneratePowerLaw(DefaultPowerLawConfig(10000, 1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		StronglyConnectedComponents(g)
+	}
+}

@@ -1,0 +1,142 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table accumulates rows of cells and renders them with aligned
+// columns, the output format of cmd/dprbench. Cells are strings; use
+// the Cell helpers for consistent numeric formatting.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// AddRow appends a row. Short rows are padded with empty cells; long
+// rows extend the column count.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table with space-aligned columns.
+func (t *Table) String() string {
+	cols := len(t.header)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.header)
+	for _, r := range t.rows {
+		measure(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(r []string) {
+		var line strings.Builder
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				line.WriteString("  ")
+			}
+			fmt.Fprintf(&line, "%-*s", widths[i], cell)
+		}
+		b.WriteString(strings.TrimRight(line.String(), " "))
+		b.WriteByte('\n')
+	}
+	if len(t.header) > 0 {
+		writeRow(t.header)
+		total := 0
+		for _, w := range widths {
+			total += w
+		}
+		b.WriteString(strings.Repeat("-", total+2*(cols-1)))
+		b.WriteByte('\n')
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values (header row first,
+// no title), for plotting pipelines.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	if len(t.header) > 0 {
+		writeCSVRow(t.header)
+	}
+	for _, r := range t.rows {
+		writeCSVRow(r)
+	}
+	return b.String()
+}
+
+// Cell formats a float64 compactly: integers without decimals, small
+// magnitudes in scientific notation, everything else with sensible
+// precision.
+func Cell(v float64) string {
+	switch {
+	case v == 0:
+		return "0"
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v != 0 && (v < 1e-3 && v > -1e-3 || v >= 1e7 || v <= -1e7):
+		return fmt.Sprintf("%.2e", v)
+	case v < 1 && v > -1:
+		return fmt.Sprintf("%.4f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+// CellInt formats an integer cell.
+func CellInt(v int64) string { return fmt.Sprintf("%d", v) }
+
+// CellEps formats an error threshold the way the paper prints them:
+// "0.2" stays decimal, powers of ten render as 1e-k.
+func CellEps(eps float64) string {
+	if eps >= 0.01 {
+		return fmt.Sprintf("%g", eps)
+	}
+	return fmt.Sprintf("%.0e", eps)
+}

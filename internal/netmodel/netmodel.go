@@ -1,0 +1,116 @@
+// Package netmodel implements the paper's analytic execution-time
+// model (section 4.6). The distributed computation's wall-clock time
+// is dominated by network transfer of 24-byte update messages
+// (128-bit GUID + 64-bit rank). Equation 4 gives the per-pass time at
+// peer i as
+//
+//	T_i = A_i + sum_j L_ij * S / B
+//
+// where A_i is the compute time of one pass, L_ij the number of
+// document links from peer i to peer j, S the message size and B the
+// transfer rate, with sends serialized per peer. The paper's Table 3
+// totals additionally serialize all peers (a deliberately conservative
+// upper bound); EstimateSerial reproduces those columns, while
+// EstimatePerPeer evaluates Equation 4 as written.
+package netmodel
+
+import (
+	"fmt"
+	"time"
+)
+
+// Standard rates used in the paper.
+const (
+	MessageBytes         = 24                // 128-bit GUID + 64-bit pagerank
+	RateSlowPeer float64 = 32 * 1024         // 32 KB/s "conservative" peer uplink
+	RateFastPeer float64 = 200 * 1024        // 200 KB/s "aggressive" peer uplink
+	RateT3       float64 = 5.6 * 1000 * 1000 // ~T3 line between web servers (section 4.6.2)
+)
+
+// Model configures the estimator.
+type Model struct {
+	MessageBytes   int64         // 0 means MessageBytes (24)
+	Bandwidth      float64       // bytes/second; required
+	ComputePerPass time.Duration // A_i, per-peer compute time of one pass
+}
+
+func (m Model) withDefaults() (Model, error) {
+	if m.MessageBytes == 0 {
+		m.MessageBytes = MessageBytes
+	}
+	if m.MessageBytes < 1 {
+		return m, fmt.Errorf("netmodel: message size %d < 1", m.MessageBytes)
+	}
+	if m.Bandwidth <= 0 {
+		return m, fmt.Errorf("netmodel: bandwidth %v must be positive", m.Bandwidth)
+	}
+	if m.ComputePerPass < 0 {
+		return m, fmt.Errorf("netmodel: negative compute time")
+	}
+	return m, nil
+}
+
+// EstimateSerial is the paper's Table 3 upper bound: every update
+// message of the whole run transits one serialized link of the given
+// bandwidth, plus compute for each pass.
+func (m Model) EstimateSerial(totalMsgs int64, passes int) (time.Duration, error) {
+	mm, err := m.withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	if totalMsgs < 0 || passes < 0 {
+		return 0, fmt.Errorf("netmodel: negative message count or passes")
+	}
+	transfer := float64(totalMsgs*mm.MessageBytes) / mm.Bandwidth
+	total := time.Duration(transfer*float64(time.Second)) +
+		time.Duration(passes)*mm.ComputePerPass
+	return total, nil
+}
+
+// EstimatePerPeer evaluates Equation 4: each peer serializes its own
+// sends but peers transmit concurrently, so a pass costs the maximum
+// over peers of A + L_i*S/B, and the run costs passes times that.
+// crossLinksPerPeer[i] is sum_j L_ij, the number of out-links from
+// documents on peer i to documents elsewhere.
+func (m Model) EstimatePerPeer(crossLinksPerPeer []int64, passes int) (time.Duration, error) {
+	mm, err := m.withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	if passes < 0 {
+		return 0, fmt.Errorf("netmodel: negative passes")
+	}
+	var worst time.Duration
+	for _, l := range crossLinksPerPeer {
+		if l < 0 {
+			return 0, fmt.Errorf("netmodel: negative link count")
+		}
+		t := mm.ComputePerPass +
+			time.Duration(float64(l*mm.MessageBytes)/mm.Bandwidth*float64(time.Second))
+		if t > worst {
+			worst = t
+		}
+	}
+	return time.Duration(passes) * worst, nil
+}
+
+// WebScale estimates the Internet-deployment scenario of section
+// 4.6.2: web servers exchanging pagerank updates over T3-class links
+// for a corpus of `docs` documents, given the average number of update
+// messages per document measured at the chosen threshold (a graph-size
+// independent quantity per section 4.5).
+func (m Model) WebScale(docs int64, avgMsgsPerDoc float64) (time.Duration, error) {
+	mm, err := m.withDefaults()
+	if err != nil {
+		return 0, err
+	}
+	if docs < 0 || avgMsgsPerDoc < 0 {
+		return 0, fmt.Errorf("netmodel: negative docs or message rate")
+	}
+	totalMsgs := int64(float64(docs) * avgMsgsPerDoc)
+	return mm.EstimateSerial(totalMsgs, 0)
+}
+
+// Days renders a duration in fractional days, the unit of the paper's
+// web-scale discussion.
+func Days(d time.Duration) float64 { return d.Hours() / 24 }

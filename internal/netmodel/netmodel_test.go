@@ -1,0 +1,112 @@
+package netmodel
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestEstimateSerialMatchesPaperTable3(t *testing.T) {
+	// Paper Table 3, threshold 0.2, 5000k graph: 169.1 million
+	// messages; 33.7 hours at 32 KB/s, 5.4 hours at 200 KB/s.
+	m := Model{Bandwidth: RateSlowPeer}
+	d, err := m.EstimateSerial(169_100_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := d.Hours(); math.Abs(h-33.7) > 1.5 {
+		t.Fatalf("32KB/s estimate %.1f hours, paper says 33.7", h)
+	}
+	m.Bandwidth = RateFastPeer
+	d, err = m.EstimateSerial(169_100_000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := d.Hours(); math.Abs(h-5.4) > 0.3 {
+		t.Fatalf("200KB/s estimate %.1f hours, paper says 5.4", h)
+	}
+}
+
+func TestEstimateSerialIncludesCompute(t *testing.T) {
+	m := Model{Bandwidth: RateSlowPeer, ComputePerPass: time.Minute}
+	withCompute, err := m.EstimateSerial(1000, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.ComputePerPass = 0
+	without, err := m.EstimateSerial(1000, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withCompute-without != time.Hour {
+		t.Fatalf("compute contribution = %v, want 1h", withCompute-without)
+	}
+}
+
+func TestEstimatePerPeerUsesWorstPeer(t *testing.T) {
+	m := Model{Bandwidth: 24} // 1 message per second at 24B messages
+	links := []int64{10, 50, 20}
+	d, err := m.EstimatePerPeer(links, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Worst peer: 50 messages = 50s per pass; 3 passes = 150s.
+	if math.Abs(d.Seconds()-150) > 0.1 {
+		t.Fatalf("per-peer estimate %v, want 150s", d)
+	}
+}
+
+func TestEstimatePerPeerEmpty(t *testing.T) {
+	m := Model{Bandwidth: 1000}
+	d, err := m.EstimatePerPeer(nil, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("empty network cost %v", d)
+	}
+}
+
+func TestWebScaleOrderOfMagnitude(t *testing.T) {
+	// Section 4.6.2: ~3 billion documents on T3 links converge in
+	// days-to-weeks, the same order as the centralized crawl cycle.
+	m := Model{Bandwidth: RateT3}
+	d, err := m.WebScale(3_000_000_000, 88) // avg msgs/doc at 1e-3 (Table 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := Days(d)
+	if days < 3 || days > 60 {
+		t.Fatalf("web-scale estimate %.1f days; paper reports tens of days", days)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := (Model{}).EstimateSerial(10, 1); err == nil {
+		t.Error("accepted zero bandwidth")
+	}
+	if _, err := (Model{Bandwidth: 100}).EstimateSerial(-1, 1); err == nil {
+		t.Error("accepted negative messages")
+	}
+	if _, err := (Model{Bandwidth: 100}).EstimateSerial(1, -1); err == nil {
+		t.Error("accepted negative passes")
+	}
+	if _, err := (Model{Bandwidth: 100, MessageBytes: -5}).EstimateSerial(1, 1); err == nil {
+		t.Error("accepted negative message size")
+	}
+	if _, err := (Model{Bandwidth: 100}).EstimatePerPeer([]int64{-1}, 1); err == nil {
+		t.Error("accepted negative link count")
+	}
+	if _, err := (Model{Bandwidth: 100}).WebScale(-1, 10); err == nil {
+		t.Error("accepted negative docs")
+	}
+	if _, err := (Model{Bandwidth: 100, ComputePerPass: -time.Second}).EstimateSerial(1, 1); err == nil {
+		t.Error("accepted negative compute time")
+	}
+}
+
+func TestDays(t *testing.T) {
+	if d := Days(48 * time.Hour); d != 2 {
+		t.Fatalf("Days = %v", d)
+	}
+}

@@ -1,0 +1,81 @@
+package p2p
+
+import "dpr/internal/graph"
+
+// Update is one pagerank-update message: "add Delta to document Doc's
+// incoming rank mass". Document deletes send negative deltas
+// (section 3.1). On the wire a message is a 128-bit GUID plus a 64-bit
+// rank value, 24 bytes (section 4.6.1).
+type Update struct {
+	Doc   graph.NodeID
+	Delta float64
+}
+
+// UpdateWireBytes is the on-the-wire size of one update message.
+const UpdateWireBytes = 24
+
+// RetryQueue implements the paper's store-and-retry protocol: "when a
+// peer is detected as unavailable, update messages are stored at the
+// sender and periodically resent until delivered successfully". The
+// simulation keeps one logical queue per destination peer; state-size
+// accounting (the paper notes worst case scales with the sum of
+// out-links in a peer) is exposed via Len and MaxLen.
+type RetryQueue struct {
+	pending map[PeerID][]Update
+	size    int
+	maxSize int
+}
+
+// NewRetryQueue returns an empty queue.
+func NewRetryQueue() *RetryQueue {
+	return &RetryQueue{pending: make(map[PeerID][]Update)}
+}
+
+// Defer stores an update for an absent peer.
+func (q *RetryQueue) Defer(dest PeerID, u Update) {
+	q.pending[dest] = append(q.pending[dest], u)
+	q.size++
+	if q.size > q.maxSize {
+		q.maxSize = q.size
+	}
+}
+
+// Drain removes and returns all queued updates for dest, typically
+// called when the peer is observed online again. Returns nil when
+// nothing is queued.
+func (q *RetryQueue) Drain(dest PeerID) []Update {
+	us := q.pending[dest]
+	if us == nil {
+		return nil
+	}
+	delete(q.pending, dest)
+	q.size -= len(us)
+	return us
+}
+
+// DrainOnline drains every destination that is currently online in
+// net, invoking deliver for each update in queue order. It returns the
+// number of messages delivered.
+func (q *RetryQueue) DrainOnline(net *Network, deliver func(dest PeerID, u Update)) int {
+	delivered := 0
+	for dest := range q.pending {
+		if !net.Online(dest) {
+			continue
+		}
+		for _, u := range q.Drain(dest) {
+			deliver(dest, u)
+			delivered++
+		}
+	}
+	return delivered
+}
+
+// Len returns the number of updates currently queued.
+func (q *RetryQueue) Len() int { return q.size }
+
+// MaxLen returns the high-water mark of queued updates, the "amount of
+// state saved" the paper bounds by the sum of out-links per peer.
+func (q *RetryQueue) MaxLen() int { return q.maxSize }
+
+// Destinations returns the number of peers with queued updates.
+func (q *RetryQueue) Destinations() int { return len(q.pending) }

@@ -1,0 +1,175 @@
+package search
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dpr/internal/corpus"
+)
+
+// FASD-style search (section 2.4.1): in FASD/Freenet every document
+// carries a metadata key — a term-weight vector — and queries are
+// vectors too; matches are documents "close" to the query vector. The
+// paper's modification forwards results "based on a linear combination
+// of document closeness and pagerank". This file implements that
+// scoring: tf-idf document vectors, cosine closeness, and a combined
+// score alpha*closeness + (1-alpha)*normalizedPagerank.
+
+// Vector is a sparse term-weight vector (a FASD metadata key).
+type Vector map[corpus.TermID]float64
+
+// Norm returns the Euclidean norm.
+func (v Vector) Norm() float64 {
+	s := 0.0
+	for _, w := range v {
+		s += w * w
+	}
+	return math.Sqrt(s)
+}
+
+// Cosine returns the cosine similarity of two vectors (0 when either
+// is empty).
+func Cosine(a, b Vector) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	// Iterate the smaller map.
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	dot := 0.0
+	for t, w := range a {
+		if w2, ok := b[t]; ok {
+			dot += w * w2
+		}
+	}
+	if dot == 0 {
+		return 0
+	}
+	return dot / (a.Norm() * b.Norm())
+}
+
+// Vectorizer derives metadata keys from a corpus using idf weights, so
+// rare terms dominate closeness the way they dominate relevance.
+type Vectorizer struct {
+	c   *corpus.Corpus
+	idf []float64
+}
+
+// NewVectorizer precomputes idf = log(N / df) per term.
+func NewVectorizer(c *corpus.Corpus) *Vectorizer {
+	v := &Vectorizer{c: c, idf: make([]float64, c.NumTerms)}
+	n := float64(len(c.Docs))
+	for t := 0; t < c.NumTerms; t++ {
+		df := float64(c.DocFreq(corpus.TermID(t)))
+		if df > 0 {
+			v.idf[t] = math.Log(n / df)
+		}
+	}
+	return v
+}
+
+// DocVector returns document doc's metadata key.
+func (vz *Vectorizer) DocVector(doc uint32) Vector {
+	if int(doc) >= len(vz.c.Docs) {
+		return nil
+	}
+	out := make(Vector)
+	for _, t := range vz.c.Docs[doc].Terms {
+		out[t] = vz.idf[t]
+	}
+	return out
+}
+
+// QueryVector returns the metadata key of a term query.
+func (vz *Vectorizer) QueryVector(terms []corpus.TermID) Vector {
+	out := make(Vector)
+	for _, t := range terms {
+		if t >= 0 && int(t) < len(vz.idf) {
+			out[t] = vz.idf[t]
+		}
+	}
+	return out
+}
+
+// ScoredHit is a FASD search result.
+type ScoredHit struct {
+	Doc       uint32
+	Score     float64 // alpha*closeness + (1-alpha)*rank/maxRank
+	Closeness float64
+	Rank      float64
+}
+
+// FASDConfig parameterizes the combined scoring.
+type FASDConfig struct {
+	// Alpha weights closeness against pagerank: 1 = pure vector
+	// similarity (original FASD), 0 = pure pagerank.
+	Alpha float64
+	// MaxResults caps the returned list; 0 means 100.
+	MaxResults int
+}
+
+// FASD scores every document matching at least one query term by the
+// linear combination of cosine closeness and normalized pagerank, and
+// returns the best MaxResults, descending. ranks is indexed by
+// document ID.
+func FASD(c *corpus.Corpus, vz *Vectorizer, ranks []float64, query []corpus.TermID, cfg FASDConfig) ([]ScoredHit, error) {
+	if cfg.Alpha < 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("search: FASD alpha %v outside [0,1]", cfg.Alpha)
+	}
+	if len(query) == 0 {
+		return nil, fmt.Errorf("search: empty FASD query")
+	}
+	if len(ranks) < len(c.Docs) {
+		return nil, fmt.Errorf("search: %d ranks for %d documents", len(ranks), len(c.Docs))
+	}
+	max := cfg.MaxResults
+	if max == 0 {
+		max = 100
+	}
+	qv := vz.QueryVector(query)
+
+	// Candidates: union of the query terms' posting lists (the
+	// documents any FASD routing chain could reach).
+	seen := make(map[uint32]struct{})
+	var candidates []uint32
+	for _, t := range query {
+		for _, d := range c.DocsWithTerm(t) {
+			if _, dup := seen[d]; !dup {
+				seen[d] = struct{}{}
+				candidates = append(candidates, d)
+			}
+		}
+	}
+	maxRank := 0.0
+	for _, d := range candidates {
+		if ranks[d] > maxRank {
+			maxRank = ranks[d]
+		}
+	}
+	if maxRank == 0 {
+		maxRank = 1
+	}
+	hits := make([]ScoredHit, 0, len(candidates))
+	for _, d := range candidates {
+		closeness := Cosine(qv, vz.DocVector(d))
+		normRank := ranks[d] / maxRank
+		hits = append(hits, ScoredHit{
+			Doc:       d,
+			Score:     cfg.Alpha*closeness + (1-cfg.Alpha)*normRank,
+			Closeness: closeness,
+			Rank:      ranks[d],
+		})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Score != hits[b].Score {
+			return hits[a].Score > hits[b].Score
+		}
+		return hits[a].Doc < hits[b].Doc
+	})
+	if len(hits) > max {
+		hits = hits[:max]
+	}
+	return hits, nil
+}

@@ -1,0 +1,210 @@
+package search
+
+import (
+	"math"
+	"testing"
+
+	"dpr/internal/corpus"
+)
+
+func fasdFixture(t *testing.T) (*corpus.Corpus, *Vectorizer, []float64) {
+	t.Helper()
+	c, err := corpus.Generate(corpus.Config{
+		NumDocs: 1000, NumTerms: 300, MinDocTerms: 8, MaxDocTerms: 40, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranks := make([]float64, len(c.Docs))
+	for i := range ranks {
+		ranks[i] = 0.15 + float64(i%100)/100 // varied but bounded
+	}
+	return c, NewVectorizer(c), ranks
+}
+
+func TestCosineBasics(t *testing.T) {
+	a := Vector{1: 1, 2: 1}
+	if got := Cosine(a, a); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("self-cosine = %v", got)
+	}
+	b := Vector{3: 1, 4: 1}
+	if got := Cosine(a, b); got != 0 {
+		t.Fatalf("disjoint cosine = %v", got)
+	}
+	if Cosine(a, Vector{}) != 0 || Cosine(nil, a) != 0 {
+		t.Fatal("empty-vector cosine not 0")
+	}
+	half := Vector{1: 1, 3: 1}
+	if got := Cosine(a, half); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("half-overlap cosine = %v", got)
+	}
+}
+
+func TestVectorizerIdf(t *testing.T) {
+	c, vz, _ := fasdFixture(t)
+	// Rarer terms get higher idf.
+	head := c.TopTerms(1)[0]
+	var tail corpus.TermID = -1
+	for term := c.NumTerms - 1; term >= 0; term-- {
+		if c.DocFreq(corpus.TermID(term)) > 0 {
+			tail = corpus.TermID(term)
+			break
+		}
+	}
+	if tail < 0 {
+		t.Skip("no non-empty tail term")
+	}
+	if c.DocFreq(head) <= c.DocFreq(tail) {
+		t.Skip("fixture lacks frequency spread")
+	}
+	if vz.idf[head] >= vz.idf[tail] {
+		t.Fatalf("idf(head)=%v >= idf(tail)=%v", vz.idf[head], vz.idf[tail])
+	}
+	// Document vector covers exactly its terms.
+	dv := vz.DocVector(0)
+	if len(dv) != len(c.Docs[0].Terms) {
+		t.Fatalf("doc vector has %d entries, doc has %d terms", len(dv), len(c.Docs[0].Terms))
+	}
+	if vz.DocVector(99999999) != nil {
+		t.Fatal("out-of-range doc vector not nil")
+	}
+}
+
+func TestFASDAlphaExtremes(t *testing.T) {
+	c, vz, ranks := fasdFixture(t)
+	query := c.TopTerms(2)
+
+	// Alpha 0: pure pagerank order.
+	pureRank, err := FASD(c, vz, ranks, query, FASDConfig{Alpha: 0, MaxResults: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pureRank); i++ {
+		if pureRank[i].Rank > pureRank[i-1].Rank+1e-12 {
+			t.Fatal("alpha=0 results not pagerank-ordered")
+		}
+	}
+
+	// Alpha 1: pure closeness order.
+	pureClose, err := FASD(c, vz, ranks, query, FASDConfig{Alpha: 1, MaxResults: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pureClose); i++ {
+		if pureClose[i].Closeness > pureClose[i-1].Closeness+1e-12 {
+			t.Fatal("alpha=1 results not closeness-ordered")
+		}
+	}
+}
+
+func TestFASDCandidatesMatchQuery(t *testing.T) {
+	c, vz, ranks := fasdFixture(t)
+	query := []corpus.TermID{c.TopTerms(3)[2]}
+	hits, err := FASD(c, vz, ranks, query, FASDConfig{Alpha: 0.5, MaxResults: 100000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := c.DocsWithTerm(query[0])
+	if len(hits) != len(want) {
+		t.Fatalf("%d hits for single-term query, posting list has %d", len(hits), len(want))
+	}
+	inList := map[uint32]bool{}
+	for _, d := range want {
+		inList[d] = true
+	}
+	for _, h := range hits {
+		if !inList[h.Doc] {
+			t.Fatalf("hit %d does not contain the query term", h.Doc)
+		}
+		if h.Score < 0 || h.Score > 1+1e-12 {
+			t.Fatalf("score %v outside [0,1]", h.Score)
+		}
+	}
+}
+
+func TestFASDMaxResults(t *testing.T) {
+	c, vz, ranks := fasdFixture(t)
+	query := c.TopTerms(2)
+	hits, err := FASD(c, vz, ranks, query, FASDConfig{Alpha: 0.5, MaxResults: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) != 7 {
+		t.Fatalf("MaxResults ignored: %d", len(hits))
+	}
+	// Default cap is 100.
+	hits, err = FASD(c, vz, ranks, query, FASDConfig{Alpha: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hits) > 100 {
+		t.Fatalf("default cap exceeded: %d", len(hits))
+	}
+}
+
+func TestFASDValidation(t *testing.T) {
+	c, vz, ranks := fasdFixture(t)
+	if _, err := FASD(c, vz, ranks, nil, FASDConfig{Alpha: 0.5}); err == nil {
+		t.Error("accepted empty query")
+	}
+	if _, err := FASD(c, vz, ranks, c.TopTerms(1), FASDConfig{Alpha: -0.1}); err == nil {
+		t.Error("accepted negative alpha")
+	}
+	if _, err := FASD(c, vz, ranks, c.TopTerms(1), FASDConfig{Alpha: 1.1}); err == nil {
+		t.Error("accepted alpha > 1")
+	}
+	if _, err := FASD(c, vz, ranks[:5], c.TopTerms(1), FASDConfig{Alpha: 0.5}); err == nil {
+		t.Error("accepted short rank vector")
+	}
+}
+
+func TestFASDBlendChangesOrder(t *testing.T) {
+	// With a doc that is very close but low-ranked and one that is far
+	// but high-ranked, alpha decides the winner.
+	c, err := corpus.Generate(corpus.Config{
+		NumDocs: 50, NumTerms: 30, MinDocTerms: 3, MaxDocTerms: 8, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vz := NewVectorizer(c)
+	ranks := make([]float64, len(c.Docs))
+	for i := range ranks {
+		ranks[i] = 0.15
+	}
+	query := c.Docs[0].Terms // exactly doc 0's vector: closeness 1 for doc 0
+	ranks[0] = 0.2           // but doc 0 ranks low
+	// Find another doc sharing at least one term and boost its rank.
+	other := -1
+	for d := 1; d < len(c.Docs); d++ {
+		for _, t2 := range c.Docs[d].Terms {
+			for _, qt := range query {
+				if t2 == qt {
+					other = d
+					break
+				}
+			}
+		}
+		if other > 0 {
+			break
+		}
+	}
+	if other < 0 {
+		t.Skip("no overlapping doc")
+	}
+	ranks[other] = 100
+
+	top := func(alpha float64) uint32 {
+		hits, err := FASD(c, vz, ranks, query, FASDConfig{Alpha: alpha, MaxResults: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hits[0].Doc
+	}
+	if top(1) != 0 {
+		t.Fatalf("alpha=1 top = %d, want the exact-match doc 0", top(1))
+	}
+	if top(0) != uint32(other) {
+		t.Fatalf("alpha=0 top = %d, want the high-rank doc %d", top(0), other)
+	}
+}

@@ -1,0 +1,165 @@
+package search
+
+import (
+	"fmt"
+
+	"dpr/internal/bloom"
+	"dpr/internal/corpus"
+)
+
+// DocIDBytes is the wire size of one document identifier, used when
+// comparing ID-shipping protocols with the Bloom variant.
+const DocIDBytes = 4
+
+// Result reports one executed query.
+type Result struct {
+	Hits []Posting // final result set, sorted by pagerank descending
+
+	// TrafficIDs counts document IDs shipped peer-to-peer plus the
+	// final transfer to the user — the unit of the paper's Table 6.
+	TrafficIDs int64
+
+	// TrafficBytes counts all bytes shipped (IDs plus any Bloom
+	// filters), for cross-protocol comparison.
+	TrafficBytes int64
+
+	PeerHops int // number of peer-to-peer transfers (query words - 1)
+}
+
+// DefaultForwardFloor is the paper's forwarding floor: "when the top
+// x% of the documents falls below a threshold (we used 20), then all
+// the results are forwarded along".
+const DefaultForwardFloor = 20
+
+// Baseline executes a boolean AND query with full posting-list
+// transfer: the first term's peer ships every matching document ID to
+// the second term's peer, and so on; the final set returns to the
+// user. This is the no-pagerank strawman the paper's Table 6 compares
+// against.
+func Baseline(idx *Index, query []corpus.TermID) (Result, error) {
+	if err := checkQuery(idx, query); err != nil {
+		return Result{}, err
+	}
+	current := clonePostings(idx.Postings(query[0]))
+	res := Result{}
+	for _, term := range query[1:] {
+		// Ship the running set to the next term's peer.
+		res.TrafficIDs += int64(len(current))
+		res.PeerHops++
+		current = intersectByDoc(current, idx.Postings(term))
+	}
+	// Final transfer to the querying user.
+	res.TrafficIDs += int64(len(current))
+	res.TrafficBytes = res.TrafficIDs * DocIDBytes
+	byRankDesc(current)
+	res.Hits = current
+	return res, nil
+}
+
+// Incremental executes the paper's section 2.4.3 algorithm: at every
+// peer the running result set is sorted by pagerank and only the top
+// topFrac fraction is forwarded to the next term's peer (all of it
+// when the trimmed set would fall below floor hits). The user receives
+// the final trimmed set, most important documents first.
+func Incremental(idx *Index, query []corpus.TermID, topFrac float64, floor int) (Result, error) {
+	if err := checkQuery(idx, query); err != nil {
+		return Result{}, err
+	}
+	if topFrac <= 0 || topFrac > 1 {
+		return Result{}, fmt.Errorf("search: topFrac %v outside (0,1]", topFrac)
+	}
+	if floor < 0 {
+		return Result{}, fmt.Errorf("search: negative floor %d", floor)
+	}
+	current := clonePostings(idx.Postings(query[0]))
+	res := Result{}
+	for _, term := range query[1:] {
+		byRankDesc(current)
+		current = trimTop(current, topFrac, floor)
+		res.TrafficIDs += int64(len(current))
+		res.PeerHops++
+		current = intersectByDoc(current, idx.Postings(term))
+	}
+	byRankDesc(current)
+	current = trimTop(current, topFrac, floor)
+	res.TrafficIDs += int64(len(current))
+	res.TrafficBytes = res.TrafficIDs * DocIDBytes
+	res.Hits = current
+	return res, nil
+}
+
+// trimTop keeps the top fraction of a rank-sorted set, or everything
+// when the fraction would fall below the forwarding floor.
+func trimTop(ps []Posting, topFrac float64, floor int) []Posting {
+	keep := int(topFrac * float64(len(ps)))
+	if keep < floor {
+		return ps
+	}
+	return ps[:keep]
+}
+
+// Bloom executes the Reynolds-Vahdat style protocol the paper cites as
+// composable with incremental search: the first peer ships a Bloom
+// filter of its posting list instead of the IDs; the next peer
+// intersects locally (accepting the filter's false positives) and
+// ships the candidate IDs back through the chain for verification.
+// Traffic in IDs counts only real ID transfers; TrafficBytes adds the
+// filter bytes.
+func Bloom(idx *Index, query []corpus.TermID, fpRate float64) (Result, error) {
+	if err := checkQuery(idx, query); err != nil {
+		return Result{}, err
+	}
+	current := clonePostings(idx.Postings(query[0]))
+	res := Result{}
+	for _, term := range query[1:] {
+		items := len(current)
+		if items == 0 {
+			items = 1
+		}
+		f, err := bloom.New(items, fpRate)
+		if err != nil {
+			return Result{}, err
+		}
+		for _, p := range current {
+			f.AddUint32(p.Doc)
+		}
+		res.TrafficBytes += f.SizeBytes()
+		res.PeerHops++
+		// The receiving peer keeps its postings that pass the filter
+		// (superset of the true intersection, then verified against
+		// the sender's true set — the verification transfer ships the
+		// candidates back).
+		candidates := make([]Posting, 0)
+		for _, p := range idx.Postings(term) {
+			if f.ContainsUint32(p.Doc) {
+				candidates = append(candidates, p)
+			}
+		}
+		res.TrafficIDs += int64(len(candidates))
+		res.TrafficBytes += int64(len(candidates)) * DocIDBytes
+		current = intersectByDoc(candidates, current)
+	}
+	res.TrafficIDs += int64(len(current))
+	res.TrafficBytes += int64(len(current)) * DocIDBytes
+	byRankDesc(current)
+	res.Hits = current
+	return res, nil
+}
+
+func checkQuery(idx *Index, query []corpus.TermID) error {
+	if len(query) == 0 {
+		return fmt.Errorf("search: empty query")
+	}
+	for _, t := range query {
+		if t < 0 || int(t) >= len(idx.postings) {
+			return fmt.Errorf("search: term %d outside vocabulary", t)
+		}
+	}
+	return nil
+}
+
+func clonePostings(ps []Posting) []Posting {
+	out := make([]Posting, len(ps))
+	copy(out, ps)
+	return out
+}

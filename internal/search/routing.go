@@ -1,0 +1,78 @@
+package search
+
+import (
+	"fmt"
+
+	"dpr/internal/corpus"
+	"dpr/internal/dht"
+)
+
+// Query routing (section 2.4.2): "the first term in the query is
+// examined and is routed to the peer which owns the part of the index
+// that contains this term". Each subsequent term's partial result set
+// is forwarded from the previous term's owner to the next term's
+// owner. This file prices those routing legs on a real Chord ring, so
+// a query's full network cost is (routing hops) + (document IDs
+// shipped, measured by Baseline/Incremental/Bloom).
+
+// termKey maps a term to its DHT key.
+func termKey(t corpus.TermID) dht.ID {
+	return dht.GUIDFromUint64(uint64(t)).ID()
+}
+
+// RouteQuery walks a query's routing chain on the ring: from the
+// querying node to the first term's owner, then owner to owner for
+// each later term. It returns the total lookup hops and the owners
+// visited, in order.
+func RouteQuery(ring *dht.Ring, from *dht.Node, query []corpus.TermID) (hops int, owners []*dht.Node, err error) {
+	if len(query) == 0 {
+		return 0, nil, fmt.Errorf("search: empty query")
+	}
+	cur := from
+	for _, t := range query {
+		owner, h, err := ring.Lookup(termKey(t), cur)
+		if err != nil {
+			return hops, owners, err
+		}
+		hops += h
+		owners = append(owners, owner)
+		cur = owner
+	}
+	return hops, owners, nil
+}
+
+// RoutedCost is a query's complete network cost breakdown.
+type RoutedCost struct {
+	RoutingHops int   // DHT lookup hops along the term chain
+	TrafficIDs  int64 // document IDs shipped (from the search result)
+	// TotalUnits is a single comparable cost: each shipped ID counts 1
+	// and each routing hop counts HopCostIDs.
+	TotalUnits int64
+}
+
+// HopCostIDs weights one routing hop against one shipped document ID.
+// A lookup message is comparable in size to a couple of IDs.
+const HopCostIDs = 2
+
+// CostQuery executes the query with the given strategy ("baseline" or
+// "incremental") and prices routing plus transfer.
+func CostQuery(idx *Index, ring *dht.Ring, from *dht.Node, query []corpus.TermID, topFrac float64) (RoutedCost, error) {
+	hops, _, err := RouteQuery(ring, from, query)
+	if err != nil {
+		return RoutedCost{}, err
+	}
+	var res Result
+	if topFrac >= 1 {
+		res, err = Baseline(idx, query)
+	} else {
+		res, err = Incremental(idx, query, topFrac, DefaultForwardFloor)
+	}
+	if err != nil {
+		return RoutedCost{}, err
+	}
+	return RoutedCost{
+		RoutingHops: hops,
+		TrafficIDs:  res.TrafficIDs,
+		TotalUnits:  res.TrafficIDs + int64(hops)*HopCostIDs,
+	}, nil
+}

@@ -1,0 +1,89 @@
+package search
+
+import (
+	"fmt"
+	"testing"
+
+	"dpr/internal/corpus"
+	"dpr/internal/dht"
+)
+
+func buildRingForSearch(t testing.TB, peers int) *dht.Ring {
+	t.Helper()
+	ring := dht.NewRing()
+	for i := 0; i < peers; i++ {
+		if _, err := ring.AddPeer(fmt.Sprintf("search-peer-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return ring
+}
+
+func TestRouteQueryChain(t *testing.T) {
+	ring := buildRingForSearch(t, 50)
+	from := ring.Nodes()[0]
+	query := []corpus.TermID{3, 99, 512}
+	hops, owners, err := RouteQuery(ring, from, query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(owners) != 3 {
+		t.Fatalf("%d owners", len(owners))
+	}
+	// Each owner must be the oracle owner of its term key.
+	for i, term := range query {
+		if want := ring.Owner(termKey(term)); owners[i] != want {
+			t.Fatalf("term %d routed to %v, oracle %v", term, owners[i], want)
+		}
+	}
+	if hops < 0 {
+		t.Fatalf("hops = %d", hops)
+	}
+	// Re-routing the same query from its own first owner skips the
+	// first leg's cost.
+	hops2, _, err := RouteQuery(ring, owners[0], query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hops2 > hops {
+		t.Fatalf("starting at the first owner cost more: %d vs %d", hops2, hops)
+	}
+}
+
+func TestRouteQueryValidation(t *testing.T) {
+	ring := buildRingForSearch(t, 5)
+	if _, _, err := RouteQuery(ring, ring.Nodes()[0], nil); err == nil {
+		t.Fatal("accepted empty query")
+	}
+	if _, _, err := RouteQuery(ring, nil, []corpus.TermID{1}); err == nil {
+		t.Fatal("accepted nil start node")
+	}
+}
+
+func TestCostQueryIncrementalBeatsBaseline(t *testing.T) {
+	c, idx := buildFixture(t, 31)
+	ring := buildRingForSearch(t, idx.NumPeers())
+	from := ring.Nodes()[0]
+	query := []corpus.TermID{c.TopTerms(2)[0], c.TopTerms(2)[1]}
+
+	base, err := CostQuery(idx, ring, from, query, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := CostQuery(idx, ring, from, query, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Routing hops identical (same chain), transfer much smaller.
+	if inc.RoutingHops != base.RoutingHops {
+		t.Fatalf("routing differs: %d vs %d", inc.RoutingHops, base.RoutingHops)
+	}
+	if inc.TotalUnits >= base.TotalUnits {
+		t.Fatalf("incremental total %d not below baseline %d", inc.TotalUnits, base.TotalUnits)
+	}
+	// The routing share is tiny next to a head-term posting transfer.
+	if int64(base.RoutingHops)*HopCostIDs > base.TrafficIDs/10 {
+		t.Fatalf("routing (%d hops) dominates transfer (%d IDs)?",
+			base.RoutingHops, base.TrafficIDs)
+	}
+}

@@ -1,0 +1,140 @@
+// Package simnet is a discrete-event network simulator. The paper's
+// evaluation deliberately omits network effects ("network latency
+// effects, message routing, and other system overheads are not
+// modeled in the simulation") and instead estimates execution time
+// analytically (Equation 4). This package supplies what is missing: a
+// simulated clock, scheduled events, and per-peer uplinks with
+// latency, bandwidth and serialized transmission — so the distributed
+// pagerank computation can be replayed against a network model and the
+// analytic estimate validated against "measured" simulated time.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Sim is a discrete-event simulator. The zero value is ready to use.
+type Sim struct {
+	now    time.Duration
+	pq     eventHeap
+	seq    uint64 // tie-breaker for deterministic ordering
+	fired  int64
+	halted bool
+}
+
+type event struct {
+	at  time.Duration
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current simulated time.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// Events returns how many events have fired.
+func (s *Sim) Events() int64 { return s.fired }
+
+// At schedules fn at an absolute simulated time, which must not be in
+// the past.
+func (s *Sim) At(t time.Duration, fn func()) {
+	if t < s.now {
+		panic(fmt.Sprintf("simnet: scheduling at %v before now %v", t, s.now))
+	}
+	s.seq++
+	heap.Push(&s.pq, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn delay after the current time.
+func (s *Sim) After(delay time.Duration, fn func()) {
+	if delay < 0 {
+		panic("simnet: negative delay")
+	}
+	s.At(s.now+delay, fn)
+}
+
+// Halt stops the run loop after the current event returns.
+func (s *Sim) Halt() { s.halted = true }
+
+// Run fires events in timestamp order until the queue empties (the
+// natural quiescence of a message-driven computation), Halt is called,
+// or maxEvents fire (0 = unlimited). It returns the final simulated
+// time.
+func (s *Sim) Run(maxEvents int64) (time.Duration, error) {
+	s.halted = false
+	for s.pq.Len() > 0 && !s.halted {
+		e := heap.Pop(&s.pq).(event)
+		s.now = e.at
+		s.fired++
+		e.fn()
+		if maxEvents > 0 && s.fired >= maxEvents {
+			return s.now, fmt.Errorf("simnet: exceeded %d events", maxEvents)
+		}
+	}
+	return s.now, nil
+}
+
+// Uplink models one peer's outgoing network interface: transmissions
+// are serialized (a new send starts only after the previous finishes
+// — the paper's "each peer serializes sending of these messages"
+// assumption), take size/bandwidth to put on the wire, and arrive
+// after an additional propagation latency.
+type Uplink struct {
+	Bandwidth float64       // bytes per second; must be positive
+	Latency   time.Duration // propagation delay added after transmission
+
+	busyUntil time.Duration
+	sentBytes int64
+	sends     int64
+	busyTime  time.Duration
+}
+
+// Send schedules deliver on s after the message has been fully
+// transmitted and propagated. It returns the delivery time.
+func (u *Uplink) Send(s *Sim, size int64, deliver func()) time.Duration {
+	if u.Bandwidth <= 0 || math.IsNaN(u.Bandwidth) {
+		panic("simnet: uplink bandwidth must be positive")
+	}
+	if size < 0 {
+		panic("simnet: negative message size")
+	}
+	start := s.Now()
+	if u.busyUntil > start {
+		start = u.busyUntil
+	}
+	tx := time.Duration(float64(size) / u.Bandwidth * float64(time.Second))
+	done := start + tx
+	u.busyUntil = done
+	u.sentBytes += size
+	u.sends++
+	u.busyTime += tx
+	arrival := done + u.Latency
+	s.At(arrival, deliver)
+	return arrival
+}
+
+// Stats reports (total bytes, transmissions, cumulative busy time).
+func (u *Uplink) Stats() (bytes int64, sends int64, busy time.Duration) {
+	return u.sentBytes, u.sends, u.busyTime
+}

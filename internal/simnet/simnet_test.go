@@ -1,0 +1,187 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventsFireInOrder(t *testing.T) {
+	var s Sim
+	var order []int
+	s.After(30*time.Millisecond, func() { order = append(order, 3) })
+	s.After(10*time.Millisecond, func() { order = append(order, 1) })
+	s.After(20*time.Millisecond, func() { order = append(order, 2) })
+	end, err := s.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 30*time.Millisecond {
+		t.Fatalf("end time %v", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order: %v", order)
+	}
+	if s.Events() != 3 {
+		t.Fatalf("events: %d", s.Events())
+	}
+}
+
+func TestSimultaneousEventsFIFO(t *testing.T) {
+	var s Sim
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", order)
+		}
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	var s Sim
+	hits := 0
+	var chain func()
+	chain = func() {
+		hits++
+		if hits < 10 {
+			s.After(time.Millisecond, chain)
+		}
+	}
+	s.After(0, chain)
+	end, err := s.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits != 10 {
+		t.Fatalf("hits = %d", hits)
+	}
+	if end != 9*time.Millisecond {
+		t.Fatalf("end = %v", end)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var s Sim
+	s.After(time.Second, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("past scheduling did not panic")
+			}
+		}()
+		s.At(0, func() {})
+	})
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHaltStopsRun(t *testing.T) {
+	var s Sim
+	fired := 0
+	s.After(time.Millisecond, func() { fired++; s.Halt() })
+	s.After(2*time.Millisecond, func() { fired++ })
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("fired %d events after halt", fired)
+	}
+	// Resuming runs the rest.
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Fatalf("resume fired %d", fired)
+	}
+}
+
+func TestMaxEventsGuard(t *testing.T) {
+	var s Sim
+	var loop func()
+	loop = func() { s.After(time.Nanosecond, loop) }
+	s.After(0, loop)
+	if _, err := s.Run(100); err == nil {
+		t.Fatal("runaway loop not caught")
+	}
+}
+
+func TestUplinkSerializesTransmissions(t *testing.T) {
+	var s Sim
+	u := &Uplink{Bandwidth: 1000, Latency: 5 * time.Millisecond} // 1000 B/s
+	var arrivals []time.Duration
+	// Two 100-byte messages sent back to back at t=0:
+	// first transmits 0..100ms, arrives 105ms;
+	// second transmits 100..200ms, arrives 205ms.
+	s.After(0, func() {
+		u.Send(&s, 100, func() { arrivals = append(arrivals, s.Now()) })
+		u.Send(&s, 100, func() { arrivals = append(arrivals, s.Now()) })
+	})
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals: %v", arrivals)
+	}
+	if arrivals[0] != 105*time.Millisecond {
+		t.Fatalf("first arrival %v, want 105ms", arrivals[0])
+	}
+	if arrivals[1] != 205*time.Millisecond {
+		t.Fatalf("second arrival %v, want 205ms (serialized)", arrivals[1])
+	}
+	bytes, sends, busy := u.Stats()
+	if bytes != 200 || sends != 2 || busy != 200*time.Millisecond {
+		t.Fatalf("stats: %d %d %v", bytes, sends, busy)
+	}
+}
+
+func TestUplinkIdleGapResetsStart(t *testing.T) {
+	var s Sim
+	u := &Uplink{Bandwidth: 1000}
+	var second time.Duration
+	s.After(0, func() {
+		u.Send(&s, 100, func() {}) // busy until 100ms
+	})
+	s.After(500*time.Millisecond, func() {
+		u.Send(&s, 100, func() { second = s.Now() })
+	})
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if second != 600*time.Millisecond {
+		t.Fatalf("idle-gap send arrived at %v, want 600ms", second)
+	}
+}
+
+func TestUplinkValidation(t *testing.T) {
+	var s Sim
+	u := &Uplink{Bandwidth: 0}
+	s.After(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("zero bandwidth did not panic")
+			}
+		}()
+		u.Send(&s, 10, func() {})
+	})
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	u2 := &Uplink{Bandwidth: 100}
+	s.After(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("negative size did not panic")
+			}
+		}()
+		u2.Send(&s, -1, func() {})
+	})
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,126 @@
+package solver
+
+import (
+	"math"
+
+	"dpr/internal/graph"
+)
+
+// ExtrapolationConfig extends Config with the acceleration cadence.
+// Every Every-th iteration the solver applies component-wise Aitken
+// delta-squared extrapolation using the last three iterates, the
+// simplest member of the family of acceleration methods (Kamvar et
+// al., WWW 2003) that the paper's related-work section compares the
+// chaotic iteration against.
+type ExtrapolationConfig struct {
+	Config
+	Every int // apply extrapolation every Every iterations; 0 means 10
+}
+
+// PowerAitken runs power iteration with periodic Aitken delta-squared
+// extrapolation. The extrapolated vector is only accepted when it is
+// finite and non-negative component-wise; otherwise the plain iterate
+// is kept (standard safeguard).
+func PowerAitken(g *graph.Graph, cfg ExtrapolationConfig) (Result, error) {
+	c := cfg.Config.withDefaults()
+	if err := c.validate(); err != nil {
+		return Result{}, err
+	}
+	every := cfg.Every
+	if every == 0 {
+		every = 10
+	}
+	if every < 3 {
+		every = 3
+	}
+	n := g.NumNodes()
+	base, err := c.baseVector(n)
+	if err != nil {
+		return Result{}, err
+	}
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	prev1 := make([]float64, n) // x_{k-1}
+	prev2 := make([]float64, n) // x_{k-2}
+	for i := range cur {
+		cur[i] = 1
+	}
+	res := Result{}
+	for iter := 1; iter <= c.MaxIters; iter++ {
+		copy(prev2, prev1)
+		copy(prev1, cur)
+		pushPass(g, c.Damping, base, cur, next)
+		res.Residual = maxRelChange(cur, next)
+		cur, next = next, cur
+		res.Iterations = iter
+		if c.TrackHistory {
+			res.History = append(res.History, res.Residual)
+		}
+		if res.Residual < c.Tol {
+			res.Converged = true
+			break
+		}
+		if iter >= 3 && iter%every == 0 {
+			aitken(cur, prev1, prev2)
+		}
+	}
+	res.Ranks = cur
+	return res, nil
+}
+
+// aitken applies x' = x_k - (x_k - x_{k-1})^2 / (x_k - 2 x_{k-1} + x_{k-2})
+// component-wise, in place on xk, with safeguards against tiny
+// denominators and non-physical (negative/non-finite) results.
+func aitken(xk, xk1, xk2 []float64) {
+	for i := range xk {
+		num := xk[i] - xk1[i]
+		den := xk[i] - 2*xk1[i] + xk2[i]
+		if math.Abs(den) < 1e-30 {
+			continue
+		}
+		v := xk[i] - num*num/den
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			continue
+		}
+		xk[i] = v
+	}
+}
+
+// IterationsToReach runs power iteration and returns how many passes
+// are needed before every component is within relTol of the reference
+// vector ref. Used by the quality-vs-pass experiment ("99% of the
+// nodes converged to within 1% of R_c in less than 10 passes").
+// fraction selects how much of the node population must be within
+// relTol (1.0 = all). Returns MaxIters+1 if never reached.
+func IterationsToReach(g *graph.Graph, cfg Config, ref []float64, relTol, fraction float64) int {
+	c := cfg.withDefaults()
+	n := g.NumNodes()
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	for i := range cur {
+		cur[i] = 1
+	}
+	base, err := c.baseVector(n)
+	if err != nil {
+		return c.MaxIters + 1
+	}
+	need := int(math.Ceil(fraction * float64(n)))
+	for iter := 1; iter <= c.MaxIters; iter++ {
+		pushPass(g, c.Damping, base, cur, next)
+		cur, next = next, cur
+		within := 0
+		for i := range cur {
+			denom := math.Abs(ref[i])
+			if denom == 0 {
+				denom = 1
+			}
+			if math.Abs(cur[i]-ref[i])/denom <= relTol {
+				within++
+			}
+		}
+		if within >= need {
+			return iter
+		}
+	}
+	return c.MaxIters + 1
+}

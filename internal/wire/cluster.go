@@ -1,0 +1,189 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+	"dpr/internal/rng"
+)
+
+// Cluster runs a whole computation over real TCP sockets on localhost:
+// N peers, random document placement, termination detection and rank
+// collection. It is the in-process stand-in for the paper's vision of
+// web servers cooperating across the Internet.
+type Cluster struct {
+	peers []*Peer
+	g     *graph.Graph
+}
+
+// ClusterConfig parameterizes NewCluster.
+type ClusterConfig struct {
+	Peers   int
+	Damping float64 // 0 means 0.85
+	Epsilon float64 // 0 means 1e-3
+	Seed    uint64
+}
+
+// NewCluster starts cfg.Peers TCP peers and distributes g's documents
+// among them uniformly at random.
+func NewCluster(g *graph.Graph, cfg ClusterConfig) (*Cluster, error) {
+	if cfg.Peers < 1 {
+		return nil, fmt.Errorf("wire: need at least one peer")
+	}
+	r := rng.New(cfg.Seed)
+	docPeer := make([]p2p.PeerID, g.NumNodes())
+	docs := make([][]graph.NodeID, cfg.Peers)
+	for d := 0; d < g.NumNodes(); d++ {
+		pid := p2p.PeerID(r.Intn(cfg.Peers))
+		docPeer[d] = pid
+		docs[pid] = append(docs[pid], graph.NodeID(d))
+	}
+	c := &Cluster{g: g}
+	addrs := make([]string, cfg.Peers)
+	for i := 0; i < cfg.Peers; i++ {
+		peer, err := NewPeer(PeerConfig{
+			ID:      p2p.PeerID(i),
+			Graph:   g,
+			DocPeer: docPeer,
+			Docs:    docs[i],
+			Damping: cfg.Damping,
+			Epsilon: cfg.Epsilon,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.peers = append(c.peers, peer)
+		addrs[i] = peer.Addr()
+	}
+	for _, p := range c.peers {
+		p.SetPeers(addrs)
+	}
+	return c, nil
+}
+
+// ClusterResult reports a finished TCP computation.
+type ClusterResult struct {
+	Ranks    []float64
+	Messages uint64 // updates shipped between peers (and self-loops)
+	Probes   int    // termination-detector rounds
+	Elapsed  time.Duration
+}
+
+// Run starts every peer, waits for global quiescence (two consecutive
+// probes with equal and unchanged sent/processed totals), collects the
+// ranks, and shuts the cluster down.
+func (c *Cluster) Run(timeout time.Duration) (ClusterResult, error) {
+	start := time.Now()
+	for _, p := range c.peers {
+		p.Start()
+	}
+	res := ClusterResult{}
+	var prevSent, prevProcessed uint64 = ^uint64(0), ^uint64(0)
+	deadline := time.Now().Add(timeout)
+	for {
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("wire: no quiescence within %v", timeout)
+		}
+		sent, processed, err := c.probe()
+		if err != nil {
+			return res, err
+		}
+		res.Probes++
+		if sent == processed && sent == prevSent && processed == prevProcessed {
+			res.Messages = sent
+			break
+		}
+		prevSent, prevProcessed = sent, processed
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	ranks := make([]float64, c.g.NumNodes())
+	for _, p := range c.peers {
+		if err := collectRanks(p.Addr(), ranks); err != nil {
+			return res, err
+		}
+	}
+	res.Ranks = ranks
+	res.Elapsed = time.Since(start)
+	c.Close()
+	return res, nil
+}
+
+// probe sums every peer's (sent, processed) counters over fresh
+// connections.
+func (c *Cluster) probe() (sent, processed uint64, err error) {
+	for _, p := range c.peers {
+		s, pr, err := probePeer(p.Addr())
+		if err != nil {
+			return 0, 0, err
+		}
+		sent += s
+		processed += pr
+	}
+	return sent, processed, nil
+}
+
+func probePeer(addr string) (sent, processed uint64, err error) {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, frameSnapReq, nil); err != nil {
+		return 0, 0, err
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return 0, 0, err
+	}
+	if typ != frameSnapResp {
+		return 0, 0, fmt.Errorf("wire: unexpected frame %c to probe", typ)
+	}
+	return decodeSnapshot(payload)
+}
+
+func collectRanks(addr string, out []float64) error {
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, frameRanksReq, nil); err != nil {
+		return err
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if typ != frameRanks {
+		return fmt.Errorf("wire: unexpected frame %c to rank request", typ)
+	}
+	_, err = decodeRanks(payload, out)
+	return err
+}
+
+// Close stops every peer.
+func (c *Cluster) Close() {
+	for _, p := range c.peers {
+		if p != nil {
+			p.Close()
+		}
+	}
+}
+
+// NumPeers returns the cluster size.
+func (c *Cluster) NumPeers() int { return len(c.peers) }
+
+// DebugCounters sums the live counters without probing over TCP.
+func (c *Cluster) DebugCounters() (sent, processed uint64) {
+	for _, p := range c.peers {
+		s, pr := p.Counters()
+		sent += s
+		processed += pr
+	}
+	return
+}

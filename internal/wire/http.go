@@ -1,0 +1,256 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpr/internal/p2p"
+)
+
+// HTTPPeer is the paper's section 8 scenario taken literally: a web
+// server whose HTTP interface is augmented with pagerank endpoints.
+//
+//	POST /pagerank/updates   binary update batch (same codec as TCP)
+//	GET  /pagerank/counters  16-byte sent/processed snapshot
+//	GET  /pagerank/ranks     binary (doc, rank) pairs
+//
+// Web servers exchange update batches with plain POSTs; no P2P overlay
+// software is required, which is exactly the paper's argument for an
+// Internet-scale deployment.
+type HTTPPeer struct {
+	cfg PeerConfig
+	rk  *ranker
+
+	srv    *http.Server
+	ln     net.Listener
+	client *http.Client
+	peers  []string // peer id -> base URL
+
+	senders map[p2p.PeerID]*postQueue
+	sendMu  sync.Mutex
+
+	inbox chan []p2p.Update
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	sent      atomic.Uint64
+	processed atomic.Uint64
+}
+
+// postQueue serializes POSTs to one destination through an unbounded
+// queue so the processing loop never blocks on a slow server. Queued
+// updates are merged into one request per drain, amortizing HTTP
+// round-trip overhead the way the paper's per-pass batching does.
+type postQueue struct {
+	mu    sync.Mutex
+	queue []p2p.Update
+	wake  chan struct{}
+}
+
+// NewHTTPPeer starts an HTTP server on 127.0.0.1 (ephemeral port).
+func NewHTTPPeer(cfg PeerConfig) (*HTTPPeer, error) {
+	if cfg.Damping == 0 {
+		cfg.Damping = 0.85
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 1e-3
+	}
+	if cfg.Graph == nil || cfg.DocPeer == nil {
+		return nil, fmt.Errorf("wire: nil graph or placement")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &HTTPPeer{
+		cfg:     cfg,
+		rk:      newRanker(cfg),
+		ln:      ln,
+		client:  &http.Client{Timeout: 30 * time.Second},
+		senders: make(map[p2p.PeerID]*postQueue),
+		inbox:   make(chan []p2p.Update, 1024),
+		quit:    make(chan struct{}),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/pagerank/updates", p.handleUpdates)
+	mux.HandleFunc("/pagerank/counters", p.handleCounters)
+	mux.HandleFunc("/pagerank/ranks", p.handleRanks)
+	p.srv = &http.Server{Handler: mux}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		p.srv.Serve(ln) // returns on Close
+	}()
+	return p, nil
+}
+
+// URL returns the peer's base URL.
+func (p *HTTPPeer) URL() string { return "http://" + p.ln.Addr().String() }
+
+// SetPeers installs the peer URL table (indexed by PeerID).
+func (p *HTTPPeer) SetPeers(urls []string) { p.peers = urls }
+
+// Counters reports (sent, processed).
+func (p *HTTPPeer) Counters() (uint64, uint64) {
+	return p.sent.Load(), p.processed.Load()
+}
+
+// Start launches processing and performs the initial push.
+func (p *HTTPPeer) Start() {
+	p.wg.Add(1)
+	go p.processLoop()
+	if self := p.ship(p.rk.initialOut()); len(self) > 0 {
+		select {
+		case p.inbox <- self:
+		case <-p.quit:
+		}
+	}
+}
+
+// Close shuts the server and workers down.
+func (p *HTTPPeer) Close() {
+	select {
+	case <-p.quit:
+	default:
+		close(p.quit)
+	}
+	p.srv.Close()
+	p.wg.Wait()
+}
+
+func (p *HTTPPeer) handleUpdates(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxFrameBytes))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	us, err := decodeBatch(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	select {
+	case p.inbox <- us:
+		w.WriteHeader(http.StatusAccepted)
+	case <-p.quit:
+		http.Error(w, "shutting down", http.StatusServiceUnavailable)
+	}
+}
+
+func (p *HTTPPeer) handleCounters(w http.ResponseWriter, r *http.Request) {
+	sent, processed := p.Counters()
+	w.Write(encodeSnapshot(sent, processed))
+}
+
+func (p *HTTPPeer) handleRanks(w http.ResponseWriter, r *http.Request) {
+	docs, ranks := p.rk.snapshotRanks()
+	w.Write(encodeRanks(docs, ranks))
+}
+
+func (p *HTTPPeer) processLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case us := <-p.inbox:
+			batch := us
+			for drained := false; !drained; {
+				select {
+				case more := <-p.inbox:
+					batch = append(batch, more...)
+				default:
+					drained = true
+				}
+			}
+			for len(batch) > 0 {
+				self := p.ship(p.rk.fold(batch))
+				p.processed.Add(uint64(len(batch)))
+				batch = self
+			}
+		}
+	}
+}
+
+// ship transmits batches, returning the self-directed ones.
+func (p *HTTPPeer) ship(out map[p2p.PeerID][]p2p.Update) []p2p.Update {
+	var self []p2p.Update
+	for dest, us := range out {
+		p.sent.Add(uint64(len(us)))
+		if dest == p.cfg.ID {
+			self = append(self, us...)
+			continue
+		}
+		p.post(dest, us)
+	}
+	return self
+}
+
+// post enqueues one batch for asynchronous POSTing.
+func (p *HTTPPeer) post(dest p2p.PeerID, us []p2p.Update) {
+	p.sendMu.Lock()
+	q, ok := p.senders[dest]
+	if !ok {
+		q = &postQueue{wake: make(chan struct{}, 1)}
+		p.senders[dest] = q
+		p.wg.Add(1)
+		go p.postLoop(dest, q)
+	}
+	p.sendMu.Unlock()
+	q.mu.Lock()
+	q.queue = append(q.queue, us...)
+	q.mu.Unlock()
+	select {
+	case q.wake <- struct{}{}:
+	default:
+	}
+}
+
+// postLoop drains one destination's queue.
+func (p *HTTPPeer) postLoop(dest p2p.PeerID, q *postQueue) {
+	defer p.wg.Done()
+	url := ""
+	if int(dest) < len(p.peers) {
+		url = p.peers[dest] + "/pagerank/updates"
+	}
+	for {
+		select {
+		case <-p.quit:
+			return
+		case <-q.wake:
+			for {
+				q.mu.Lock()
+				us := q.queue
+				q.queue = nil
+				q.mu.Unlock()
+				if len(us) == 0 {
+					break
+				}
+				if url == "" {
+					// Unknown destination: balance counters so the
+					// termination probe still fires.
+					p.processed.Add(uint64(len(us)))
+					continue
+				}
+				body := encodeBatch(us)
+				resp, err := p.client.Post(url, "application/octet-stream", bytes.NewReader(body))
+				if err != nil {
+					p.processed.Add(uint64(len(us)))
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}
+	}
+}

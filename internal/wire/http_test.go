@@ -1,0 +1,117 @@
+package wire
+
+import (
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+	"dpr/internal/solver"
+)
+
+func TestHTTPClusterComputesPagerank(t *testing.T) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(600, 131))
+	c, err := NewHTTPCluster(g, ClusterConfig{Peers: 4, Epsilon: 1e-6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages == 0 {
+		t.Fatal("no messages")
+	}
+	ref, err := solver.Power(g, solver.Config{Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Ranks {
+		if math.Abs(res.Ranks[i]-ref.Ranks[i])/ref.Ranks[i] > 1e-3 {
+			t.Fatalf("rank[%d]: http %v vs solver %v", i, res.Ranks[i], ref.Ranks[i])
+		}
+	}
+}
+
+func TestHTTPClusterMatchesTCPCluster(t *testing.T) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(400, 132))
+	hc, err := NewHTTPCluster(g, ClusterConfig{Peers: 3, Epsilon: 1e-7, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres, err := hc.Run(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := NewCluster(g, ClusterConfig{Peers: 3, Epsilon: 1e-7, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tres, err := tc.Run(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range hres.Ranks {
+		denom := math.Max(1, math.Abs(tres.Ranks[i]))
+		if math.Abs(hres.Ranks[i]-tres.Ranks[i])/denom > 1e-5 {
+			t.Fatalf("rank[%d]: http %v vs tcp %v", i, hres.Ranks[i], tres.Ranks[i])
+		}
+	}
+}
+
+func TestHTTPEndpointsValidation(t *testing.T) {
+	g := graph.Cycle(4)
+	p, err := NewHTTPPeer(PeerConfig{
+		Graph:   g,
+		DocPeer: make([]p2p.PeerID, 4),
+		Docs:    []graph.NodeID{0, 1, 2, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// GET on the updates endpoint is rejected.
+	resp, err := http.Get(p.URL() + "/pagerank/updates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET updates: %d", resp.StatusCode)
+	}
+	// Garbage body is rejected.
+	resp, err = http.Post(p.URL()+"/pagerank/updates", "application/octet-stream",
+		strings.NewReader("garbage"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage POST: %d", resp.StatusCode)
+	}
+	// Counters endpoint answers.
+	resp, err = http.Get(p.URL() + "/pagerank/counters")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if _, _, err := decodeSnapshot(body); err != nil {
+		t.Fatalf("counters payload: %v", err)
+	}
+}
+
+func TestHTTPClusterValidation(t *testing.T) {
+	g := graph.Cycle(3)
+	if _, err := NewHTTPCluster(g, ClusterConfig{Peers: 0}); err == nil {
+		t.Fatal("accepted zero peers")
+	}
+	if _, err := NewHTTPPeer(PeerConfig{}); err == nil {
+		t.Fatal("accepted nil graph")
+	}
+}

@@ -1,0 +1,143 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+	"dpr/internal/rng"
+)
+
+// HTTPCluster orchestrates a full computation over HTTP peers, the
+// web-server deployment of the paper's section 8.
+type HTTPCluster struct {
+	peers  []*HTTPPeer
+	g      *graph.Graph
+	client *http.Client
+}
+
+// NewHTTPCluster starts cfg.Peers HTTP servers on localhost and
+// distributes g's documents among them.
+func NewHTTPCluster(g *graph.Graph, cfg ClusterConfig) (*HTTPCluster, error) {
+	if cfg.Peers < 1 {
+		return nil, fmt.Errorf("wire: need at least one peer")
+	}
+	r := rng.New(cfg.Seed)
+	docPeer := make([]p2p.PeerID, g.NumNodes())
+	docs := make([][]graph.NodeID, cfg.Peers)
+	for d := 0; d < g.NumNodes(); d++ {
+		pid := p2p.PeerID(r.Intn(cfg.Peers))
+		docPeer[d] = pid
+		docs[pid] = append(docs[pid], graph.NodeID(d))
+	}
+	c := &HTTPCluster{g: g, client: &http.Client{Timeout: 10 * time.Second}}
+	urls := make([]string, cfg.Peers)
+	for i := 0; i < cfg.Peers; i++ {
+		peer, err := NewHTTPPeer(PeerConfig{
+			ID:      p2p.PeerID(i),
+			Graph:   g,
+			DocPeer: docPeer,
+			Docs:    docs[i],
+			Damping: cfg.Damping,
+			Epsilon: cfg.Epsilon,
+		})
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.peers = append(c.peers, peer)
+		urls[i] = peer.URL()
+	}
+	for _, p := range c.peers {
+		p.SetPeers(urls)
+	}
+	return c, nil
+}
+
+// Run starts the peers, waits for quiescence (two stable equal
+// probes), collects the ranks over HTTP and shuts down.
+func (c *HTTPCluster) Run(timeout time.Duration) (ClusterResult, error) {
+	start := time.Now()
+	for _, p := range c.peers {
+		p.Start()
+	}
+	res := ClusterResult{}
+	var prevSent, prevProcessed uint64 = ^uint64(0), ^uint64(0)
+	deadline := time.Now().Add(timeout)
+	for {
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("wire: no quiescence within %v", timeout)
+		}
+		sent, processed, err := c.probe()
+		if err != nil {
+			return res, err
+		}
+		res.Probes++
+		if sent == processed && sent == prevSent && processed == prevProcessed {
+			res.Messages = sent
+			break
+		}
+		prevSent, prevProcessed = sent, processed
+		time.Sleep(5 * time.Millisecond)
+	}
+	ranks := make([]float64, c.g.NumNodes())
+	for _, p := range c.peers {
+		if err := c.collect(p.URL(), ranks); err != nil {
+			return res, err
+		}
+	}
+	res.Ranks = ranks
+	res.Elapsed = time.Since(start)
+	c.Close()
+	return res, nil
+}
+
+func (c *HTTPCluster) probe() (sent, processed uint64, err error) {
+	for _, p := range c.peers {
+		resp, err := c.client.Get(p.URL() + "/pagerank/counters")
+		if err != nil {
+			return 0, 0, err
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, 64))
+		resp.Body.Close()
+		if err != nil {
+			return 0, 0, err
+		}
+		s, pr, err := decodeSnapshot(body)
+		if err != nil {
+			return 0, 0, err
+		}
+		sent += s
+		processed += pr
+	}
+	return sent, processed, nil
+}
+
+func (c *HTTPCluster) collect(url string, out []float64) error {
+	resp, err := c.client.Get(url + "/pagerank/ranks")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxFrameBytes))
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	_, err = decodeRanks(body, out)
+	return err
+}
+
+// Close stops every peer.
+func (c *HTTPCluster) Close() {
+	for _, p := range c.peers {
+		if p != nil {
+			p.Close()
+		}
+	}
+}
+
+// NumPeers returns the cluster size.
+func (c *HTTPCluster) NumPeers() int { return len(c.peers) }

@@ -1,0 +1,335 @@
+package wire
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+)
+
+// PeerConfig configures one TCP peer.
+type PeerConfig struct {
+	ID      p2p.PeerID
+	Graph   *graph.Graph // shared, read-only
+	DocPeer []p2p.PeerID // doc -> owning peer (shared, read-only)
+	Docs    []graph.NodeID
+	Damping float64 // 0 means 0.85
+	Epsilon float64 // 0 means 1e-3
+}
+
+// Peer is one network node of the computation: a TCP listener, one
+// persistent outbound connection per destination peer, and the chaotic
+// iteration state for the documents it owns.
+type Peer struct {
+	cfg  PeerConfig
+	rk   *ranker
+	ln   net.Listener
+	addr string
+
+	// Outbound connections, created lazily.
+	outMu sync.Mutex
+	outs  map[p2p.PeerID]*outConn
+	peers []string // peer id -> address
+
+	// Inbound connections, tracked so Close can unblock their readers.
+	inMu sync.Mutex
+	ins  map[net.Conn]struct{}
+
+	inbox chan []p2p.Update
+	quit  chan struct{}
+	wg    sync.WaitGroup
+
+	sent      atomic.Uint64 // update messages shipped to other peers
+	processed atomic.Uint64 // update messages consumed
+}
+
+// outConn owns one outbound connection. Writes go through an
+// unbounded queue drained by a dedicated goroutine, so a peer never
+// blocks on a slow or jammed destination (synchronous writes around a
+// cycle of peers with full TCP buffers would deadlock the ring).
+type outConn struct {
+	mu     sync.Mutex
+	queue  [][]byte
+	wake   chan struct{}
+	conn   net.Conn
+	closed bool
+}
+
+func newOutConn(conn net.Conn) *outConn {
+	return &outConn{conn: conn, wake: make(chan struct{}, 1)}
+}
+
+// enqueue schedules one frame for transmission.
+func (oc *outConn) enqueue(frame []byte) {
+	oc.mu.Lock()
+	oc.queue = append(oc.queue, frame)
+	oc.mu.Unlock()
+	select {
+	case oc.wake <- struct{}{}:
+	default:
+	}
+}
+
+// writeLoop drains the queue until the connection closes.
+func (oc *outConn) writeLoop(quit <-chan struct{}) {
+	for {
+		select {
+		case <-quit:
+			return
+		case <-oc.wake:
+			for {
+				oc.mu.Lock()
+				if len(oc.queue) == 0 {
+					oc.mu.Unlock()
+					break
+				}
+				frame := oc.queue[0]
+				oc.queue = oc.queue[1:]
+				oc.mu.Unlock()
+				if _, err := oc.conn.Write(frame); err != nil {
+					return // connection lost; remaining frames dropped
+				}
+			}
+		}
+	}
+}
+
+// NewPeer starts listening on 127.0.0.1 (ephemeral port). Call
+// Start after SetPeers to begin computing.
+func NewPeer(cfg PeerConfig) (*Peer, error) {
+	if cfg.Damping == 0 {
+		cfg.Damping = 0.85
+	}
+	if cfg.Epsilon == 0 {
+		cfg.Epsilon = 1e-3
+	}
+	if cfg.Graph == nil || cfg.DocPeer == nil {
+		return nil, fmt.Errorf("wire: nil graph or placement")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	p := &Peer{
+		cfg:   cfg,
+		rk:    newRanker(cfg),
+		ln:    ln,
+		addr:  ln.Addr().String(),
+		outs:  make(map[p2p.PeerID]*outConn),
+		ins:   make(map[net.Conn]struct{}),
+		inbox: make(chan []p2p.Update, 1024),
+		quit:  make(chan struct{}),
+	}
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return p, nil
+}
+
+// Addr returns the peer's listen address.
+func (p *Peer) Addr() string { return p.addr }
+
+// SetPeers installs the full peer address table (indexed by PeerID).
+func (p *Peer) SetPeers(addrs []string) { p.peers = addrs }
+
+// Start launches the processing loop and performs the initial push.
+func (p *Peer) Start() {
+	p.wg.Add(1)
+	go p.processLoop()
+	// Initial push of every owned document's starting rank. Self-
+	// directed updates enter through the inbox channel; the processing
+	// loop is already running, so the buffered channel drains.
+	if self := p.ship(p.rk.initialOut()); len(self) > 0 {
+		select {
+		case p.inbox <- self:
+		case <-p.quit:
+		}
+	}
+}
+
+// Close stops the peer and waits for its goroutines.
+func (p *Peer) Close() {
+	select {
+	case <-p.quit:
+	default:
+		close(p.quit)
+	}
+	p.ln.Close()
+	p.outMu.Lock()
+	for _, oc := range p.outs {
+		oc.conn.Close()
+	}
+	p.outMu.Unlock()
+	p.inMu.Lock()
+	for conn := range p.ins {
+		conn.Close()
+	}
+	p.inMu.Unlock()
+	p.wg.Wait()
+}
+
+// Counters reports (sent, processed) for termination probing.
+func (p *Peer) Counters() (uint64, uint64) {
+	return p.sent.Load(), p.processed.Load()
+}
+
+// acceptLoop serves inbound connections.
+func (p *Peer) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.wg.Add(1)
+		go p.serveConn(conn)
+	}
+}
+
+// serveConn handles one inbound connection's frames.
+func (p *Peer) serveConn(conn net.Conn) {
+	defer p.wg.Done()
+	p.inMu.Lock()
+	p.ins[conn] = struct{}{}
+	p.inMu.Unlock()
+	defer func() {
+		conn.Close()
+		p.inMu.Lock()
+		delete(p.ins, conn)
+		p.inMu.Unlock()
+	}()
+	for {
+		typ, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		switch typ {
+		case frameBatch:
+			us, err := decodeBatch(payload)
+			if err != nil {
+				return
+			}
+			select {
+			case p.inbox <- us:
+			case <-p.quit:
+				return
+			}
+		case frameSnapReq:
+			sent, processed := p.Counters()
+			if err := writeFrame(conn, frameSnapResp, encodeSnapshot(sent, processed)); err != nil {
+				return
+			}
+		case frameRanksReq:
+			docs, ranks := p.rk.snapshotRanks()
+			if err := writeFrame(conn, frameRanks, encodeRanks(docs, ranks)); err != nil {
+				return
+			}
+		case frameStop:
+			select {
+			case <-p.quit:
+			default:
+				close(p.quit)
+			}
+			return
+		default:
+			return // protocol violation: drop the connection
+		}
+	}
+}
+
+// processLoop consumes delivered batches, coalescing whatever is
+// already queued before recomputing. Self-directed consequences are
+// folded in the same loop rather than re-queued through the inbox
+// channel, which would self-deadlock when the channel is full.
+func (p *Peer) processLoop() {
+	defer p.wg.Done()
+	for {
+		select {
+		case <-p.quit:
+			return
+		case us := <-p.inbox:
+			// Coalesce everything already queued.
+			batch := us
+			for drained := false; !drained; {
+				select {
+				case more := <-p.inbox:
+					batch = append(batch, more...)
+				default:
+					drained = true
+				}
+			}
+			for len(batch) > 0 {
+				batch = p.handle(batch)
+			}
+		}
+	}
+}
+
+// handle folds a batch, ships remote consequences and returns the
+// self-directed ones for the caller to fold next.
+func (p *Peer) handle(batch []p2p.Update) []p2p.Update {
+	self := p.ship(p.rk.fold(batch))
+	p.processed.Add(uint64(len(batch)))
+	return self
+}
+
+// ship transmits batches and returns the self-directed updates for
+// in-loop processing. The sent counter is incremented before the bytes
+// leave so the termination probe can never observe processed > sent.
+func (p *Peer) ship(out map[p2p.PeerID][]p2p.Update) []p2p.Update {
+	var self []p2p.Update
+	for dest, us := range out {
+		p.sent.Add(uint64(len(us)))
+		if dest == p.cfg.ID {
+			self = append(self, us...)
+			continue
+		}
+		if err := p.send(dest, us); err != nil {
+			// Connection loss: in this demo protocol the messages are
+			// dropped; balance the counters so termination still fires.
+			p.processed.Add(uint64(len(us)))
+		}
+	}
+	return self
+}
+
+// send enqueues one batch frame on the destination's writer, dialing
+// on first use.
+func (p *Peer) send(dest p2p.PeerID, us []p2p.Update) error {
+	oc, err := p.conn(dest)
+	if err != nil {
+		return err
+	}
+	var frame bytes.Buffer
+	if err := writeFrame(&frame, frameBatch, encodeBatch(us)); err != nil {
+		return err
+	}
+	oc.enqueue(frame.Bytes())
+	return nil
+}
+
+func (p *Peer) conn(dest p2p.PeerID) (*outConn, error) {
+	p.outMu.Lock()
+	defer p.outMu.Unlock()
+	if oc, ok := p.outs[dest]; ok {
+		return oc, nil
+	}
+	if int(dest) >= len(p.peers) {
+		return nil, fmt.Errorf("wire: unknown peer %d", dest)
+	}
+	c, err := net.Dial("tcp", p.peers[dest])
+	if err != nil {
+		return nil, err
+	}
+	oc := newOutConn(c)
+	p.outs[dest] = oc
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		oc.writeLoop(p.quit)
+	}()
+	return oc, nil
+}

@@ -1,0 +1,154 @@
+// Package wire runs the distributed pagerank computation over real TCP
+// connections — the paper's closing proposal ("by augmenting web
+// servers and the HTTP protocol to exchange messages, web servers can
+// be collectively responsible for computing the pageranks for
+// documents they host"). Each peer is a TCP server owning a share of
+// the documents; pagerank update batches travel as length-prefixed
+// binary frames; global quiescence is detected with a two-probe
+// counter protocol in the style of Mattern's termination detection.
+//
+// The package is used by the Cluster helper (all peers in one process,
+// separate sockets on localhost) for tests and demos, but Peer speaks
+// plain TCP and carries no process-local assumptions beyond the shared
+// read-only graph.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+)
+
+// Frame types.
+const (
+	frameBatch    = 'B' // updates: u32 n, then n x (u32 doc, f64 delta)
+	frameSnapReq  = 'Q' // termination probe request
+	frameSnapResp = 'S' // u64 sent, u64 processed
+	frameRanksReq = 'R' // rank collection request
+	frameRanks    = 'K' // u32 n, then n x (u32 doc, f64 rank)
+	frameStop     = 'X' // shut down
+)
+
+// maxFrameBytes bounds a frame to keep a corrupted length prefix from
+// allocating unbounded memory.
+const maxFrameBytes = 64 << 20
+
+// writeFrame emits one frame: u32 payload length, u8 type, payload.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = typ
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := w.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readFrame reads one frame.
+func readFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n > maxFrameBytes {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload = make([]byte, n)
+	if _, err = io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[4], payload, nil
+}
+
+// encodeBatch serializes updates.
+func encodeBatch(us []p2p.Update) []byte {
+	buf := make([]byte, 4+12*len(us))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(us)))
+	off := 4
+	for _, u := range us {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(u.Doc))
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(u.Delta))
+		off += 12
+	}
+	return buf
+}
+
+// decodeBatch parses a batch payload.
+func decodeBatch(b []byte) ([]p2p.Update, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("wire: batch too short")
+	}
+	n := binary.LittleEndian.Uint32(b[:4])
+	if uint32(len(b)-4) != 12*n {
+		return nil, fmt.Errorf("wire: batch length mismatch: %d entries, %d bytes", n, len(b)-4)
+	}
+	us := make([]p2p.Update, n)
+	off := 4
+	for i := range us {
+		us[i].Doc = graph.NodeID(binary.LittleEndian.Uint32(b[off:]))
+		us[i].Delta = math.Float64frombits(binary.LittleEndian.Uint64(b[off+4:]))
+		off += 12
+	}
+	return us, nil
+}
+
+// encodeSnapshot serializes a termination-probe response.
+func encodeSnapshot(sent, processed uint64) []byte {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf[:8], sent)
+	binary.LittleEndian.PutUint64(buf[8:], processed)
+	return buf
+}
+
+// decodeSnapshot parses a probe response.
+func decodeSnapshot(b []byte) (sent, processed uint64, err error) {
+	if len(b) != 16 {
+		return 0, 0, fmt.Errorf("wire: snapshot payload %d bytes", len(b))
+	}
+	return binary.LittleEndian.Uint64(b[:8]), binary.LittleEndian.Uint64(b[8:]), nil
+}
+
+// encodeRanks serializes (doc, rank) pairs.
+func encodeRanks(docs []graph.NodeID, ranks []float64) []byte {
+	buf := make([]byte, 4+12*len(docs))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(docs)))
+	off := 4
+	for i, d := range docs {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(d))
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(ranks[i]))
+		off += 12
+	}
+	return buf
+}
+
+// decodeRanks parses a rank payload into the dense output slice.
+func decodeRanks(b []byte, out []float64) (int, error) {
+	if len(b) < 4 {
+		return 0, fmt.Errorf("wire: ranks too short")
+	}
+	n := binary.LittleEndian.Uint32(b[:4])
+	if uint32(len(b)-4) != 12*n {
+		return 0, fmt.Errorf("wire: ranks length mismatch")
+	}
+	off := 4
+	for i := uint32(0); i < n; i++ {
+		doc := binary.LittleEndian.Uint32(b[off:])
+		rank := math.Float64frombits(binary.LittleEndian.Uint64(b[off+4:]))
+		if int(doc) >= len(out) {
+			return 0, fmt.Errorf("wire: rank for unknown document %d", doc)
+		}
+		out[doc] = rank
+		off += 12
+	}
+	return int(n), nil
+}

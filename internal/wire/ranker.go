@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"sync"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+)
+
+// ranker is the transport-independent per-peer computation: the
+// chaotic-iteration state for the documents one peer owns, shared by
+// the TCP and HTTP peers. All methods are safe for concurrent use.
+type ranker struct {
+	id      p2p.PeerID
+	g       *graph.Graph
+	docPeer []p2p.PeerID
+	damping float64
+	epsilon float64
+
+	mu    sync.Mutex
+	docs  []graph.NodeID
+	index map[graph.NodeID]int32
+	rank  []float64
+	acc   []float64
+	last  []float64
+}
+
+func newRanker(cfg PeerConfig) *ranker {
+	r := &ranker{
+		id:      cfg.ID,
+		g:       cfg.Graph,
+		docPeer: cfg.DocPeer,
+		damping: cfg.Damping,
+		epsilon: cfg.Epsilon,
+		docs:    cfg.Docs,
+		index:   make(map[graph.NodeID]int32, len(cfg.Docs)),
+		rank:    make([]float64, len(cfg.Docs)),
+		acc:     make([]float64, len(cfg.Docs)),
+		last:    make([]float64, len(cfg.Docs)),
+	}
+	for i, d := range cfg.Docs {
+		r.index[d] = int32(i)
+		r.rank[i] = 1 - cfg.Damping
+	}
+	return r
+}
+
+// initialOut builds the initial-push batches, keyed by destination.
+func (r *ranker) initialOut() map[p2p.PeerID][]p2p.Update {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[p2p.PeerID][]p2p.Update)
+	for i := range r.docs {
+		r.collectLocked(int32(i), r.docs[i], out)
+	}
+	return out
+}
+
+// fold applies a batch of updates and returns the consequent batches.
+func (r *ranker) fold(batch []p2p.Update) map[p2p.PeerID][]p2p.Update {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	touched := make(map[int32]graph.NodeID)
+	for _, u := range batch {
+		i, mine := r.index[u.Doc]
+		if !mine {
+			continue // misrouted; drop
+		}
+		r.acc[i] += u.Delta
+		touched[i] = u.Doc
+	}
+	out := make(map[p2p.PeerID][]p2p.Update)
+	for i, d := range touched {
+		old := r.rank[i]
+		fresh := (1 - r.damping) + r.acc[i]
+		r.rank[i] = fresh
+		denom := fresh
+		if denom < 0 {
+			denom = -denom
+		}
+		if denom == 0 {
+			denom = 1
+		}
+		diff := fresh - old
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff/denom > r.epsilon {
+			r.collectLocked(i, d, out)
+		}
+	}
+	return out
+}
+
+// collectLocked batches document d's pending delta per destination.
+// Caller holds mu.
+func (r *ranker) collectLocked(i int32, d graph.NodeID, out map[p2p.PeerID][]p2p.Update) {
+	links := r.g.OutLinks(d)
+	if len(links) == 0 {
+		r.last[i] = r.rank[i]
+		return
+	}
+	share := r.damping * (r.rank[i] - r.last[i]) / float64(len(links))
+	if share == 0 {
+		r.last[i] = r.rank[i]
+		return
+	}
+	for _, t := range links {
+		dest := r.docPeer[t]
+		out[dest] = append(out[dest], p2p.Update{Doc: t, Delta: share})
+	}
+	r.last[i] = r.rank[i]
+}
+
+// snapshotRanks returns (docs, ranks) for collection.
+func (r *ranker) snapshotRanks() ([]graph.NodeID, []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ranks := make([]float64, len(r.rank))
+	copy(ranks, r.rank)
+	return r.docs, ranks
+}

@@ -1,0 +1,201 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+	"dpr/internal/solver"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frameBatch, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := readFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != frameBatch || string(payload) != "hello" {
+		t.Fatalf("round trip: %c %q", typ, payload)
+	}
+	// Empty payload.
+	if err := writeFrame(&buf, frameStop, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err = readFrame(&buf)
+	if err != nil || typ != frameStop || len(payload) != 0 {
+		t.Fatalf("empty frame: %c %v %v", typ, payload, err)
+	}
+}
+
+func TestFrameRejectsHugeLength(t *testing.T) {
+	raw := []byte{0xff, 0xff, 0xff, 0xff, 'B'}
+	if _, _, err := readFrame(bytes.NewReader(raw)); err == nil {
+		t.Fatal("accepted 4GB frame header")
+	}
+}
+
+func TestBatchCodec(t *testing.T) {
+	in := []p2p.Update{{Doc: 7, Delta: 0.125}, {Doc: 1 << 20, Delta: -3.5}}
+	out, err := decodeBatch(encodeBatch(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0] != in[0] || out[1] != in[1] {
+		t.Fatalf("batch round trip: %v", out)
+	}
+	if _, err := decodeBatch([]byte{1, 2}); err == nil {
+		t.Fatal("accepted short batch")
+	}
+	if _, err := decodeBatch(append(encodeBatch(in), 0)); err == nil {
+		t.Fatal("accepted trailing bytes")
+	}
+}
+
+func TestSnapshotCodec(t *testing.T) {
+	s, p, err := decodeSnapshot(encodeSnapshot(42, 41))
+	if err != nil || s != 42 || p != 41 {
+		t.Fatalf("snapshot: %d %d %v", s, p, err)
+	}
+	if _, _, err := decodeSnapshot([]byte{1}); err == nil {
+		t.Fatal("accepted short snapshot")
+	}
+}
+
+func TestRanksCodec(t *testing.T) {
+	docs := []graph.NodeID{0, 3}
+	ranks := []float64{1.5, 2.5}
+	out := make([]float64, 4)
+	n, err := decodeRanks(encodeRanks(docs, ranks), out)
+	if err != nil || n != 2 {
+		t.Fatal(err)
+	}
+	if out[0] != 1.5 || out[3] != 2.5 {
+		t.Fatalf("ranks: %v", out)
+	}
+	// Out-of-range doc rejected.
+	if _, err := decodeRanks(encodeRanks([]graph.NodeID{99}, []float64{1}), out); err == nil {
+		t.Fatal("accepted unknown doc")
+	}
+}
+
+func TestClusterComputesPagerankOverTCP(t *testing.T) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(800, 121))
+	c, err := NewCluster(g, ClusterConfig{Peers: 6, Epsilon: 1e-6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages == 0 || res.Probes == 0 {
+		t.Fatalf("missing stats: %+v", res)
+	}
+	ref, err := solver.Power(g, solver.Config{Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst := 0.0
+	for i := range ref.Ranks {
+		rel := math.Abs(res.Ranks[i]-ref.Ranks[i]) / ref.Ranks[i]
+		if rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 1e-3 {
+		t.Fatalf("TCP cluster max relative error %v", worst)
+	}
+}
+
+func TestClusterTightThresholdSmallGraph(t *testing.T) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(150, 122))
+	c, err := NewCluster(g, ClusterConfig{Peers: 3, Epsilon: 1e-7, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(60 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := solver.Power(g, solver.Config{Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Ranks {
+		if math.Abs(res.Ranks[i]-ref.Ranks[i])/ref.Ranks[i] > 1e-4 {
+			t.Fatalf("rank[%d]: %v vs %v", i, res.Ranks[i], ref.Ranks[i])
+		}
+	}
+}
+
+func TestClusterSinglePeer(t *testing.T) {
+	g := graph.Cycle(20)
+	c, err := NewCluster(g, ClusterConfig{Peers: 1, Epsilon: 1e-8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(30 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Ranks {
+		if math.Abs(r-1) > 1e-5 {
+			t.Fatalf("rank[%d] = %v", i, r)
+		}
+	}
+}
+
+func TestClusterEdgelessGraphTerminates(t *testing.T) {
+	g := graph.NewBuilder(10).Build()
+	c, err := NewCluster(g, ClusterConfig{Peers: 3, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res.Ranks {
+		if math.Abs(r-0.15) > 1e-12 {
+			t.Fatalf("rank[%d] = %v, want 0.15", i, r)
+		}
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	g := graph.Cycle(4)
+	if _, err := NewCluster(g, ClusterConfig{Peers: 0}); err == nil {
+		t.Fatal("accepted zero peers")
+	}
+}
+
+func TestPeerRejectsGarbageConnection(t *testing.T) {
+	g := graph.Cycle(4)
+	docPeer := make([]p2p.PeerID, 4)
+	p, err := NewPeer(PeerConfig{Graph: g, DocPeer: docPeer, Docs: []graph.NodeID{0, 1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	// A client speaking garbage gets dropped without harming the peer.
+	conn, err := net.DialTimeout("tcp", p.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte{1, 0, 0, 0, 'Z', 0})
+	conn.Close()
+	// Peer still answers probes.
+	s, pr, err := probePeer(p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = s
+	_ = pr
+}

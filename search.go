@@ -1,0 +1,126 @@
+package dpr
+
+import (
+	"fmt"
+
+	"dpr/internal/corpus"
+	"dpr/internal/rng"
+	"dpr/internal/search"
+)
+
+// TermID identifies a vocabulary term in a SearchIndex.
+type TermID = corpus.TermID
+
+// Hit is one search result: a document and the pagerank it was sorted
+// by.
+type Hit = search.Posting
+
+// SearchResult reports an executed keyword query.
+type SearchResult struct {
+	Hits []Hit // sorted by pagerank, most important first
+
+	// TrafficIDs counts document IDs shipped between peers and to the
+	// user — the paper's Table 6 traffic metric.
+	TrafficIDs int64
+}
+
+// SearchIndex is a pagerank-aware distributed inverted index (the
+// paper's section 2.4.2 design: each term's posting list lives on the
+// DHT peer owning the term, with pageranks stored alongside).
+type SearchIndex struct {
+	c     *corpus.Corpus
+	idx   *search.Index
+	ranks []float64
+	vz    *search.Vectorizer
+}
+
+// SearchCorpusConfig parameterizes BuildSyntheticSearchIndex.
+type SearchCorpusConfig struct {
+	NumDocs  int // default 11000 (the paper's corpus size)
+	NumTerms int // default 1880
+	Peers    int // default 50
+	Seed     uint64
+}
+
+// BuildSyntheticSearchIndex generates a synthetic corpus with the
+// paper's shape, attaches the given pageranks (indexed by document
+// ID), and builds the distributed index. ranks must cover NumDocs
+// documents.
+func BuildSyntheticSearchIndex(cfg SearchCorpusConfig, ranks []float64) (*SearchIndex, error) {
+	if cfg.NumDocs == 0 {
+		cfg.NumDocs = 11000
+	}
+	if cfg.Peers == 0 {
+		cfg.Peers = 50
+	}
+	c, err := corpus.Generate(corpus.Config{
+		NumDocs: cfg.NumDocs, NumTerms: cfg.NumTerms, Seed: cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	idx, err := search.Build(c, ranks, cfg.Peers)
+	if err != nil {
+		return nil, err
+	}
+	return &SearchIndex{c: c, idx: idx, ranks: ranks}, nil
+}
+
+// NumDocs returns the corpus size.
+func (s *SearchIndex) NumDocs() int { return len(s.c.Docs) }
+
+// TopTerms returns the k most frequent vocabulary terms, the pool the
+// paper's query workload draws from.
+func (s *SearchIndex) TopTerms(k int) []TermID { return s.c.TopTerms(k) }
+
+// RandomQueries synthesizes boolean AND queries of the given word
+// count from the top-100 terms (the paper's workload).
+func (s *SearchIndex) RandomQueries(seed uint64, count, words int) ([][]TermID, error) {
+	return s.c.MakeQueries(rng.New(seed), count, words, 100)
+}
+
+// Search runs the paper's incremental algorithm: at each peer the
+// result set is pagerank-sorted and only the top topFrac fraction is
+// forwarded (everything when fewer than 20 hits would remain).
+func (s *SearchIndex) Search(query []TermID, topFrac float64) (SearchResult, error) {
+	res, err := search.Incremental(s.idx, query, topFrac, search.DefaultForwardFloor)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	return SearchResult{Hits: res.Hits, TrafficIDs: res.TrafficIDs}, nil
+}
+
+// SearchBaseline runs the full-transfer boolean search (no pagerank),
+// the paper's comparison point.
+func (s *SearchIndex) SearchBaseline(query []TermID) (SearchResult, error) {
+	res, err := search.Baseline(s.idx, query)
+	if err != nil {
+		return SearchResult{}, err
+	}
+	return SearchResult{Hits: res.Hits, TrafficIDs: res.TrafficIDs}, nil
+}
+
+// ScoredHit is a FASD-style result: a document with its combined
+// closeness/pagerank score.
+type ScoredHit = search.ScoredHit
+
+// SearchFASD runs the FASD/Freenet-style search of the paper's
+// section 2.4.1: documents matching the query are scored by
+// alpha*cosineCloseness + (1-alpha)*normalizedPagerank and the best
+// max results returned. alpha=1 is the original FASD behaviour,
+// alpha=0 is pure pagerank.
+func (s *SearchIndex) SearchFASD(query []TermID, alpha float64, max int) ([]ScoredHit, error) {
+	if s.vz == nil {
+		s.vz = search.NewVectorizer(s.c)
+	}
+	return search.FASD(s.c, s.vz, s.ranks, query, search.FASDConfig{Alpha: alpha, MaxResults: max})
+}
+
+// UpdateRank propagates a recomputed pagerank into every index
+// partition listing the document.
+func (s *SearchIndex) UpdateRank(doc uint32, rank float64) error {
+	if s.idx.UpdateRank(doc, rank) == 0 {
+		return fmt.Errorf("dpr: document %d appears in no index partition", doc)
+	}
+	return nil
+}

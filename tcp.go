@@ -1,0 +1,73 @@
+package dpr
+
+import (
+	"time"
+
+	"dpr/internal/wire"
+)
+
+// TCPResult reports a computation executed over real TCP sockets.
+type TCPResult struct {
+	Ranks    []float64
+	Messages uint64        // update messages shipped between peers
+	Probes   int           // termination-detector probe rounds
+	Elapsed  time.Duration // wall-clock time to quiescence
+}
+
+// ComputePageRankOverTCP runs the distributed computation over real
+// TCP connections on localhost: one listener per peer, binary update
+// batches on the wire, and Mattern-style probing for global
+// quiescence. This is the paper's closing proposal — web servers
+// collectively ranking the documents they host — executed for real
+// rather than simulated. timeout bounds the wait for quiescence.
+func ComputePageRankOverTCP(g *Graph, opt Options, timeout time.Duration) (TCPResult, error) {
+	opt = opt.withDefaults()
+	cluster, err := wire.NewCluster(g, wire.ClusterConfig{
+		Peers:   opt.Peers,
+		Damping: opt.Damping,
+		Epsilon: opt.Epsilon,
+		Seed:    opt.Seed,
+	})
+	if err != nil {
+		return TCPResult{}, err
+	}
+	defer cluster.Close()
+	res, err := cluster.Run(timeout)
+	if err != nil {
+		return TCPResult{}, err
+	}
+	return TCPResult{
+		Ranks:    res.Ranks,
+		Messages: res.Messages,
+		Probes:   res.Probes,
+		Elapsed:  res.Elapsed,
+	}, nil
+}
+
+// ComputePageRankOverHTTP is ComputePageRankOverTCP with the paper's
+// section 8 transport taken literally: each peer is a web server whose
+// HTTP interface is augmented with pagerank endpoints, and update
+// batches travel as POST requests.
+func ComputePageRankOverHTTP(g *Graph, opt Options, timeout time.Duration) (TCPResult, error) {
+	opt = opt.withDefaults()
+	cluster, err := wire.NewHTTPCluster(g, wire.ClusterConfig{
+		Peers:   opt.Peers,
+		Damping: opt.Damping,
+		Epsilon: opt.Epsilon,
+		Seed:    opt.Seed,
+	})
+	if err != nil {
+		return TCPResult{}, err
+	}
+	defer cluster.Close()
+	res, err := cluster.Run(timeout)
+	if err != nil {
+		return TCPResult{}, err
+	}
+	return TCPResult{
+		Ranks:    res.Ranks,
+		Messages: res.Messages,
+		Probes:   res.Probes,
+		Elapsed:  res.Elapsed,
+	}, nil
+}
