@@ -1,0 +1,31 @@
+# Distributed Pagerank for P2P Systems — build/test/bench driver.
+GO ?= go
+
+.PHONY: all build vet test race bench bench-pipeline ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-check the concurrent hot paths (pass pipeline, async engine,
+# chaotic solver, p2p substrate).
+race:
+	$(GO) test -race ./internal/core ./internal/chaotic ./internal/p2p
+
+bench:
+	$(GO) test -run XXX -bench . -benchmem ./...
+
+# The sharded pass-pipeline benchmark behind results/BENCH_passpipeline.json.
+bench-pipeline:
+	$(GO) test -run XXX -bench BenchmarkRunPassParallel -benchmem .
+
+# Full gate: what a CI job should run.
+ci:
+	$(GO) vet ./... && $(GO) build ./... && $(GO) test -race ./...

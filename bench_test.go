@@ -7,6 +7,7 @@ package dpr
 // -bench=.` regenerates every result's shape in one command.
 
 import (
+	"fmt"
 	"testing"
 
 	"dpr/internal/core"
@@ -31,6 +32,7 @@ func benchScale() experiments.Scale {
 // BenchmarkTable1Convergence regenerates Table 1: passes to converge
 // per graph size and peer availability.
 func BenchmarkTable1Convergence(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Table1(sc)
@@ -46,6 +48,7 @@ func BenchmarkTable1Convergence(b *testing.B) {
 // BenchmarkTable2Quality regenerates Table 2: relative error
 // distribution versus the centralized baseline per threshold.
 func BenchmarkTable2Quality(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	sc.GraphSizes = []int{5000}
 	for i := 0; i < b.N; i++ {
@@ -66,6 +69,7 @@ func BenchmarkTable2Quality(b *testing.B) {
 // BenchmarkTable3Traffic regenerates Table 3: update-message traffic
 // versus threshold, with execution-time estimates.
 func BenchmarkTable3Traffic(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Table3(sc)
@@ -83,6 +87,7 @@ func BenchmarkTable3Traffic(b *testing.B) {
 // BenchmarkTable4Insert regenerates Table 4: insert-propagation path
 // length and node coverage versus threshold.
 func BenchmarkTable4Insert(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	sc.GraphSizes = []int{5000}
 	for i := 0; i < b.N; i++ {
@@ -102,6 +107,7 @@ func BenchmarkTable4Insert(b *testing.B) {
 // BenchmarkTable6Search regenerates Table 6: incremental-search
 // traffic reduction for two- and three-word queries.
 func BenchmarkTable6Search(b *testing.B) {
+	b.ReportAllocs()
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		res, err := experiments.Table6(sc)
@@ -138,6 +144,7 @@ func BenchmarkFigure1Engine(b *testing.B) {
 func BenchmarkFigure2Propagation(b *testing.B) {
 	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(10000, 2))
 	r := rng.New(3)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		start := graph.NodeID(r.Intn(g.NumNodes()))
 		core.MeasureInsertPropagation(g, start, core.InitialRank, core.DefaultDamping, 1e-3)
@@ -149,6 +156,7 @@ func BenchmarkFigure2Propagation(b *testing.B) {
 func BenchmarkAblationPassVsAsync(b *testing.B) {
 	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(5000, 4))
 	b.Run("pass", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			net := p2p.NewNetwork(16)
 			net.AssignRandom(g, rng.New(1))
@@ -161,6 +169,7 @@ func BenchmarkAblationPassVsAsync(b *testing.B) {
 		}
 	})
 	b.Run("async", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			net := p2p.NewNetwork(16)
 			net.AssignRandom(g, rng.New(1))
@@ -179,6 +188,7 @@ func BenchmarkAblationPassVsAsync(b *testing.B) {
 func BenchmarkAblationRelVsAbs(b *testing.B) {
 	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(5000, 5))
 	run := func(b *testing.B, absolute bool) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			net := p2p.NewNetwork(100)
 			net.AssignRandom(g, rng.New(1))
@@ -203,6 +213,7 @@ func BenchmarkAblationSolvers(b *testing.B) {
 	g.Transpose()
 	cfg := solver.Config{Tol: 1e-10}
 	b.Run("power", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := solver.Power(g, cfg)
 			if err != nil {
@@ -212,6 +223,7 @@ func BenchmarkAblationSolvers(b *testing.B) {
 		}
 	})
 	b.Run("gauss-seidel", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := solver.GaussSeidel(g, cfg)
 			if err != nil {
@@ -221,6 +233,7 @@ func BenchmarkAblationSolvers(b *testing.B) {
 		}
 	})
 	b.Run("aitken", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := solver.PowerAitken(g, solver.ExtrapolationConfig{Config: cfg, Every: 10})
 			if err != nil {
@@ -237,6 +250,7 @@ func BenchmarkAblationSolvers(b *testing.B) {
 func BenchmarkAblationPushVsPull(b *testing.B) {
 	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(10000, 7))
 	b.Run("delta-push", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			net := p2p.NewNetwork(1)
 			net.AssignRandom(g, rng.New(1))
@@ -248,6 +262,7 @@ func BenchmarkAblationPushVsPull(b *testing.B) {
 		}
 	})
 	b.Run("pull-recompute", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := solver.Power(g, solver.Config{Tol: 1e-10}); err != nil {
 				b.Fatal(err)
@@ -262,6 +277,7 @@ func BenchmarkAblationPushVsPull(b *testing.B) {
 func BenchmarkAblationIPCache(b *testing.B) {
 	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(5000, 8))
 	run := func(b *testing.B, cached bool) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			net := p2p.NewNetwork(64)
 			net.AssignRandom(g, rng.New(1))
@@ -282,4 +298,44 @@ func BenchmarkAblationIPCache(b *testing.B) {
 	}
 	b.Run("cached", func(b *testing.B) { run(b, true) })
 	b.Run("uncached", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkRunPassParallel measures the sharded pass pipeline itself:
+// pass throughput (documents processed per second) on a 100k-document
+// power-law graph, swept over worker counts. Engine and placement
+// setup run off the clock so the numbers isolate RunPass's
+// compute/merge/reduce stages; allocations are reported to track the
+// pipeline's steady-state ~zero-alloc property.
+func BenchmarkRunPassParallel(b *testing.B) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(100000, 1))
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var docs, passes int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				net := p2p.NewNetwork(1000)
+				net.AssignRandom(g, rng.New(1))
+				e, err := core.NewPassEngine(g, net, nil, core.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				e.OnPass = func(s core.PassStats) bool {
+					docs += int64(s.ProcessedDocs)
+					passes++
+					return true
+				}
+				b.StartTimer()
+				res := e.Run()
+				if !res.Converged {
+					b.Fatal("did not converge")
+				}
+			}
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(docs)/sec, "docs/sec")
+			}
+			b.ReportMetric(float64(passes)/float64(b.N), "passes/op")
+		})
+	}
 }

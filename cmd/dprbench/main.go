@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dpr/internal/experiments"
@@ -24,7 +26,50 @@ func main() {
 	scaleName := flag.String("scale", "small", "experiment scale: small, medium, paper")
 	seed := flag.Uint64("seed", 42, "experiment seed")
 	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile to `file` on exit")
 	flag.Parse()
+
+	// Profiling hooks so hot-path regressions are diagnosable without
+	// editing code: dprbench -table 1 -cpuprofile cpu.pprof, then
+	// `go tool pprof cpu.pprof`. stopProfiles runs on every exit path
+	// (run() exits via fail(), which bypasses defers).
+	stopProfiles := func() {}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dprbench: creating %s: %v\n", *cpuprofile, err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dprbench: starting CPU profile: %v\n", err)
+			os.Exit(2)
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	writeHeap := func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dprbench: creating %s: %v\n", *memprofile, err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // flush dead objects so the profile shows live state
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dprbench: writing heap profile: %v\n", err)
+		}
+	}
+	fail := func(code int) {
+		stopProfiles()
+		writeHeap()
+		os.Exit(code)
+	}
 
 	var sc experiments.Scale
 	switch *scaleName {
@@ -36,7 +81,7 @@ func main() {
 		sc = experiments.Paper()
 	default:
 		fmt.Fprintf(os.Stderr, "dprbench: unknown scale %q\n", *scaleName)
-		os.Exit(2)
+		fail(2)
 	}
 	sc.Seed = *seed
 
@@ -52,7 +97,7 @@ func main() {
 		start := time.Now()
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "dprbench: %s failed: %v\n", name, err)
-			os.Exit(1)
+			fail(1)
 		}
 		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
@@ -169,4 +214,7 @@ func main() {
 			return nil
 		})
 	}
+
+	stopProfiles()
+	writeHeap()
 }

@@ -13,6 +13,13 @@ import (
 // pagerank AsyncEngine, demonstrating the paper's claim that the
 // machinery extends to other distributed linear systems. Termination
 // is credit-counted quiescence.
+//
+// It mirrors the pagerank pass pipeline's send-side economics: within
+// one processing batch, every worker coalesces same-destination deltas
+// (one message per touched component per destination worker instead of
+// one per matrix entry — deltas combine additively), and drained
+// message batches are recycled back into the mailboxes so steady-state
+// batches allocate nothing.
 func (s *System) SolveParallel(workers int, opt Options) (Result, error) {
 	opt = opt.withDefaults(s.n)
 	if workers < 1 {
@@ -43,16 +50,6 @@ func (s *System) SolveParallel(workers int, opt Options) (Result, error) {
 		}
 	}
 
-	// push propagates a delta at component j to its dependents,
-	// batching messages per destination worker.
-	push := func(j int32, delta float64, out map[int][]msg) {
-		steps.Add(1)
-		for i := s.colStart[j]; i < s.colStart[j+1]; i++ {
-			row := s.rows[i]
-			out[owner(row)] = append(out[owner(row)], msg{row, s.coeffs[i] * delta})
-		}
-	}
-
 	inflight.Store(int64(workers))
 	quit := make(chan struct{})
 	var wg sync.WaitGroup
@@ -60,29 +57,57 @@ func (s *System) SolveParallel(workers int, opt Options) (Result, error) {
 	for w := 0; w < workers; w++ {
 		go func(self int) {
 			defer wg.Done()
-			out := make(map[int][]msg)
+			// acc coalesces this batch's outgoing deltas per
+			// destination component; out reuses one slice per
+			// destination worker across batches (put copies, so the
+			// sender keeps its backing array).
+			acc := make(map[int32]float64)
+			out := make([][]msg, workers)
 			pending := make(map[int32]float64)
-			flush := func() {
-				for dest, ms := range out {
-					inflight.Add(int64(len(ms)))
-					boxes[dest].put(ms)
-					delete(out, dest)
+
+			// push accumulates the dependents of a delta at j.
+			push := func(j int32, delta float64) {
+				steps.Add(1)
+				for i := s.colStart[j]; i < s.colStart[j+1]; i++ {
+					acc[s.rows[i]] += s.coeffs[i] * delta
 				}
 			}
+			flush := func() {
+				if len(acc) == 0 {
+					return
+				}
+				for comp, d := range acc {
+					dest := owner(comp)
+					out[dest] = append(out[dest], msg{comp, d})
+				}
+				clear(acc)
+				for dest, ms := range out {
+					if len(ms) == 0 {
+						continue
+					}
+					inflight.Add(int64(len(ms)))
+					boxes[dest].put(ms)
+					out[dest] = ms[:0]
+				}
+			}
+
 			// Initial push of the constants this worker owns.
 			for j := int32(self); int(j) < s.n; j += int32(workers) {
 				if math.Abs(x[j]) > opt.Eps {
-					push(j, x[j], out)
+					push(j, x[j])
 				}
 			}
 			flush()
 			settle(1)
+
+			var recycle []msg // last drained batch, returned to the box
 			for {
 				select {
 				case <-quit:
 					return
 				case <-boxes[self].wakeup:
-					ms := boxes[self].drain()
+					ms := boxes[self].drain(recycle)
+					recycle = ms
 					if len(ms) == 0 {
 						continue
 					}
@@ -93,7 +118,7 @@ func (s *System) SolveParallel(workers int, opt Options) (Result, error) {
 					}
 					for j, d := range pending {
 						if math.Abs(d) > opt.Eps {
-							push(j, d, out)
+							push(j, d)
 						}
 					}
 					flush()
@@ -109,7 +134,9 @@ func (s *System) SolveParallel(workers int, opt Options) (Result, error) {
 }
 
 // pmailbox is the unbounded mailbox from the async pagerank engine,
-// generic over message type.
+// generic over message type. put copies into the box's buffer, so
+// senders keep ownership of their slices; drain hands the buffer to
+// the receiver, who returns it on the next drain for reuse.
 type pmailbox[T any] struct {
 	mu     sync.Mutex
 	buf    []T
@@ -130,10 +157,16 @@ func (m *pmailbox[T]) put(ms []T) {
 	}
 }
 
-func (m *pmailbox[T]) drain() []T {
+// drain returns the queued messages and installs recycle (the caller's
+// previously drained, fully processed batch) as the next buffer.
+func (m *pmailbox[T]) drain(recycle []T) []T {
 	m.mu.Lock()
 	ms := m.buf
-	m.buf = nil
+	if recycle != nil {
+		m.buf = recycle[:0]
+	} else {
+		m.buf = nil
+	}
 	m.mu.Unlock()
 	return ms
 }

@@ -99,7 +99,9 @@ func (e *PassEngine) RestoreCheckpoint(r io.Reader) error {
 	if d := math.Float64frombits(dampingBits); d != e.st.opt.Damping {
 		return fmt.Errorf("core: checkpoint damping %v != engine damping %v", d, e.st.opt.Damping)
 	}
-	e.dirtyList = nil
+	for s := range e.dirtyShard {
+		e.dirtyShard[s] = e.dirtyShard[s][:0]
+	}
 	e.uninitialized = 0
 	buf := make([]byte, 25)
 	for d := 0; d < int(n); d++ {
@@ -115,7 +117,8 @@ func (e *PassEngine) RestoreCheckpoint(r io.Reader) error {
 		e.incoming[d] = 0
 		e.dirty[d] = flags&4 != 0
 		if e.dirty[d] {
-			e.dirtyList = append(e.dirtyList, graph.NodeID(d))
+			s := d >> e.shardShift
+			e.dirtyShard[s] = append(e.dirtyShard[s], graph.NodeID(d))
 		}
 		if !e.initialized[d] {
 			e.uninitialized++

@@ -35,6 +35,7 @@ func (e *PassEngine) AttachDocument(d graph.NodeID, onPeer p2p.PeerID) error {
 	e.dirty = append(e.dirty, false)
 	e.initialized = append(e.initialized, true)
 	e.removed = append(e.removed, false)
+	e.setShardRange(len(e.incoming))
 	e.net.PlaceDoc(d, onPeer)
 	e.push(d) // pendingDelta is the full starting rank (1-d)
 	e.counters.InterPeerMsgs += e.passInter

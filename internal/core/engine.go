@@ -15,6 +15,7 @@ type PassStats struct {
 	IntraMsgs     int64   // same-peer updates this pass
 	Redelivered   int64   // retry-queue messages delivered this pass
 	MaxChange     float64 // largest relative rank change observed
+	ProcessedDocs int     // documents visited by this pass's compute phase
 	PendingDocs   int     // documents with unprocessed mass after the pass
 	DeferredQueue int     // retry-queue depth after the pass
 	OnlinePeers   int
@@ -43,9 +44,23 @@ type PassEngine struct {
 
 	incoming    []float64 // deltas awaiting the next pass
 	dirty       []bool
-	dirtyList   []graph.NodeID
 	initialized []bool
 	removed     []bool // deleted documents drop incoming messages
+
+	// dirtyShard[s] lists the dirty documents owned by merge shard s
+	// (doc >> shardShift), in first-touch order. Sharding lets the merge
+	// phase append lock-free; concatenating the shards in order yields
+	// the next pass's work list, independent of the worker count.
+	dirtyShard [mergeShards][]graph.NodeID
+
+	// shardShift/shardCount define range sharding: shard s owns the
+	// contiguous document range [s<<shardShift, (s+1)<<shardShift).
+	// Recomputed when the document range grows; fixed within a pass.
+	shardShift uint
+	shardCount int
+
+	// pipe holds the sharded pass pipeline's reusable scratch.
+	pipe pipeline
 
 	counters      p2p.Counters
 	pass          int
@@ -92,7 +107,38 @@ func NewPassEngine(g graph.Linker, net *p2p.Network, churn *p2p.Churn, opt Optio
 		removed:     make([]bool, n),
 	}
 	e.uninitialized = n
+	e.setShardRange(n)
+	// Pre-size the pipeline's first-pass hot buffers: the shard dirty
+	// lists together span all documents, and the work list snapshot can
+	// hold all of them. This front-loads ~shardCount allocations that
+	// append-doubling would otherwise repay on every fresh engine.
+	width := 1 << e.shardShift
+	for s := 0; s < e.shardCount; s++ {
+		c := width
+		if rem := n - s*width; rem < c {
+			c = rem
+		}
+		e.dirtyShard[s] = make([]graph.NodeID, 0, c)
+	}
+	e.pipe.work = make([]graph.NodeID, 0, n)
 	return e, nil
+}
+
+// setShardRange fits the fixed shard array over n documents: the
+// smallest power-of-two range width such that mergeShards shards cover
+// everything. Documents appended to a shard list under an older (finer)
+// mapping are still drained by the next work-list snapshot, which walks
+// every list regardless of the current mapping.
+func (e *PassEngine) setShardRange(n int) {
+	shift := uint(0)
+	for n > mergeShards<<shift {
+		shift++
+	}
+	e.shardShift = shift
+	e.shardCount = (n + (1 << shift) - 1) >> shift
+	if e.shardCount < 1 {
+		e.shardCount = 1
+	}
 }
 
 // Ranks returns the current rank estimates (live view; copy before
@@ -136,8 +182,18 @@ func (e *PassEngine) applyIncoming(u p2p.Update) {
 	e.incoming[u.Doc] += u.Delta
 	if !e.dirty[u.Doc] {
 		e.dirty[u.Doc] = true
-		e.dirtyList = append(e.dirtyList, u.Doc)
+		s := int(u.Doc) >> e.shardShift
+		e.dirtyShard[s] = append(e.dirtyShard[s], u.Doc)
 	}
+}
+
+// pendingDocs counts documents with unprocessed incoming mass.
+func (e *PassEngine) pendingDocs() int {
+	n := 0
+	for s := range e.dirtyShard {
+		n += len(e.dirtyShard[s])
+	}
+	return n
 }
 
 // push propagates document d's unsent rank change to its out-links.
@@ -182,9 +238,14 @@ func (e *PassEngine) RunPass() PassStats {
 	// generated below (initial pushes and propagation) are delivered
 	// at the pass boundary, i.e. processed next pass. Redelivered
 	// retry traffic above was sent in an earlier pass, so it is
-	// visible now.
-	work := e.dirtyList
-	e.dirtyList = nil
+	// visible now. The list is the shard-major concatenation of the
+	// per-shard dirty lists, rebuilt into a pass-reused buffer.
+	work := e.pipe.work[:0]
+	for s := range e.dirtyShard {
+		work = append(work, e.dirtyShard[s]...)
+		e.dirtyShard[s] = e.dirtyShard[s][:0]
+	}
+	e.pipe.work = work
 
 	// Documents appearing for the first time push their starting
 	// rank; docs whose peer was offline initialize when they first
@@ -217,7 +278,8 @@ func (e *PassEngine) RunPass() PassStats {
 		IntraMsgs:     e.passIntra,
 		Redelivered:   e.passRedelivered,
 		MaxChange:     e.passMaxChange,
-		PendingDocs:   len(e.dirtyList),
+		ProcessedDocs: len(work),
+		PendingDocs:   e.pendingDocs(),
 		DeferredQueue: e.retry.Len(),
 		OnlinePeers:   e.net.NumOnline(),
 	}
@@ -263,7 +325,7 @@ func (e *PassEngine) FlushPending() int {
 // live document initialized, no pending mass, and no deferred
 // messages. (Removing a document counts it as initialized.)
 func (e *PassEngine) Converged() bool {
-	return len(e.dirtyList) == 0 && e.retry.Len() == 0 && e.uninitialized == 0
+	return e.pendingDocs() == 0 && e.retry.Len() == 0 && e.uninitialized == 0
 }
 
 // Run executes passes until convergence or until MaxPass passes have

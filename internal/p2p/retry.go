@@ -1,6 +1,10 @@
 package p2p
 
-import "dpr/internal/graph"
+import (
+	"slices"
+
+	"dpr/internal/graph"
+)
 
 // Update is one pagerank-update message: "add Delta to document Doc's
 // incoming rank mass". Document deletes send negative deltas
@@ -54,11 +58,22 @@ func (q *RetryQueue) Drain(dest PeerID) []Update {
 }
 
 // DrainOnline drains every destination that is currently online in
-// net, invoking deliver for each update in queue order. It returns the
-// number of messages delivered.
+// net, invoking deliver for each update in queue order. Destinations
+// are visited in ascending peer order — not map order — so redelivery
+// is deterministic run to run, which the engines' bit-identical-
+// results guarantee depends on. It returns the number of messages
+// delivered.
 func (q *RetryQueue) DrainOnline(net *Network, deliver func(dest PeerID, u Update)) int {
-	delivered := 0
+	if len(q.pending) == 0 {
+		return 0
+	}
+	dests := make([]PeerID, 0, len(q.pending))
 	for dest := range q.pending {
+		dests = append(dests, dest)
+	}
+	slices.Sort(dests)
+	delivered := 0
+	for _, dest := range dests {
 		if !net.Online(dest) {
 			continue
 		}
