@@ -1,7 +1,7 @@
 # Distributed Pagerank for P2P Systems — build/test/bench driver.
 GO ?= go
 
-.PHONY: all build vet test race bench bench-pipeline ci
+.PHONY: all build vet test race chaos bench bench-pipeline ci
 
 all: build
 
@@ -15,9 +15,15 @@ test:
 	$(GO) test ./...
 
 # Race-check the concurrent hot paths (pass pipeline, async engine,
-# chaotic solver, p2p substrate).
+# chaotic solver, p2p substrate, fault-tolerant wire layer).
 race:
-	$(GO) test -race ./internal/core ./internal/chaotic ./internal/p2p
+	$(GO) test -race ./internal/core ./internal/chaotic ./internal/p2p ./internal/wire
+
+# Fault-injection suite: resets, drops, partitions and crash/restart
+# cycles under the race detector. -count=1 defeats the test cache so
+# the nondeterministic schedules actually rerun.
+chaos:
+	$(GO) test -race -count=1 -run Chaos ./internal/wire
 
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./...
@@ -28,4 +34,6 @@ bench-pipeline:
 
 # Full gate: what a CI job should run.
 ci:
-	$(GO) vet ./... && $(GO) build ./... && $(GO) test -race ./...
+	$(GO) vet ./... && $(GO) build ./... && $(GO) test -race ./... \
+		&& $(GO) test -race ./internal/wire ./internal/p2p \
+		&& $(GO) test -race -count=1 -run Chaos ./internal/wire

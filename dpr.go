@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
 	"dpr/internal/core"
 	"dpr/internal/graph"
@@ -94,6 +95,14 @@ type Options struct {
 
 	// Seed drives document placement and churn. Default 1.
 	Seed uint64
+
+	// RetryBase and RetryMax bound the wire layer's reconnect/resend
+	// backoff (TCP and HTTP deployments only): failed deliveries are
+	// retried after RetryBase, doubling per consecutive failure up to
+	// RetryMax, with jitter. Zero values pick the library defaults
+	// (5ms base, 250ms cap).
+	RetryBase time.Duration
+	RetryMax  time.Duration
 
 	// Teleport personalizes the pagerank (topic-sensitive pagerank):
 	// document i's share of the teleport mass is Teleport[i] /

@@ -48,4 +48,57 @@ func main() {
 	for _, dr := range dpr.TopDocuments(res.Ranks, 5) {
 		fmt.Printf("  doc %-6d rank %8.3f\n", dr.Doc, dr.Rank)
 	}
+
+	crashDemo(g, ref)
+}
+
+// crashDemo reruns the computation while crashing peers mid-flight:
+// each victim is killed (checkpointing its durable state), left dead
+// while its neighbours park updates for it in their store-and-retry
+// queues, then restarted at a brand-new address. The final ranks must
+// still match the centralized solver — nothing is lost.
+func crashDemo(g *dpr.Graph, ref []float64) {
+	fmt.Println("\n--- crash/recovery demo ---")
+	cluster, err := dpr.NewTCPCluster(g, dpr.Options{Peers: 8, Epsilon: 1e-6, Seed: 77})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+
+	type runOut struct {
+		res dpr.TCPResult
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		res, err := cluster.Run(2 * time.Minute)
+		done <- runOut{res, err}
+	}()
+
+	for _, victim := range []int{2, 5} {
+		time.Sleep(20 * time.Millisecond)
+		if err := cluster.Kill(victim); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("killed peer %d (state checkpointed, updates for it now parked at senders)\n", victim)
+		time.Sleep(20 * time.Millisecond)
+		if err := cluster.Restart(victim); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("restarted peer %d from its checkpoint at a new address\n", victim)
+	}
+
+	out := <-done
+	if out.err != nil {
+		log.Fatal(out.err)
+	}
+	worst := 0.0
+	for i := range ref {
+		if rel := math.Abs(out.res.Ranks[i]-ref[i]) / ref[i]; rel > worst {
+			worst = rel
+		}
+	}
+	fmt.Printf("quiesced in %v despite 2 crashes; %d reconnects, %d retries, %d redeliveries\n",
+		out.res.Elapsed.Round(time.Millisecond), out.res.Reconnects, out.res.Retries, out.res.Redeliveries)
+	fmt.Printf("max relative error vs centralized solver: %.2e (unchanged by the crashes)\n", worst)
 }

@@ -26,8 +26,10 @@ const UpdateWireBytes = 24
 // out-links in a peer) is exposed via Len and MaxLen.
 type RetryQueue struct {
 	pending map[PeerID][]Update
+	index   map[PeerID]map[graph.NodeID]int // doc -> position, built on demand
 	size    int
 	maxSize int
+	merges  int
 }
 
 // NewRetryQueue returns an empty queue.
@@ -38,10 +40,43 @@ func NewRetryQueue() *RetryQueue {
 // Defer stores an update for an absent peer.
 func (q *RetryQueue) Defer(dest PeerID, u Update) {
 	q.pending[dest] = append(q.pending[dest], u)
+	delete(q.index, dest) // appended without indexing; rebuild on next merge
 	q.size++
 	if q.size > q.maxSize {
 		q.maxSize = q.size
 	}
+}
+
+// DeferMerge stores an update, coalescing it into an already-queued
+// update for the same document by summing deltas. This keeps the
+// queued state bounded by the number of distinct destination documents
+// — the paper's sum-of-out-links argument for sender-side storage —
+// no matter how long the destination peer stays unreachable. Reports
+// whether the update was absorbed into an existing entry.
+func (q *RetryQueue) DeferMerge(dest PeerID, u Update) bool {
+	idx := q.index[dest]
+	if idx == nil {
+		idx = make(map[graph.NodeID]int, len(q.pending[dest]))
+		for i, e := range q.pending[dest] {
+			idx[e.Doc] = i
+		}
+		if q.index == nil {
+			q.index = make(map[PeerID]map[graph.NodeID]int)
+		}
+		q.index[dest] = idx
+	}
+	if i, ok := idx[u.Doc]; ok {
+		q.pending[dest][i].Delta += u.Delta
+		q.merges++
+		return true
+	}
+	idx[u.Doc] = len(q.pending[dest])
+	q.pending[dest] = append(q.pending[dest], u)
+	q.size++
+	if q.size > q.maxSize {
+		q.maxSize = q.size
+	}
+	return false
 }
 
 // Drain removes and returns all queued updates for dest, typically
@@ -53,6 +88,7 @@ func (q *RetryQueue) Drain(dest PeerID) []Update {
 		return nil
 	}
 	delete(q.pending, dest)
+	delete(q.index, dest)
 	q.size -= len(us)
 	return us
 }
@@ -94,3 +130,7 @@ func (q *RetryQueue) MaxLen() int { return q.maxSize }
 
 // Destinations returns the number of peers with queued updates.
 func (q *RetryQueue) Destinations() int { return len(q.pending) }
+
+// Merges returns how many updates DeferMerge absorbed into existing
+// entries instead of growing the queue.
+func (q *RetryQueue) Merges() int { return q.merges }

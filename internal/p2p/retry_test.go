@@ -1,0 +1,98 @@
+package p2p
+
+import (
+	"math"
+	"testing"
+
+	"dpr/internal/graph"
+)
+
+func TestRetryQueueDeferMergeCoalesces(t *testing.T) {
+	q := NewRetryQueue()
+	// Many updates to few documents: the queue must stay bounded by the
+	// number of distinct (dest, doc) pairs, with deltas summed.
+	for i := 0; i < 100; i++ {
+		q.DeferMerge(3, Update{Doc: graph.NodeID(i % 4), Delta: 0.5})
+	}
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 distinct docs", q.Len())
+	}
+	if q.MaxLen() != 4 {
+		t.Fatalf("MaxLen = %d, want 4", q.MaxLen())
+	}
+	if q.Merges() != 96 {
+		t.Fatalf("Merges = %d, want 96", q.Merges())
+	}
+	us := q.Drain(3)
+	if len(us) != 4 {
+		t.Fatalf("drained %d updates", len(us))
+	}
+	total := 0.0
+	for _, u := range us {
+		if math.Abs(u.Delta-12.5) > 1e-12 {
+			t.Fatalf("doc %d delta %v, want 12.5", u.Doc, u.Delta)
+		}
+		total += u.Delta
+	}
+	if math.Abs(total-50) > 1e-12 {
+		t.Fatalf("total drained delta %v, want 50", total)
+	}
+	if q.Len() != 0 || q.Destinations() != 0 {
+		t.Fatalf("queue not empty after drain: len=%d dests=%d", q.Len(), q.Destinations())
+	}
+}
+
+func TestRetryQueueDeferMergeReportsAbsorption(t *testing.T) {
+	q := NewRetryQueue()
+	if q.DeferMerge(1, Update{Doc: 7, Delta: 1}) {
+		t.Fatal("first update reported as merged")
+	}
+	if !q.DeferMerge(1, Update{Doc: 7, Delta: 2}) {
+		t.Fatal("second update to same doc not merged")
+	}
+	if q.DeferMerge(2, Update{Doc: 7, Delta: 3}) {
+		t.Fatal("same doc, different dest reported as merged")
+	}
+}
+
+func TestRetryQueueDeferMergeAfterPlainDefer(t *testing.T) {
+	// Defer appends without indexing; DeferMerge must still coalesce
+	// against those entries after rebuilding its index.
+	q := NewRetryQueue()
+	q.Defer(5, Update{Doc: 1, Delta: 1})
+	q.Defer(5, Update{Doc: 2, Delta: 1})
+	if !q.DeferMerge(5, Update{Doc: 1, Delta: 0.5}) {
+		t.Fatal("did not merge into plain-deferred entry")
+	}
+	// And Defer after DeferMerge invalidates the index without losing
+	// entries.
+	q.Defer(5, Update{Doc: 3, Delta: 1})
+	if !q.DeferMerge(5, Update{Doc: 3, Delta: 1}) {
+		t.Fatal("did not merge after index invalidation")
+	}
+	us := q.Drain(5)
+	if len(us) != 3 {
+		t.Fatalf("drained %d updates, want 3", len(us))
+	}
+	want := map[graph.NodeID]float64{1: 1.5, 2: 1, 3: 2}
+	for _, u := range us {
+		if math.Abs(u.Delta-want[u.Doc]) > 1e-12 {
+			t.Fatalf("doc %d delta %v, want %v", u.Doc, u.Delta, want[u.Doc])
+		}
+	}
+}
+
+func TestRetryQueueDrainResetsIndex(t *testing.T) {
+	q := NewRetryQueue()
+	q.DeferMerge(1, Update{Doc: 4, Delta: 1})
+	q.Drain(1)
+	// A fresh update after a drain must start a new entry, not merge
+	// into a stale index position.
+	if q.DeferMerge(1, Update{Doc: 4, Delta: 2}) {
+		t.Fatal("merged into drained entry")
+	}
+	us := q.Drain(1)
+	if len(us) != 1 || us[0].Delta != 2 {
+		t.Fatalf("post-drain state: %v", us)
+	}
+}

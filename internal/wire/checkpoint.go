@@ -1,0 +1,402 @@
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"slices"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+)
+
+// Peer crash/restart follows internal/core's checkpoint design: the
+// durable state is the per-document ranker triple (rank, accumulator,
+// last-pushed value), serialized in the same magic/version/records
+// layout, extended with the wire layer's recovery state — the
+// duplicate-suppression table and the store-and-retry outbound queues
+// (unacknowledged frames verbatim plus coalesced pending updates).
+// Restoring a snapshot into a fresh Peer resumes the computation
+// exactly where the crash left it: senders redeliver everything
+// unacknowledged, receivers suppress what was already folded, and the
+// termination counters carry over so the cluster-wide probe stays
+// exact across the crash.
+
+const (
+	peerSnapMagic   = "DPRW"
+	peerSnapVersion = 1
+)
+
+// PeerSnapshot is a crashed peer's durable state.
+type PeerSnapshot struct {
+	ID   p2p.PeerID
+	Docs []graph.NodeID
+
+	// Ranker state, indexed like Docs.
+	Rank, Acc, Last []float64
+
+	// LastSeq is the highest folded sequence number per sender.
+	LastSeq map[p2p.PeerID]uint64
+
+	// Outbound is the store-and-retry state per destination.
+	Outbound []OutboundState
+
+	// Counters, carried across the restart.
+	Sent, Processed                   uint64
+	Retries, Reconnects, Redeliveries uint64
+	Coalesced, DupDropped             uint64
+	DeltaShipped, DeltaFolded         float64
+}
+
+// OutboundState is one destination's sender state.
+type OutboundState struct {
+	Dest    p2p.PeerID
+	NextSeq uint64
+	Unacked []UnackedFrame // framed, possibly transmitted, not acknowledged
+	Pending []p2p.Update   // coalesced, not yet framed
+}
+
+// UnackedFrame is a framed batch that must be redelivered verbatim
+// (same sequence number) so the receiver can suppress it if the
+// original copy was folded before the crash.
+type UnackedFrame struct {
+	Seq     uint64
+	Updates []p2p.Update
+}
+
+// snapshot assembles the peer's durable state. Callers must have
+// stopped the peer's goroutines first (stop), so every field is
+// quiescent.
+func (p *Peer) snapshot() *PeerSnapshot {
+	s := &PeerSnapshot{
+		ID:           p.cfg.ID,
+		Docs:         append([]graph.NodeID(nil), p.rk.docs...),
+		Rank:         append([]float64(nil), p.rk.rank...),
+		Acc:          append([]float64(nil), p.rk.acc...),
+		Last:         append([]float64(nil), p.rk.last...),
+		LastSeq:      make(map[p2p.PeerID]uint64, len(p.lastSeq)),
+		Sent:         p.sent.Load(),
+		Processed:    p.processed.Load(),
+		Retries:      p.retries.Load(),
+		Reconnects:   p.reconnects.Load(),
+		Redeliveries: p.redeliveries.Load(),
+		Coalesced:    p.coalesced.Load(),
+		DupDropped:   p.dupDropped.Load(),
+		DeltaShipped: math.Float64frombits(p.deltaOutBits.Load()),
+		DeltaFolded:  math.Float64frombits(p.deltaInBits.Load()),
+	}
+	for from, seq := range p.lastSeq {
+		s.LastSeq[from] = seq
+	}
+	dests := make([]p2p.PeerID, 0, len(p.senders))
+	for dest := range p.senders {
+		dests = append(dests, dest)
+	}
+	slices.Sort(dests)
+	for _, dest := range dests {
+		snd := p.senders[dest]
+		ob := OutboundState{Dest: dest, NextSeq: snd.nextSeq}
+		for _, fr := range snd.unacked {
+			// Decode the frame back into updates; the restore re-frames
+			// them with the same sequence number.
+			_, seq, us, err := decodeFrameBytes(fr.bytes)
+			if err != nil {
+				continue // cannot happen: we encoded it
+			}
+			ob.Unacked = append(ob.Unacked, UnackedFrame{Seq: seq, Updates: us})
+		}
+		ob.Pending = p.rq.Drain(dest)
+		if len(ob.Unacked) > 0 || len(ob.Pending) > 0 || ob.NextSeq > 1 {
+			s.Outbound = append(s.Outbound, ob)
+		}
+	}
+	return s
+}
+
+// decodeFrameBytes parses a full batch frame as built by nextFrame.
+func decodeFrameBytes(b []byte) (p2p.PeerID, uint64, []p2p.Update, error) {
+	typ, payload, err := readFrameBytes(b)
+	if err != nil || typ != frameBatchSeq {
+		return 0, 0, nil, fmt.Errorf("wire: not a sequenced batch frame")
+	}
+	return decodeBatchSeq(payload)
+}
+
+func readFrameBytes(b []byte) (byte, []byte, error) {
+	if len(b) < 5 {
+		return 0, nil, fmt.Errorf("wire: frame too short")
+	}
+	n := binary.LittleEndian.Uint32(b[:4])
+	if uint32(len(b)-5) != n {
+		return 0, nil, fmt.Errorf("wire: frame length mismatch")
+	}
+	return b[4], b[5:], nil
+}
+
+// RestorePeer rejoins a crashed peer: a fresh listener (new address),
+// the snapshot's ranker and recovery state, and senders primed to
+// redeliver everything unacknowledged. Call SetPeers (on every peer,
+// since the address changed) and then Start; the restored peer skips
+// the initial push.
+func RestorePeer(cfg PeerConfig, snap *PeerSnapshot) (*Peer, error) {
+	if snap == nil {
+		return nil, fmt.Errorf("wire: nil snapshot")
+	}
+	if cfg.ID != snap.ID {
+		return nil, fmt.Errorf("wire: snapshot is for peer %d, config says %d", snap.ID, cfg.ID)
+	}
+	if !slices.Equal(cfg.Docs, snap.Docs) {
+		return nil, fmt.Errorf("wire: snapshot document set does not match config")
+	}
+	p, err := NewPeer(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.restored = true
+	copy(p.rk.rank, snap.Rank)
+	copy(p.rk.acc, snap.Acc)
+	copy(p.rk.last, snap.Last)
+	for from, seq := range snap.LastSeq {
+		p.lastSeq[from] = seq
+	}
+	p.sent.Store(snap.Sent)
+	p.processed.Store(snap.Processed)
+	p.retries.Store(snap.Retries)
+	p.reconnects.Store(snap.Reconnects)
+	p.redeliveries.Store(snap.Redeliveries)
+	p.coalesced.Store(snap.Coalesced)
+	p.dupDropped.Store(snap.DupDropped)
+	p.deltaOutBits.Store(math.Float64bits(snap.DeltaShipped))
+	p.deltaInBits.Store(math.Float64bits(snap.DeltaFolded))
+	for _, ob := range snap.Outbound {
+		s := p.newSender(ob.Dest)
+		s.nextSeq = ob.NextSeq
+		for _, uf := range ob.Unacked {
+			fr := &frameRec{seq: uf.Seq, updates: len(uf.Updates)}
+			fr.bytes = frameBytes(frameBatchSeq, encodeBatchSeq(p.cfg.ID, uf.Seq, uf.Updates))
+			s.unacked = append(s.unacked, fr)
+		}
+		if len(s.unacked) > 0 {
+			s.sendSeq = s.unacked[0].seq
+		} else {
+			s.sendSeq = s.nextSeq
+		}
+		for _, u := range ob.Pending {
+			p.rq.DeferMerge(ob.Dest, u)
+		}
+		p.senders[ob.Dest] = s
+		p.wg.Add(1)
+		go s.loop()
+	}
+	return p, nil
+}
+
+// frameBytes renders one frame to a byte slice.
+func frameBytes(typ byte, payload []byte) []byte {
+	buf := make([]byte, 5+len(payload))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(len(payload)))
+	buf[4] = typ
+	copy(buf[5:], payload)
+	return buf
+}
+
+// EncodeSnapshot serializes a snapshot in the checkpoint layout:
+// magic, version, header, then fixed-size records.
+func EncodeSnapshot(s *PeerSnapshot, w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if _, err := bw.WriteString(peerSnapMagic); err != nil {
+		return err
+	}
+	hdr := []uint64{
+		peerSnapVersion, uint64(uint32(s.ID)), uint64(len(s.Docs)),
+		uint64(len(s.LastSeq)), uint64(len(s.Outbound)),
+		s.Sent, s.Processed, s.Retries, s.Reconnects, s.Redeliveries,
+		s.Coalesced, s.DupDropped,
+		math.Float64bits(s.DeltaShipped), math.Float64bits(s.DeltaFolded),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for i, d := range s.Docs {
+		rec := []uint64{
+			uint64(uint32(d)),
+			math.Float64bits(s.Rank[i]), math.Float64bits(s.Acc[i]), math.Float64bits(s.Last[i]),
+		}
+		for _, v := range rec {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+	}
+	froms := make([]p2p.PeerID, 0, len(s.LastSeq))
+	for from := range s.LastSeq {
+		froms = append(froms, from)
+	}
+	slices.Sort(froms)
+	for _, from := range froms {
+		if err := binary.Write(bw, binary.LittleEndian, uint64(uint32(from))); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, s.LastSeq[from]); err != nil {
+			return err
+		}
+	}
+	for _, ob := range s.Outbound {
+		head := []uint64{uint64(uint32(ob.Dest)), ob.NextSeq, uint64(len(ob.Unacked)), uint64(len(ob.Pending))}
+		for _, v := range head {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+		for _, uf := range ob.Unacked {
+			if err := binary.Write(bw, binary.LittleEndian, uf.Seq); err != nil {
+				return err
+			}
+			if err := writeUpdates(bw, uf.Updates); err != nil {
+				return err
+			}
+		}
+		if err := writeUpdates(bw, ob.Pending); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func writeUpdates(w io.Writer, us []p2p.Update) error {
+	if err := binary.Write(w, binary.LittleEndian, uint64(len(us))); err != nil {
+		return err
+	}
+	for _, u := range us {
+		if err := binary.Write(w, binary.LittleEndian, uint64(uint32(u.Doc))); err != nil {
+			return err
+		}
+		if err := binary.Write(w, binary.LittleEndian, math.Float64bits(u.Delta)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readU64(r io.Reader, vs ...*uint64) error {
+	for _, v := range vs {
+		if err := binary.Read(r, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readUpdates(r io.Reader) ([]p2p.Update, error) {
+	var n uint64
+	if err := readU64(r, &n); err != nil {
+		return nil, err
+	}
+	if n > uint64(maxFrameBytes) {
+		return nil, fmt.Errorf("wire: snapshot update list of %d entries exceeds limit", n)
+	}
+	us := make([]p2p.Update, n)
+	for i := range us {
+		var doc, bits uint64
+		if err := readU64(r, &doc, &bits); err != nil {
+			return nil, err
+		}
+		us[i] = p2p.Update{Doc: graph.NodeID(uint32(doc)), Delta: math.Float64frombits(bits)}
+	}
+	return us, nil
+}
+
+// DecodeSnapshot parses a snapshot written by EncodeSnapshot.
+func DecodeSnapshot(r io.Reader) (*PeerSnapshot, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("wire: reading snapshot magic: %w", err)
+	}
+	if string(magic) != peerSnapMagic {
+		return nil, fmt.Errorf("wire: bad snapshot magic %q", magic)
+	}
+	var version, id, ndocs, nseq, nout uint64
+	var sent, processed, retries, reconnects, redeliveries, coalesced, dup uint64
+	var shippedBits, foldedBits uint64
+	if err := readU64(br, &version, &id, &ndocs, &nseq, &nout,
+		&sent, &processed, &retries, &reconnects, &redeliveries,
+		&coalesced, &dup, &shippedBits, &foldedBits); err != nil {
+		return nil, fmt.Errorf("wire: reading snapshot header: %w", err)
+	}
+	if version != peerSnapVersion {
+		return nil, fmt.Errorf("wire: unsupported snapshot version %d", version)
+	}
+	if ndocs > uint64(maxFrameBytes) || nseq > uint64(maxFrameBytes) || nout > uint64(maxFrameBytes) {
+		return nil, fmt.Errorf("wire: snapshot header sizes out of range")
+	}
+	s := &PeerSnapshot{
+		ID:           p2p.PeerID(uint32(id)),
+		Docs:         make([]graph.NodeID, ndocs),
+		Rank:         make([]float64, ndocs),
+		Acc:          make([]float64, ndocs),
+		Last:         make([]float64, ndocs),
+		LastSeq:      make(map[p2p.PeerID]uint64, nseq),
+		Sent:         sent,
+		Processed:    processed,
+		Retries:      retries,
+		Reconnects:   reconnects,
+		Redeliveries: redeliveries,
+		Coalesced:    coalesced,
+		DupDropped:   dup,
+		DeltaShipped: math.Float64frombits(shippedBits),
+		DeltaFolded:  math.Float64frombits(foldedBits),
+	}
+	for i := uint64(0); i < ndocs; i++ {
+		var doc, rank, acc, last uint64
+		if err := readU64(br, &doc, &rank, &acc, &last); err != nil {
+			return nil, fmt.Errorf("wire: reading snapshot document %d: %w", i, err)
+		}
+		s.Docs[i] = graph.NodeID(uint32(doc))
+		s.Rank[i] = math.Float64frombits(rank)
+		s.Acc[i] = math.Float64frombits(acc)
+		s.Last[i] = math.Float64frombits(last)
+	}
+	for i := uint64(0); i < nseq; i++ {
+		var from, seq uint64
+		if err := readU64(br, &from, &seq); err != nil {
+			return nil, err
+		}
+		s.LastSeq[p2p.PeerID(uint32(from))] = seq
+	}
+	for i := uint64(0); i < nout; i++ {
+		var dest, nextSeq, nun, npend uint64
+		if err := readU64(br, &dest, &nextSeq, &nun, &npend); err != nil {
+			return nil, err
+		}
+		if nun > uint64(maxFrameBytes) {
+			return nil, fmt.Errorf("wire: snapshot outbound sizes out of range")
+		}
+		ob := OutboundState{Dest: p2p.PeerID(uint32(dest)), NextSeq: nextSeq}
+		for j := uint64(0); j < nun; j++ {
+			var seq uint64
+			if err := readU64(br, &seq); err != nil {
+				return nil, err
+			}
+			us, err := readUpdates(br)
+			if err != nil {
+				return nil, err
+			}
+			ob.Unacked = append(ob.Unacked, UnackedFrame{Seq: seq, Updates: us})
+		}
+		pend, err := readUpdates(br)
+		if err != nil {
+			return nil, err
+		}
+		if uint64(len(pend)) != npend {
+			return nil, fmt.Errorf("wire: snapshot pending count mismatch")
+		}
+		ob.Pending = pend
+		s.Outbound = append(s.Outbound, ob)
+	}
+	return s, nil
+}

@@ -1,8 +1,11 @@
 package wire
 
 import (
+	"bytes"
 	"fmt"
 	"net"
+	"net/http"
+	"sync"
 	"time"
 
 	"dpr/internal/graph"
@@ -13,10 +16,24 @@ import (
 // Cluster runs a whole computation over real TCP sockets on localhost:
 // N peers, random document placement, termination detection and rank
 // collection. It is the in-process stand-in for the paper's vision of
-// web servers cooperating across the Internet.
+// web servers cooperating across the Internet, and it survives the
+// paper's dynamic-network conditions: connections may drop, peer pairs
+// may partition, and individual peers may crash (Kill) and rejoin
+// from their checkpoint at a new address (Restart) without losing a
+// single update.
 type Cluster struct {
-	peers []*Peer
-	g     *graph.Graph
+	g   *graph.Graph
+	cfg ClusterConfig
+
+	docPeer []p2p.PeerID
+	docs    [][]graph.NodeID
+
+	mu      sync.Mutex
+	peers   []*Peer         // nil while a slot is crashed
+	snaps   []*PeerSnapshot // decoded snapshot of a crashed slot
+	blobs   [][]byte        // serialized snapshot (exercises the codec)
+	addrs   []string
+	started bool
 }
 
 // ClusterConfig parameterizes NewCluster.
@@ -25,6 +42,17 @@ type ClusterConfig struct {
 	Damping float64 // 0 means 0.85
 	Epsilon float64 // 0 means 1e-3
 	Seed    uint64
+
+	// Transport dials every peer-to-peer connection; nil means the
+	// real TCP dialer. Tests inject a FaultTransport to script
+	// failures.
+	Transport Transport
+
+	// Retry shapes reconnect/redelivery backoff (defaults apply).
+	Retry RetryPolicy
+
+	// Client overrides the HTTP client (HTTP clusters only).
+	Client *http.Client
 }
 
 // NewCluster starts cfg.Peers TCP peers and distributes g's documents
@@ -41,17 +69,14 @@ func NewCluster(g *graph.Graph, cfg ClusterConfig) (*Cluster, error) {
 		docPeer[d] = pid
 		docs[pid] = append(docs[pid], graph.NodeID(d))
 	}
-	c := &Cluster{g: g}
+	c := &Cluster{
+		g: g, cfg: cfg, docPeer: docPeer, docs: docs,
+		snaps: make([]*PeerSnapshot, cfg.Peers),
+		blobs: make([][]byte, cfg.Peers),
+	}
 	addrs := make([]string, cfg.Peers)
 	for i := 0; i < cfg.Peers; i++ {
-		peer, err := NewPeer(PeerConfig{
-			ID:      p2p.PeerID(i),
-			Graph:   g,
-			DocPeer: docPeer,
-			Docs:    docs[i],
-			Damping: cfg.Damping,
-			Epsilon: cfg.Epsilon,
-		})
+		peer, err := NewPeer(c.peerConfig(i))
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -59,10 +84,24 @@ func NewCluster(g *graph.Graph, cfg ClusterConfig) (*Cluster, error) {
 		c.peers = append(c.peers, peer)
 		addrs[i] = peer.Addr()
 	}
+	c.addrs = addrs
 	for _, p := range c.peers {
 		p.SetPeers(addrs)
 	}
 	return c, nil
+}
+
+func (c *Cluster) peerConfig(i int) PeerConfig {
+	return PeerConfig{
+		ID:        p2p.PeerID(i),
+		Graph:     c.g,
+		DocPeer:   c.docPeer,
+		Docs:      c.docs[i],
+		Damping:   c.cfg.Damping,
+		Epsilon:   c.cfg.Epsilon,
+		Transport: c.cfg.Transport,
+		Retry:     c.cfg.Retry,
+	}
 }
 
 // ClusterResult reports a finished TCP computation.
@@ -71,16 +110,99 @@ type ClusterResult struct {
 	Messages uint64 // updates shipped between peers (and self-loops)
 	Probes   int    // termination-detector rounds
 	Elapsed  time.Duration
+
+	// Fault-tolerance accounting.
+	Retries      uint64  // frame transmissions past a frame's first attempt
+	Reconnects   uint64  // successful re-dials after a connection loss
+	Redeliveries uint64  // frames acknowledged after more than one attempt
+	Coalesced    uint64  // updates absorbed by sender-side delta coalescing
+	DupDropped   uint64  // duplicate frames suppressed by receivers
+	DeltaShipped float64 // total delta mass shipped
+	DeltaFolded  float64 // total delta mass folded (== shipped when none lost)
+}
+
+// Kill crashes peer i: its goroutines stop, its connections reset,
+// unfolded in-flight batches are lost (senders still hold them), and
+// its durable state is checkpointed inside the cluster for a later
+// Restart. The termination probe keeps counting the crashed peer's
+// outstanding messages, so quiescence cannot be declared over updates
+// parked in its store-and-retry queues.
+func (c *Cluster) Kill(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.peers) {
+		return fmt.Errorf("wire: no peer %d", i)
+	}
+	p := c.peers[i]
+	if p == nil {
+		return fmt.Errorf("wire: peer %d is already down", i)
+	}
+	c.peers[i] = nil
+	snap := p.Kill()
+	var buf bytes.Buffer
+	if err := EncodeSnapshot(snap, &buf); err != nil {
+		return err
+	}
+	c.snaps[i] = snap
+	c.blobs[i] = buf.Bytes()
+	return nil
+}
+
+// Restart rejoins crashed peer i from its checkpoint: a fresh
+// listener at a new address, redelivery of everything it had stored,
+// and an address-table update pushed to every live peer so their
+// reconnect loops re-resolve it.
+func (c *Cluster) Restart(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if i < 0 || i >= len(c.peers) {
+		return fmt.Errorf("wire: no peer %d", i)
+	}
+	if c.peers[i] != nil {
+		return fmt.Errorf("wire: peer %d is not down", i)
+	}
+	if c.blobs[i] == nil {
+		return fmt.Errorf("wire: no checkpoint for peer %d", i)
+	}
+	snap, err := DecodeSnapshot(bytes.NewReader(c.blobs[i]))
+	if err != nil {
+		return err
+	}
+	p, err := RestorePeer(c.peerConfig(i), snap)
+	if err != nil {
+		return err
+	}
+	c.peers[i] = p
+	c.snaps[i] = nil
+	c.blobs[i] = nil
+	c.addrs[i] = p.Addr()
+	addrs := append([]string(nil), c.addrs...)
+	for _, q := range c.peers {
+		if q != nil {
+			q.SetPeers(addrs)
+		}
+	}
+	if c.started {
+		p.Start()
+	}
+	return nil
 }
 
 // Run starts every peer, waits for global quiescence (two consecutive
 // probes with equal and unchanged sent/processed totals), collects the
-// ranks, and shuts the cluster down.
+// ranks, and shuts the cluster down. Peers may be killed and restarted
+// concurrently; quiescence is only declared once every update —
+// including those parked in retry queues — has been folded.
 func (c *Cluster) Run(timeout time.Duration) (ClusterResult, error) {
 	start := time.Now()
+	c.mu.Lock()
+	c.started = true
 	for _, p := range c.peers {
-		p.Start()
+		if p != nil {
+			p.Start()
+		}
 	}
+	c.mu.Unlock()
 	res := ClusterResult{}
 	var prevSent, prevProcessed uint64 = ^uint64(0), ^uint64(0)
 	deadline := time.Now().Add(timeout)
@@ -88,10 +210,7 @@ func (c *Cluster) Run(timeout time.Duration) (ClusterResult, error) {
 		if time.Now().After(deadline) {
 			return res, fmt.Errorf("wire: no quiescence within %v", timeout)
 		}
-		sent, processed, err := c.probe()
-		if err != nil {
-			return res, err
-		}
+		sent, processed := c.counters()
 		res.Probes++
 		if sent == processed && sent == prevSent && processed == prevProcessed {
 			res.Messages = sent
@@ -101,34 +220,120 @@ func (c *Cluster) Run(timeout time.Duration) (ClusterResult, error) {
 		time.Sleep(5 * time.Millisecond)
 	}
 
-	ranks := make([]float64, c.g.NumNodes())
-	for _, p := range c.peers {
-		if err := collectRanks(p.Addr(), ranks); err != nil {
-			return res, err
-		}
-	}
-	res.Ranks = ranks
+	res.Ranks = c.collectAll()
+	st := c.stats()
+	res.Retries = st.Retries
+	res.Reconnects = st.Reconnects
+	res.Redeliveries = st.Redeliveries
+	res.Coalesced = st.Coalesced
+	res.DupDropped = st.DupDropped
+	res.DeltaShipped = st.DeltaShipped
+	res.DeltaFolded = st.DeltaFolded
 	res.Elapsed = time.Since(start)
 	c.Close()
 	return res, nil
 }
 
-// probe sums every peer's (sent, processed) counters over fresh
-// connections.
-func (c *Cluster) probe() (sent, processed uint64, err error) {
-	for _, p := range c.peers {
-		s, pr, err := probePeer(p.Addr())
+// slots returns a consistent copy of the cluster's peer table.
+func (c *Cluster) slots() ([]*Peer, []*PeerSnapshot, []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]*Peer(nil), c.peers...),
+		append([]*PeerSnapshot(nil), c.snaps...),
+		append([]string(nil), c.addrs...)
+}
+
+// counters sums every slot's (sent, processed): live peers over TCP
+// (falling back to a direct read when the probe connection fails
+// transiently), crashed peers from their frozen checkpoint.
+func (c *Cluster) counters() (sent, processed uint64) {
+	peers, snaps, addrs := c.slots()
+	for i := range peers {
+		if peers[i] == nil {
+			if snaps[i] != nil {
+				sent += snaps[i].Sent
+				processed += snaps[i].Processed
+			}
+			continue
+		}
+		s, pr, err := probePeer(c.cfg.Transport, addrs[i])
 		if err != nil {
-			return 0, 0, err
+			s, pr = peers[i].Counters()
 		}
 		sent += s
 		processed += pr
 	}
-	return sent, processed, nil
+	return
 }
 
-func probePeer(addr string) (sent, processed uint64, err error) {
-	conn, err := net.DialTimeout("tcp", addr, time.Second)
+// collectAll gathers every document's rank: live peers over TCP,
+// crashed peers from their checkpoint.
+func (c *Cluster) collectAll() []float64 {
+	ranks := make([]float64, c.g.NumNodes())
+	peers, snaps, addrs := c.slots()
+	for i := range peers {
+		if peers[i] == nil {
+			if snaps[i] != nil {
+				for j, d := range snaps[i].Docs {
+					ranks[d] = snaps[i].Rank[j]
+				}
+			}
+			continue
+		}
+		if err := collectRanks(c.cfg.Transport, addrs[i], ranks); err != nil {
+			docs, rs := peers[i].rk.snapshotRanks()
+			for j, d := range docs {
+				ranks[d] = rs[j]
+			}
+		}
+	}
+	return ranks
+}
+
+// stats sums every slot's counters.
+func (c *Cluster) stats() (st PeerStats) {
+	peers, snaps, _ := c.slots()
+	for i := range peers {
+		var ps PeerStats
+		switch {
+		case peers[i] != nil:
+			ps = peers[i].Stats()
+		case snaps[i] != nil:
+			ps = PeerStats{
+				Sent: snaps[i].Sent, Processed: snaps[i].Processed,
+				Retries: snaps[i].Retries, Reconnects: snaps[i].Reconnects,
+				Redeliveries: snaps[i].Redeliveries, Coalesced: snaps[i].Coalesced,
+				DupDropped:   snaps[i].DupDropped,
+				DeltaShipped: snaps[i].DeltaShipped, DeltaFolded: snaps[i].DeltaFolded,
+			}
+		default:
+			continue
+		}
+		st.Sent += ps.Sent
+		st.Processed += ps.Processed
+		st.Retries += ps.Retries
+		st.Reconnects += ps.Reconnects
+		st.Redeliveries += ps.Redeliveries
+		st.Coalesced += ps.Coalesced
+		st.DupDropped += ps.DupDropped
+		st.DeltaShipped += ps.DeltaShipped
+		st.DeltaFolded += ps.DeltaFolded
+	}
+	return
+}
+
+// observerDial opens a short-lived observer connection (probes, rank
+// collection) through the cluster's transport so nothing reaches
+// around it, while fault injectors leave observer traffic clean.
+func observerDial(tr Transport, addr string) (net.Conn, error) {
+	if tr == nil {
+		tr = TCPDialer()
+	}
+	return tr.Dial(Observer, Observer, addr)
+}
+
+func probePeer(tr Transport, addr string) (sent, processed uint64, err error) {
+	conn, err := observerDial(tr, addr)
 	if err != nil {
 		return 0, 0, err
 	}
@@ -146,8 +351,8 @@ func probePeer(addr string) (sent, processed uint64, err error) {
 	return decodeSnapshot(payload)
 }
 
-func collectRanks(addr string, out []float64) error {
-	conn, err := net.DialTimeout("tcp", addr, time.Second)
+func collectRanks(tr Transport, addr string, out []float64) error {
+	conn, err := observerDial(tr, addr)
 	if err != nil {
 		return err
 	}
@@ -168,7 +373,10 @@ func collectRanks(addr string, out []float64) error {
 
 // Close stops every peer.
 func (c *Cluster) Close() {
-	for _, p := range c.peers {
+	c.mu.Lock()
+	peers := append([]*Peer(nil), c.peers...)
+	c.mu.Unlock()
+	for _, p := range peers {
 		if p != nil {
 			p.Close()
 		}
@@ -176,12 +384,24 @@ func (c *Cluster) Close() {
 }
 
 // NumPeers returns the cluster size.
-func (c *Cluster) NumPeers() int { return len(c.peers) }
+func (c *Cluster) NumPeers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.peers)
+}
 
 // DebugCounters sums the live counters without probing over TCP.
 func (c *Cluster) DebugCounters() (sent, processed uint64) {
-	for _, p := range c.peers {
-		s, pr := p.Counters()
+	peers, snaps, _ := c.slots()
+	for i := range peers {
+		if peers[i] == nil {
+			if snaps[i] != nil {
+				sent += snaps[i].Sent
+				processed += snaps[i].Processed
+			}
+			continue
+		}
+		s, pr := peers[i].Counters()
 		sent += s
 		processed += pr
 	}

@@ -1,0 +1,241 @@
+package wire
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dpr/internal/p2p"
+	"dpr/internal/rng"
+)
+
+// FaultConfig sets the probabilistic failure schedule of a
+// FaultTransport. All probabilities are per write (per frame for the
+// peer senders, which write one frame per call). The dice are drawn
+// from a single seeded stream, so a given config produces a
+// reproducible fault sequence.
+type FaultConfig struct {
+	Seed uint64
+
+	// DropProb discards the written bytes and resets the connection.
+	// The loss is detectable — the writer gets an error — which models
+	// TCP's promise that undelivered data eventually surfaces as a
+	// broken connection rather than a silent gap.
+	DropProb float64
+
+	// ResetProb delivers the written bytes and then resets the
+	// connection anyway. The sender cannot tell this from DropProb, so
+	// it must redeliver — exercising the receiver's duplicate
+	// suppression.
+	ResetProb float64
+
+	// DupProb transmits the written bytes twice.
+	DupProb float64
+
+	// DelayProb sleeps a uniform [0, MaxDelay) before the write.
+	DelayProb float64
+	MaxDelay  time.Duration
+
+	// DialFailProb fails connection establishment.
+	DialFailProb float64
+}
+
+// FaultStats counts the faults a FaultTransport has injected.
+type FaultStats struct {
+	Drops, Resets, Dups, Delays, DialFails, PartitionRefusals uint64
+}
+
+// FaultTransport wraps another Transport with deterministic
+// (seeded) fault injection: probabilistic drops, delivered-then-reset
+// connections, duplicated frames, delays, dial failures, and scripted
+// partitions of peer pairs. The config can be swapped at runtime with
+// SetConfig and partitions toggled with Partition/Heal, so tests can
+// script failure schedules. Observer connections (termination probes,
+// rank collection) pass through untouched.
+type FaultTransport struct {
+	inner Transport
+
+	mu    sync.Mutex
+	rng   *rng.Rand
+	cfg   FaultConfig
+	cut   map[pairKey]bool
+	conns map[pairKey]map[*faultConn]struct{}
+
+	drops, resets, dups, delays, dialFails, refusals atomic.Uint64
+}
+
+// pairKey identifies an unordered peer pair.
+type pairKey struct{ lo, hi p2p.PeerID }
+
+func pairOf(a, b p2p.PeerID) pairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return pairKey{a, b}
+}
+
+// NewFaultTransport wraps inner with the given fault schedule.
+func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
+	if inner == nil {
+		inner = TCPDialer()
+	}
+	return &FaultTransport{
+		inner: inner,
+		rng:   rng.New(cfg.Seed),
+		cfg:   cfg,
+		cut:   make(map[pairKey]bool),
+		conns: make(map[pairKey]map[*faultConn]struct{}),
+	}
+}
+
+// SetConfig replaces the fault schedule at runtime.
+func (t *FaultTransport) SetConfig(cfg FaultConfig) {
+	t.mu.Lock()
+	t.cfg = cfg
+	t.mu.Unlock()
+}
+
+// Partition cuts the pair (a, b) in both directions: established
+// connections are reset and new dials refused until Heal.
+func (t *FaultTransport) Partition(a, b p2p.PeerID) {
+	key := pairOf(a, b)
+	t.mu.Lock()
+	t.cut[key] = true
+	var victims []*faultConn
+	for c := range t.conns[key] {
+		victims = append(victims, c)
+	}
+	t.mu.Unlock()
+	for _, c := range victims {
+		c.Close()
+	}
+}
+
+// Heal removes the partition between a and b.
+func (t *FaultTransport) Heal(a, b p2p.PeerID) {
+	key := pairOf(a, b)
+	t.mu.Lock()
+	delete(t.cut, key)
+	t.mu.Unlock()
+}
+
+// Stats reports how many faults have been injected so far.
+func (t *FaultTransport) Stats() FaultStats {
+	return FaultStats{
+		Drops: t.drops.Load(), Resets: t.resets.Load(), Dups: t.dups.Load(),
+		Delays: t.delays.Load(), DialFails: t.dialFails.Load(),
+		PartitionRefusals: t.refusals.Load(),
+	}
+}
+
+// Dial implements Transport.
+func (t *FaultTransport) Dial(from, to p2p.PeerID, addr string) (net.Conn, error) {
+	if from == Observer || to == Observer {
+		return t.inner.Dial(from, to, addr)
+	}
+	key := pairOf(from, to)
+	t.mu.Lock()
+	if t.cut[key] {
+		t.mu.Unlock()
+		t.refusals.Add(1)
+		return nil, fmt.Errorf("wire: peers %d and %d are partitioned", from, to)
+	}
+	fail := t.rng.Bool(t.cfg.DialFailProb)
+	t.mu.Unlock()
+	if fail {
+		t.dialFails.Add(1)
+		return nil, fmt.Errorf("wire: injected dial failure %d -> %d", from, to)
+	}
+	conn, err := t.inner.Dial(from, to, addr)
+	if err != nil {
+		return nil, err
+	}
+	fc := &faultConn{Conn: conn, t: t, key: key}
+	t.mu.Lock()
+	set := t.conns[key]
+	if set == nil {
+		set = make(map[*faultConn]struct{})
+		t.conns[key] = set
+	}
+	set[fc] = struct{}{}
+	t.mu.Unlock()
+	return fc, nil
+}
+
+// faultConn applies the write-side faults of its FaultTransport.
+type faultConn struct {
+	net.Conn
+	t    *FaultTransport
+	key  pairKey
+	dead atomic.Bool
+}
+
+// roll draws this write's fault decisions in one critical section so
+// the dice stream stays a deterministic function of the seed.
+func (c *faultConn) roll() (cut bool, delay time.Duration, drop, dup, reset bool) {
+	t := c.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.cut[c.key] {
+		return true, 0, false, false, false
+	}
+	cfg := t.cfg
+	if cfg.DelayProb > 0 && t.rng.Bool(cfg.DelayProb) && cfg.MaxDelay > 0 {
+		delay = time.Duration(t.rng.Float64() * float64(cfg.MaxDelay))
+	}
+	drop = t.rng.Bool(cfg.DropProb)
+	if !drop {
+		dup = t.rng.Bool(cfg.DupProb)
+		reset = t.rng.Bool(cfg.ResetProb)
+	}
+	return
+}
+
+func (c *faultConn) Write(b []byte) (int, error) {
+	if c.dead.Load() {
+		return 0, fmt.Errorf("wire: connection reset by fault injector")
+	}
+	cut, delay, drop, dup, reset := c.roll()
+	if cut {
+		c.t.refusals.Add(1)
+		c.Close()
+		return 0, fmt.Errorf("wire: connection cut by partition")
+	}
+	if delay > 0 {
+		c.t.delays.Add(1)
+		time.Sleep(delay)
+	}
+	if drop {
+		c.t.drops.Add(1)
+		c.Close()
+		return 0, fmt.Errorf("wire: injected drop (frame lost, connection reset)")
+	}
+	n, err := c.Conn.Write(b)
+	if err != nil {
+		return n, err
+	}
+	if dup {
+		c.t.dups.Add(1)
+		c.Conn.Write(b)
+	}
+	if reset {
+		c.t.resets.Add(1)
+		c.Close()
+		return n, fmt.Errorf("wire: injected reset (frame delivered, connection reset)")
+	}
+	return n, nil
+}
+
+func (c *faultConn) Close() error {
+	if c.dead.Swap(true) {
+		return nil
+	}
+	c.t.mu.Lock()
+	if set := c.t.conns[c.key]; set != nil {
+		delete(set, c)
+	}
+	c.t.mu.Unlock()
+	return c.Conn.Close()
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"sync"
@@ -11,7 +12,13 @@ import (
 	"time"
 
 	"dpr/internal/p2p"
+	"dpr/internal/rng"
 )
+
+// batchSeqContentType marks a POST body carrying a sequenced batch
+// (sender + sequence-number prefix); plain application/octet-stream
+// bodies are accepted as legacy unsequenced batches.
+const batchSeqContentType = "application/x-dpr-batch-seq"
 
 // HTTPPeer is the paper's section 8 scenario taken literally: a web
 // server whose HTTP interface is augmented with pagerank endpoints.
@@ -22,10 +29,14 @@ import (
 //
 // Web servers exchange update batches with plain POSTs; no P2P overlay
 // software is required, which is exactly the paper's argument for an
-// Internet-scale deployment.
+// Internet-scale deployment. Transient failures (connection errors,
+// 5xx responses) are retried with capped exponential backoff; posts
+// carry per-destination sequence numbers so a retried request whose
+// first copy actually arrived is folded exactly once.
 type HTTPPeer struct {
-	cfg PeerConfig
-	rk  *ranker
+	cfg   PeerConfig
+	retry RetryPolicy
+	rk    *ranker
 
 	srv    *http.Server
 	ln     net.Listener
@@ -34,23 +45,36 @@ type HTTPPeer struct {
 
 	senders map[p2p.PeerID]*postQueue
 	sendMu  sync.Mutex
+	rqMu    sync.Mutex
+	rq      *p2p.RetryQueue
 
-	inbox chan []p2p.Update
+	inbox chan inItem
 	quit  chan struct{}
 	wg    sync.WaitGroup
 
+	// lastSeq suppresses duplicate posts per sender; owned by
+	// processLoop.
+	lastSeq map[p2p.PeerID]uint64
+
 	sent      atomic.Uint64
 	processed atomic.Uint64
+
+	retries      atomic.Uint64 // POST attempts past a request's first try
+	coalesced    atomic.Uint64 // updates absorbed by sender-side coalescing
+	dupDropped   atomic.Uint64 // duplicate posts suppressed
+	deltaOutBits atomic.Uint64
+	deltaInBits  atomic.Uint64
 }
 
-// postQueue serializes POSTs to one destination through an unbounded
-// queue so the processing loop never blocks on a slow server. Queued
-// updates are merged into one request per drain, amortizing HTTP
+// postQueue serializes POSTs to one destination. Pending updates live
+// delta-coalesced in the peer's retry queue so sender-side state stays
+// bounded no matter how long the destination is unreachable; each
+// drained batch becomes one sequenced request, amortizing HTTP
 // round-trip overhead the way the paper's per-pass batching does.
 type postQueue struct {
-	mu    sync.Mutex
-	queue []p2p.Update
-	wake  chan struct{}
+	wake    chan struct{}
+	rng     *rng.Rand // backoff jitter; used only by its postLoop
+	nextSeq uint64
 }
 
 // NewHTTPPeer starts an HTTP server on 127.0.0.1 (ephemeral port).
@@ -68,14 +92,21 @@ func NewHTTPPeer(cfg PeerConfig) (*HTTPPeer, error) {
 	if err != nil {
 		return nil, err
 	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: 30 * time.Second}
+	}
 	p := &HTTPPeer{
 		cfg:     cfg,
+		retry:   cfg.Retry.withDefaults(),
 		rk:      newRanker(cfg),
 		ln:      ln,
-		client:  &http.Client{Timeout: 30 * time.Second},
+		client:  client,
 		senders: make(map[p2p.PeerID]*postQueue),
-		inbox:   make(chan []p2p.Update, 1024),
+		rq:      p2p.NewRetryQueue(),
+		inbox:   make(chan inItem, 1024),
 		quit:    make(chan struct{}),
+		lastSeq: make(map[p2p.PeerID]uint64),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/pagerank/updates", p.handleUpdates)
@@ -101,13 +132,26 @@ func (p *HTTPPeer) Counters() (uint64, uint64) {
 	return p.sent.Load(), p.processed.Load()
 }
 
+// Stats reports the peer's fault-tolerance counters.
+func (p *HTTPPeer) Stats() PeerStats {
+	return PeerStats{
+		Sent:         p.sent.Load(),
+		Processed:    p.processed.Load(),
+		Retries:      p.retries.Load(),
+		Coalesced:    p.coalesced.Load(),
+		DupDropped:   p.dupDropped.Load(),
+		DeltaShipped: math.Float64frombits(p.deltaOutBits.Load()),
+		DeltaFolded:  math.Float64frombits(p.deltaInBits.Load()),
+	}
+}
+
 // Start launches processing and performs the initial push.
 func (p *HTTPPeer) Start() {
 	p.wg.Add(1)
 	go p.processLoop()
 	if self := p.ship(p.rk.initialOut()); len(self) > 0 {
 		select {
-		case p.inbox <- self:
+		case p.inbox <- inItem{from: p.cfg.ID, us: self}:
 		case <-p.quit:
 		}
 	}
@@ -134,13 +178,24 @@ func (p *HTTPPeer) handleUpdates(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	us, err := decodeBatch(body)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
-		return
+	var it inItem
+	if r.Header.Get("Content-Type") == batchSeqContentType {
+		from, seq, us, err := decodeBatchSeq(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		it = inItem{from: from, seq: seq, seqed: true, us: us}
+	} else {
+		us, err := decodeBatch(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		it = inItem{us: us}
 	}
 	select {
-	case p.inbox <- us:
+	case p.inbox <- it:
 		w.WriteHeader(http.StatusAccepted)
 	case <-p.quit:
 		http.Error(w, "shutting down", http.StatusServiceUnavailable)
@@ -163,18 +218,32 @@ func (p *HTTPPeer) processLoop() {
 		select {
 		case <-p.quit:
 			return
-		case us := <-p.inbox:
-			batch := us
+		case it := <-p.inbox:
+			items := []inItem{it}
 			for drained := false; !drained; {
 				select {
 				case more := <-p.inbox:
-					batch = append(batch, more...)
+					items = append(items, more)
 				default:
 					drained = true
 				}
 			}
+			var batch []p2p.Update
+			for _, it := range items {
+				if it.seqed {
+					if it.seq <= p.lastSeq[it.from] {
+						p.dupDropped.Add(1)
+						continue // retried post whose first copy arrived
+					}
+					p.lastSeq[it.from] = it.seq
+				}
+				batch = append(batch, it.us...)
+			}
 			for len(batch) > 0 {
 				self := p.ship(p.rk.fold(batch))
+				for _, u := range batch {
+					addFloat(&p.deltaInBits, u.Delta)
+				}
 				p.processed.Add(uint64(len(batch)))
 				batch = self
 			}
@@ -187,6 +256,9 @@ func (p *HTTPPeer) ship(out map[p2p.PeerID][]p2p.Update) []p2p.Update {
 	var self []p2p.Update
 	for dest, us := range out {
 		p.sent.Add(uint64(len(us)))
+		for _, u := range us {
+			addFloat(&p.deltaOutBits, u.Delta)
+		}
 		if dest == p.cfg.ID {
 			self = append(self, us...)
 			continue
@@ -196,27 +268,46 @@ func (p *HTTPPeer) ship(out map[p2p.PeerID][]p2p.Update) []p2p.Update {
 	return self
 }
 
-// post enqueues one batch for asynchronous POSTing.
+// post coalesces one batch into the destination's pending queue and
+// wakes its poster. Updates absorbed by coalescing count as processed
+// on the spot (their delta survives inside the merged entry).
 func (p *HTTPPeer) post(dest p2p.PeerID, us []p2p.Update) {
+	merged := 0
+	p.rqMu.Lock()
+	for _, u := range us {
+		if p.rq.DeferMerge(dest, u) {
+			merged++
+		}
+	}
+	p.rqMu.Unlock()
+	if merged > 0 {
+		p.coalesced.Add(uint64(merged))
+		p.processed.Add(uint64(merged))
+	}
 	p.sendMu.Lock()
 	q, ok := p.senders[dest]
 	if !ok {
-		q = &postQueue{wake: make(chan struct{}, 1)}
+		q = &postQueue{
+			wake:    make(chan struct{}, 1),
+			rng:     rng.New(uint64(p.cfg.ID)<<32 ^ uint64(uint32(dest)) ^ 0x7f4a7c15),
+			nextSeq: 1,
+		}
 		p.senders[dest] = q
 		p.wg.Add(1)
 		go p.postLoop(dest, q)
 	}
 	p.sendMu.Unlock()
-	q.mu.Lock()
-	q.queue = append(q.queue, us...)
-	q.mu.Unlock()
 	select {
 	case q.wake <- struct{}{}:
 	default:
 	}
 }
 
-// postLoop drains one destination's queue.
+// postLoop drains one destination's queue, retrying each sequenced
+// request with capped backoff until the server accepts it. A retried
+// request whose first copy actually arrived is suppressed server-side
+// by its sequence number, so transient failures can neither lose nor
+// double-fold updates.
 func (p *HTTPPeer) postLoop(dest p2p.PeerID, q *postQueue) {
 	defer p.wg.Done()
 	url := ""
@@ -229,28 +320,60 @@ func (p *HTTPPeer) postLoop(dest p2p.PeerID, q *postQueue) {
 			return
 		case <-q.wake:
 			for {
-				q.mu.Lock()
-				us := q.queue
-				q.queue = nil
-				q.mu.Unlock()
+				p.rqMu.Lock()
+				us := p.rq.Drain(dest)
+				p.rqMu.Unlock()
 				if len(us) == 0 {
 					break
 				}
 				if url == "" {
-					// Unknown destination: balance counters so the
-					// termination probe still fires.
+					// Unknown destination: account the updates as
+					// consumed so the termination probe still fires.
 					p.processed.Add(uint64(len(us)))
 					continue
 				}
-				body := encodeBatch(us)
-				resp, err := p.client.Post(url, "application/octet-stream", bytes.NewReader(body))
-				if err != nil {
-					p.processed.Add(uint64(len(us)))
-					continue
+				seq := q.nextSeq
+				q.nextSeq++
+				body := encodeBatchSeq(p.cfg.ID, seq, us)
+				delivered, shutdown := p.postWithRetry(q, url, body)
+				if shutdown {
+					return
 				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
+				if !delivered {
+					// Permanent rejection: account the updates as
+					// consumed so the termination probe still fires.
+					p.processed.Add(uint64(len(us)))
+				}
 			}
+		}
+	}
+}
+
+// postWithRetry delivers one sequenced request, retrying transient
+// failures (connection errors and 5xx responses) with capped
+// exponential backoff until the server answers below 500. delivered
+// reports whether the request was accepted (2xx); shutdown reports the
+// peer quit while retrying.
+func (p *HTTPPeer) postWithRetry(q *postQueue, url string, body []byte) (delivered, shutdown bool) {
+	for fails := 0; ; {
+		resp, err := p.client.Post(url, batchSeqContentType, bytes.NewReader(body))
+		if err == nil {
+			code := resp.StatusCode
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if code < 300 {
+				return true, false
+			}
+			if code < 500 {
+				return false, false // permanent rejection
+			}
+		}
+		fails++
+		p.retries.Add(1)
+		select {
+		case <-p.quit:
+			return false, true
+		case <-time.After(p.retry.delay(q.rng, fails)):
 		}
 	}
 }

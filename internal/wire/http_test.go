@@ -1,10 +1,12 @@
 package wire
 
 import (
+	"fmt"
 	"io"
 	"math"
 	"net/http"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -103,6 +105,91 @@ func TestHTTPEndpointsValidation(t *testing.T) {
 	resp.Body.Close()
 	if _, _, err := decodeSnapshot(body); err != nil {
 		t.Fatalf("counters payload: %v", err)
+	}
+}
+
+// flakyTransport fails a deterministic subset of requests: some are
+// lost before reaching the server (pure transient failure), some are
+// delivered but their response is lost (so the sender must re-post a
+// request the receiver already folded — exercising duplicate
+// suppression).
+type flakyTransport struct {
+	inner http.RoundTripper
+
+	mu       sync.Mutex
+	n        int
+	lost     int // never reached the server
+	respLost int // reached the server, response discarded
+}
+
+func (f *flakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f.mu.Lock()
+	f.n++
+	n := f.n
+	f.mu.Unlock()
+	switch {
+	case n%5 == 0:
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		f.mu.Lock()
+		f.lost++
+		f.mu.Unlock()
+		return nil, fmt.Errorf("flaky: connection refused")
+	case n%7 == 0:
+		resp, err := f.inner.RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		f.mu.Lock()
+		f.respLost++
+		f.mu.Unlock()
+		return nil, fmt.Errorf("flaky: response lost")
+	}
+	return f.inner.RoundTrip(req)
+}
+
+func TestHTTPClusterRetriesTransientPostFailures(t *testing.T) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(400, 133))
+	ft := &flakyTransport{inner: http.DefaultTransport}
+	c, err := NewHTTPCluster(g, ClusterConfig{
+		Peers: 3, Epsilon: 1e-6, Seed: 6,
+		Client: &http.Client{Transport: ft, Timeout: 30 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(120 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := solver.Power(g, solver.Config{Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref.Ranks {
+		if math.Abs(res.Ranks[i]-ref.Ranks[i])/ref.Ranks[i] > 1e-3 {
+			t.Fatalf("rank[%d]: http %v vs solver %v", i, res.Ranks[i], ref.Ranks[i])
+		}
+	}
+	ft.mu.Lock()
+	lost, respLost := ft.lost, ft.respLost
+	ft.mu.Unlock()
+	if lost == 0 || respLost == 0 {
+		t.Fatalf("flaky transport idle: lost=%d respLost=%d", lost, respLost)
+	}
+	if res.Retries == 0 {
+		t.Fatalf("transient failures should force retries: %+v", res)
+	}
+	if res.DupDropped == 0 {
+		t.Fatalf("re-posted delivered requests should be suppressed: %+v", res)
+	}
+	diff := math.Abs(res.DeltaShipped - res.DeltaFolded)
+	if diff > 1e-6*math.Max(1, math.Abs(res.DeltaShipped)) {
+		t.Fatalf("delta mass not conserved: shipped %v folded %v", res.DeltaShipped, res.DeltaFolded)
 	}
 }
 

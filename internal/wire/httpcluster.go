@@ -19,6 +19,11 @@ type HTTPCluster struct {
 	client *http.Client
 }
 
+// httpObserverRetries bounds the retry loop around the cluster's own
+// probe and collection GETs, so a transiently unreachable peer does
+// not fail the whole run.
+const httpObserverRetries = 5
+
 // NewHTTPCluster starts cfg.Peers HTTP servers on localhost and
 // distributes g's documents among them.
 func NewHTTPCluster(g *graph.Graph, cfg ClusterConfig) (*HTTPCluster, error) {
@@ -43,6 +48,8 @@ func NewHTTPCluster(g *graph.Graph, cfg ClusterConfig) (*HTTPCluster, error) {
 			Docs:    docs[i],
 			Damping: cfg.Damping,
 			Epsilon: cfg.Epsilon,
+			Retry:   cfg.Retry,
+			Client:  cfg.Client,
 		})
 		if err != nil {
 			c.Close()
@@ -90,21 +97,59 @@ func (c *HTTPCluster) Run(timeout time.Duration) (ClusterResult, error) {
 		}
 	}
 	res.Ranks = ranks
+	for _, p := range c.peers {
+		st := p.Stats()
+		res.Retries += st.Retries
+		res.Coalesced += st.Coalesced
+		res.DupDropped += st.DupDropped
+		res.DeltaShipped += st.DeltaShipped
+		res.DeltaFolded += st.DeltaFolded
+	}
 	res.Elapsed = time.Since(start)
 	c.Close()
 	return res, nil
 }
 
-func (c *HTTPCluster) probe() (sent, processed uint64, err error) {
-	for _, p := range c.peers {
-		resp, err := c.client.Get(p.URL() + "/pagerank/counters")
-		if err != nil {
-			return 0, 0, err
+// getWithRetry performs one observer GET, retrying transient failures
+// (connection errors, 5xx) a few times with short backoff instead of
+// failing the run on the first hiccup.
+func (c *HTTPCluster) getWithRetry(url string, limit int64) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < httpObserverRetries; attempt++ {
+		if attempt > 0 {
+			time.Sleep(time.Duration(attempt) * 10 * time.Millisecond)
 		}
-		body, err := io.ReadAll(io.LimitReader(resp.Body, 64))
+		resp, err := c.client.Get(url)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		body, err := io.ReadAll(io.LimitReader(resp.Body, limit))
+		code := resp.StatusCode
 		resp.Body.Close()
 		if err != nil {
-			return 0, 0, err
+			lastErr = err
+			continue
+		}
+		if code >= 500 {
+			lastErr = fmt.Errorf("wire: %s answered %d", url, code)
+			continue
+		}
+		return body, nil
+	}
+	return nil, lastErr
+}
+
+func (c *HTTPCluster) probe() (sent, processed uint64, err error) {
+	for _, p := range c.peers {
+		body, err := c.getWithRetry(p.URL()+"/pagerank/counters", 64)
+		if err != nil {
+			// Transient unavailability: fall back to a direct read so a
+			// hiccup cannot fail the run.
+			s, pr := p.Counters()
+			sent += s
+			processed += pr
+			continue
 		}
 		s, pr, err := decodeSnapshot(body)
 		if err != nil {
@@ -117,12 +162,7 @@ func (c *HTTPCluster) probe() (sent, processed uint64, err error) {
 }
 
 func (c *HTTPCluster) collect(url string, out []float64) error {
-	resp, err := c.client.Get(url + "/pagerank/ranks")
-	if err != nil {
-		return err
-	}
-	body, err := io.ReadAll(io.LimitReader(resp.Body, maxFrameBytes))
-	resp.Body.Close()
+	body, err := c.getWithRetry(url+"/pagerank/ranks", maxFrameBytes)
 	if err != nil {
 		return err
 	}

@@ -3,13 +3,53 @@ package wire
 import (
 	"bytes"
 	"fmt"
+	"math"
 	"net"
+	"net/http"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dpr/internal/graph"
 	"dpr/internal/p2p"
+	"dpr/internal/rng"
 )
+
+// RetryPolicy shapes the reconnect/redelivery backoff of the fault-
+// tolerant senders: delays grow exponentially from Base to Max, with
+// a +/- Jitter/2 multiplicative spread so a burst of failures does
+// not resynchronize every peer's retry clock.
+type RetryPolicy struct {
+	Base   time.Duration // first backoff; 0 means 5ms
+	Max    time.Duration // backoff cap; 0 means 250ms
+	Jitter float64       // multiplicative spread; 0 means 0.5
+}
+
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	if rp.Base <= 0 {
+		rp.Base = 5 * time.Millisecond
+	}
+	if rp.Max <= 0 {
+		rp.Max = 250 * time.Millisecond
+	}
+	if rp.Jitter <= 0 {
+		rp.Jitter = 0.5
+	}
+	return rp
+}
+
+// delay returns the backoff for the given consecutive-failure count.
+func (rp RetryPolicy) delay(r *rng.Rand, fails int) time.Duration {
+	d := rp.Base
+	for i := 1; i < fails && d < rp.Max; i++ {
+		d *= 2
+	}
+	if d > rp.Max {
+		d = rp.Max
+	}
+	spread := 1 + rp.Jitter*(r.Float64()-0.5)
+	return time.Duration(float64(d) * spread)
+}
 
 // PeerConfig configures one TCP peer.
 type PeerConfig struct {
@@ -19,83 +59,106 @@ type PeerConfig struct {
 	Docs    []graph.NodeID
 	Damping float64 // 0 means 0.85
 	Epsilon float64 // 0 means 1e-3
+
+	// Transport dials outbound connections; nil means the real TCP
+	// dialer. Tests inject a FaultTransport here.
+	Transport Transport
+
+	// Retry shapes reconnect/redelivery backoff; zero fields get
+	// defaults.
+	Retry RetryPolicy
+
+	// Client is used by HTTP peers only; nil means a default client.
+	Client *http.Client
 }
 
 // Peer is one network node of the computation: a TCP listener, one
 // persistent outbound connection per destination peer, and the chaotic
 // iteration state for the documents it owns.
+//
+// The outbound path implements the paper's store-and-retry protocol:
+// updates bound for a remote peer are coalesced into a per-destination
+// retry queue, framed with (sender, seq) headers, and kept by the
+// sender until the destination acknowledges folding them. Connection
+// loss triggers reconnection with exponential backoff and verbatim
+// retransmission of every unacknowledged frame; receivers suppress
+// redelivered duplicates by per-sender sequence number, so delivery is
+// exactly-once end to end.
 type Peer struct {
-	cfg  PeerConfig
-	rk   *ranker
-	ln   net.Listener
-	addr string
+	cfg   PeerConfig
+	tr    Transport
+	retry RetryPolicy
+	rk    *ranker
+	ln    net.Listener
+	addr  string
 
-	// Outbound connections, created lazily.
-	outMu sync.Mutex
-	outs  map[p2p.PeerID]*outConn
-	peers []string // peer id -> address
+	// Peer address table; mutated when a crashed peer rejoins at a
+	// new address, so reads always go through peerAddr.
+	peersMu sync.Mutex
+	peers   []string
+
+	// Outbound senders, created lazily, plus the shared retry queue
+	// holding not-yet-framed updates per destination.
+	sendMu  sync.Mutex
+	senders map[p2p.PeerID]*sender
+	rqMu    sync.Mutex
+	rq      *p2p.RetryQueue
 
 	// Inbound connections, tracked so Close can unblock their readers.
 	inMu sync.Mutex
 	ins  map[net.Conn]struct{}
 
-	inbox chan []p2p.Update
+	inbox chan inItem
 	quit  chan struct{}
 	wg    sync.WaitGroup
 
+	// lastSeq is the duplicate-suppression table: the highest folded
+	// sequence number per sender. Owned by processLoop; read elsewhere
+	// only after the loops have stopped (Kill).
+	lastSeq map[p2p.PeerID]uint64
+
+	restored bool // resumed from a snapshot: skip the initial push
+
 	sent      atomic.Uint64 // update messages shipped to other peers
-	processed atomic.Uint64 // update messages consumed
+	processed atomic.Uint64 // update messages consumed (folded or coalesced)
+
+	retries      atomic.Uint64 // frame transmissions past a frame's first attempt
+	reconnects   atomic.Uint64 // successful re-dials after a connection loss
+	redeliveries atomic.Uint64 // frames acknowledged after more than one attempt
+	coalesced    atomic.Uint64 // updates absorbed by sender-side delta coalescing
+	dupDropped   atomic.Uint64 // duplicate frames suppressed by seq dedup
+	deltaOutBits atomic.Uint64 // float64 bits: delta mass shipped (self included)
+	deltaInBits  atomic.Uint64 // float64 bits: delta mass folded
 }
 
-// outConn owns one outbound connection. Writes go through an
-// unbounded queue drained by a dedicated goroutine, so a peer never
-// blocks on a slow or jammed destination (synchronous writes around a
-// cycle of peers with full TCP buffers would deadlock the ring).
-type outConn struct {
-	mu     sync.Mutex
-	queue  [][]byte
-	wake   chan struct{}
-	conn   net.Conn
-	closed bool
+// inItem is one inbox entry: a batch of updates plus, for sequenced
+// remote frames, the metadata the processing loop needs to suppress
+// duplicates and acknowledge folding.
+type inItem struct {
+	from  p2p.PeerID
+	seq   uint64
+	seqed bool
+	us    []p2p.Update
+	ack   func() // transmits the cumulative ack; nil for local items
 }
 
-func newOutConn(conn net.Conn) *outConn {
-	return &outConn{conn: conn, wake: make(chan struct{}, 1)}
-}
-
-// enqueue schedules one frame for transmission.
-func (oc *outConn) enqueue(frame []byte) {
-	oc.mu.Lock()
-	oc.queue = append(oc.queue, frame)
-	oc.mu.Unlock()
-	select {
-	case oc.wake <- struct{}{}:
-	default:
-	}
-}
-
-// writeLoop drains the queue until the connection closes.
-func (oc *outConn) writeLoop(quit <-chan struct{}) {
+// addFloat accumulates v into a float64 stored as atomic bits.
+func addFloat(bits *atomic.Uint64, v float64) {
 	for {
-		select {
-		case <-quit:
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, next) {
 			return
-		case <-oc.wake:
-			for {
-				oc.mu.Lock()
-				if len(oc.queue) == 0 {
-					oc.mu.Unlock()
-					break
-				}
-				frame := oc.queue[0]
-				oc.queue = oc.queue[1:]
-				oc.mu.Unlock()
-				if _, err := oc.conn.Write(frame); err != nil {
-					return // connection lost; remaining frames dropped
-				}
-			}
 		}
 	}
+}
+
+// PeerStats is a point-in-time view of one peer's counters.
+type PeerStats struct {
+	Sent, Processed                   uint64
+	Retries, Reconnects, Redeliveries uint64
+	Coalesced, DupDropped             uint64
+	DeltaShipped, DeltaFolded         float64
 }
 
 // NewPeer starts listening on 127.0.0.1 (ephemeral port). Call
@@ -110,19 +173,26 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 	if cfg.Graph == nil || cfg.DocPeer == nil {
 		return nil, fmt.Errorf("wire: nil graph or placement")
 	}
+	if cfg.Transport == nil {
+		cfg.Transport = TCPDialer()
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
 	p := &Peer{
-		cfg:   cfg,
-		rk:    newRanker(cfg),
-		ln:    ln,
-		addr:  ln.Addr().String(),
-		outs:  make(map[p2p.PeerID]*outConn),
-		ins:   make(map[net.Conn]struct{}),
-		inbox: make(chan []p2p.Update, 1024),
-		quit:  make(chan struct{}),
+		cfg:     cfg,
+		tr:      cfg.Transport,
+		retry:   cfg.Retry.withDefaults(),
+		rk:      newRanker(cfg),
+		ln:      ln,
+		addr:    ln.Addr().String(),
+		senders: make(map[p2p.PeerID]*sender),
+		rq:      p2p.NewRetryQueue(),
+		ins:     make(map[net.Conn]struct{}),
+		inbox:   make(chan inItem, 1024),
+		quit:    make(chan struct{}),
+		lastSeq: make(map[p2p.PeerID]uint64),
 	}
 	p.wg.Add(1)
 	go p.acceptLoop()
@@ -133,36 +203,66 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 func (p *Peer) Addr() string { return p.addr }
 
 // SetPeers installs the full peer address table (indexed by PeerID).
-func (p *Peer) SetPeers(addrs []string) { p.peers = addrs }
+// It may be called again while running when a crashed peer rejoins at
+// a new address.
+func (p *Peer) SetPeers(addrs []string) {
+	p.peersMu.Lock()
+	p.peers = append([]string(nil), addrs...)
+	p.peersMu.Unlock()
+}
 
-// Start launches the processing loop and performs the initial push.
+// peerAddr resolves a destination's current address ("" if unknown).
+func (p *Peer) peerAddr(dest p2p.PeerID) string {
+	p.peersMu.Lock()
+	defer p.peersMu.Unlock()
+	if dest < 0 || int(dest) >= len(p.peers) {
+		return ""
+	}
+	return p.peers[dest]
+}
+
+// Start launches the processing loop and performs the initial push
+// (skipped for peers restored from a snapshot, whose ranker state
+// already reflects everything they pushed before crashing).
 func (p *Peer) Start() {
 	p.wg.Add(1)
 	go p.processLoop()
+	p.sendMu.Lock()
+	for _, s := range p.senders {
+		s.wakeUp()
+	}
+	p.sendMu.Unlock()
+	if p.restored {
+		return
+	}
 	// Initial push of every owned document's starting rank. Self-
 	// directed updates enter through the inbox channel; the processing
 	// loop is already running, so the buffered channel drains.
 	if self := p.ship(p.rk.initialOut()); len(self) > 0 {
 		select {
-		case p.inbox <- self:
+		case p.inbox <- inItem{from: p.cfg.ID, us: self}:
 		case <-p.quit:
 		}
 	}
 }
 
-// Close stops the peer and waits for its goroutines.
-func (p *Peer) Close() {
+// stop halts every goroutine and closes every connection.
+func (p *Peer) stop() {
 	select {
 	case <-p.quit:
 	default:
 		close(p.quit)
 	}
 	p.ln.Close()
-	p.outMu.Lock()
-	for _, oc := range p.outs {
-		oc.conn.Close()
+	p.sendMu.Lock()
+	ss := make([]*sender, 0, len(p.senders))
+	for _, s := range p.senders {
+		ss = append(ss, s)
 	}
-	p.outMu.Unlock()
+	p.sendMu.Unlock()
+	for _, s := range ss {
+		s.closeConn(nil)
+	}
 	p.inMu.Lock()
 	for conn := range p.ins {
 		conn.Close()
@@ -171,9 +271,40 @@ func (p *Peer) Close() {
 	p.wg.Wait()
 }
 
+// Close stops the peer and waits for its goroutines.
+func (p *Peer) Close() { p.stop() }
+
+// Kill simulates a crash: every goroutine stops, every connection
+// drops, queued-but-unfolded inbound batches are lost, and the peer's
+// durable state — ranker state, duplicate-suppression table, and the
+// store-and-retry outbound queues — is returned as a snapshot from
+// which RestorePeer can rejoin the network. Folded state is treated
+// as committed (as if every fold had been synchronously logged), which
+// together with fold-before-ack ordering guarantees no acknowledged
+// update is ever lost.
+func (p *Peer) Kill() *PeerSnapshot {
+	p.stop()
+	return p.snapshot()
+}
+
 // Counters reports (sent, processed) for termination probing.
 func (p *Peer) Counters() (uint64, uint64) {
 	return p.sent.Load(), p.processed.Load()
+}
+
+// Stats reports the peer's full counter set.
+func (p *Peer) Stats() PeerStats {
+	return PeerStats{
+		Sent:         p.sent.Load(),
+		Processed:    p.processed.Load(),
+		Retries:      p.retries.Load(),
+		Reconnects:   p.reconnects.Load(),
+		Redeliveries: p.redeliveries.Load(),
+		Coalesced:    p.coalesced.Load(),
+		DupDropped:   p.dupDropped.Load(),
+		DeltaShipped: math.Float64frombits(p.deltaOutBits.Load()),
+		DeltaFolded:  math.Float64frombits(p.deltaInBits.Load()),
+	}
 }
 
 // acceptLoop serves inbound connections.
@@ -189,6 +320,27 @@ func (p *Peer) acceptLoop() {
 	}
 }
 
+// connWriter serializes frame writes on one inbound connection, which
+// is shared between the reader's responses and the processing loop's
+// acknowledgements.
+type connWriter struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// write emits one frame. Acks are written under a deadline so a jammed
+// peer can never stall the processing loop: a lost ack is recovered by
+// the sender's retransmission, which is re-acknowledged.
+func (cw *connWriter) write(typ byte, payload []byte, deadline bool) error {
+	cw.mu.Lock()
+	defer cw.mu.Unlock()
+	if deadline {
+		cw.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		defer cw.conn.SetWriteDeadline(time.Time{})
+	}
+	return writeFrame(cw.conn, typ, payload)
+}
+
 // serveConn handles one inbound connection's frames.
 func (p *Peer) serveConn(conn net.Conn) {
 	defer p.wg.Done()
@@ -201,6 +353,7 @@ func (p *Peer) serveConn(conn net.Conn) {
 		delete(p.ins, conn)
 		p.inMu.Unlock()
 	}()
+	cw := &connWriter{conn: conn}
 	for {
 		typ, payload, err := readFrame(conn)
 		if err != nil {
@@ -208,23 +361,36 @@ func (p *Peer) serveConn(conn net.Conn) {
 		}
 		switch typ {
 		case frameBatch:
+			// Legacy unsequenced batch: folded without dedup or ack.
 			us, err := decodeBatch(payload)
 			if err != nil {
 				return
 			}
 			select {
-			case p.inbox <- us:
+			case p.inbox <- inItem{us: us}:
+			case <-p.quit:
+				return
+			}
+		case frameBatchSeq:
+			from, seq, us, err := decodeBatchSeq(payload)
+			if err != nil {
+				return
+			}
+			it := inItem{from: from, seq: seq, seqed: true, us: us,
+				ack: func() { cw.write(frameAck, encodeAck(seq), true) }}
+			select {
+			case p.inbox <- it:
 			case <-p.quit:
 				return
 			}
 		case frameSnapReq:
 			sent, processed := p.Counters()
-			if err := writeFrame(conn, frameSnapResp, encodeSnapshot(sent, processed)); err != nil {
+			if err := cw.write(frameSnapResp, encodeSnapshot(sent, processed), false); err != nil {
 				return
 			}
 		case frameRanksReq:
 			docs, ranks := p.rk.snapshotRanks()
-			if err := writeFrame(conn, frameRanks, encodeRanks(docs, ranks)); err != nil {
+			if err := cw.write(frameRanks, encodeRanks(docs, ranks), false); err != nil {
 				return
 			}
 		case frameStop:
@@ -250,20 +416,49 @@ func (p *Peer) processLoop() {
 		select {
 		case <-p.quit:
 			return
-		case us := <-p.inbox:
-			// Coalesce everything already queued.
-			batch := us
+		case it := <-p.inbox:
+			items := []inItem{it}
 			for drained := false; !drained; {
 				select {
 				case more := <-p.inbox:
-					batch = append(batch, more...)
+					items = append(items, more)
 				default:
 					drained = true
 				}
 			}
-			for len(batch) > 0 {
-				batch = p.handle(batch)
+			p.consume(items)
+		}
+	}
+}
+
+// consume suppresses duplicates, folds the surviving updates (and the
+// whole chain of self-directed consequences), then acknowledges. The
+// dedup table is advanced in the same loop iteration as the fold, so a
+// crash can never separate them — anything a sender sees acknowledged
+// is part of every later snapshot.
+func (p *Peer) consume(items []inItem) {
+	var batch []p2p.Update
+	var acks []inItem
+	for _, it := range items {
+		if it.seqed {
+			if it.seq <= p.lastSeq[it.from] {
+				p.dupDropped.Add(1)
+				if it.ack != nil {
+					it.ack() // re-ack so the sender can discard the frame
+				}
+				continue
 			}
+			p.lastSeq[it.from] = it.seq
+			acks = append(acks, it)
+		}
+		batch = append(batch, it.us...)
+	}
+	for len(batch) > 0 {
+		batch = p.handle(batch)
+	}
+	for _, it := range acks {
+		if it.ack != nil {
+			it.ack()
 		}
 	}
 }
@@ -272,64 +467,308 @@ func (p *Peer) processLoop() {
 // self-directed ones for the caller to fold next.
 func (p *Peer) handle(batch []p2p.Update) []p2p.Update {
 	self := p.ship(p.rk.fold(batch))
+	for _, u := range batch {
+		addFloat(&p.deltaInBits, u.Delta)
+	}
 	p.processed.Add(uint64(len(batch)))
 	return self
 }
 
-// ship transmits batches and returns the self-directed updates for
-// in-loop processing. The sent counter is incremented before the bytes
-// leave so the termination probe can never observe processed > sent.
+// ship routes batches toward their destinations and returns the
+// self-directed updates for in-loop processing. The sent counter is
+// incremented before anything is queued so the termination probe can
+// never observe processed > sent.
 func (p *Peer) ship(out map[p2p.PeerID][]p2p.Update) []p2p.Update {
 	var self []p2p.Update
 	for dest, us := range out {
 		p.sent.Add(uint64(len(us)))
+		for _, u := range us {
+			addFloat(&p.deltaOutBits, u.Delta)
+		}
 		if dest == p.cfg.ID {
 			self = append(self, us...)
 			continue
 		}
-		if err := p.send(dest, us); err != nil {
-			// Connection loss: in this demo protocol the messages are
-			// dropped; balance the counters so termination still fires.
-			p.processed.Add(uint64(len(us)))
-		}
+		p.queueRemote(dest, us)
 	}
 	return self
 }
 
-// send enqueues one batch frame on the destination's writer, dialing
-// on first use.
-func (p *Peer) send(dest p2p.PeerID, us []p2p.Update) error {
-	oc, err := p.conn(dest)
-	if err != nil {
-		return err
+// queueRemote coalesces updates into the destination's retry queue
+// and wakes its sender. An update absorbed by coalescing counts as
+// processed on the spot: its delta mass survives inside the merged
+// entry, so exactly one fold will account for both — this is what
+// keeps the sender's stored state bounded by the destination's
+// distinct documents while the termination probe stays exact.
+func (p *Peer) queueRemote(dest p2p.PeerID, us []p2p.Update) {
+	merged := 0
+	p.rqMu.Lock()
+	for _, u := range us {
+		if p.rq.DeferMerge(dest, u) {
+			merged++
+		}
 	}
-	var frame bytes.Buffer
-	if err := writeFrame(&frame, frameBatch, encodeBatch(us)); err != nil {
-		return err
+	p.rqMu.Unlock()
+	if merged > 0 {
+		p.coalesced.Add(uint64(merged))
+		p.processed.Add(uint64(merged))
 	}
-	oc.enqueue(frame.Bytes())
-	return nil
+	p.sender(dest).wakeUp()
 }
 
-func (p *Peer) conn(dest p2p.PeerID) (*outConn, error) {
-	p.outMu.Lock()
-	defer p.outMu.Unlock()
-	if oc, ok := p.outs[dest]; ok {
-		return oc, nil
+// sender returns (creating on first use) the destination's sender.
+func (p *Peer) sender(dest p2p.PeerID) *sender {
+	p.sendMu.Lock()
+	defer p.sendMu.Unlock()
+	s, ok := p.senders[dest]
+	if !ok {
+		s = p.newSender(dest)
+		p.senders[dest] = s
+		p.wg.Add(1)
+		go s.loop()
 	}
-	if int(dest) >= len(p.peers) {
-		return nil, fmt.Errorf("wire: unknown peer %d", dest)
+	return s
+}
+
+func (p *Peer) newSender(dest p2p.PeerID) *sender {
+	return &sender{
+		p:       p,
+		dest:    dest,
+		rng:     rng.New(uint64(p.cfg.ID)<<32 ^ uint64(uint32(dest)) ^ 0x5bd1e995),
+		wake:    make(chan struct{}, 1),
+		nextSeq: 1,
+		sendSeq: 1,
 	}
-	c, err := net.Dial("tcp", p.peers[dest])
-	if err != nil {
-		return nil, err
+}
+
+// sender owns the fault-tolerant outbound path to one destination:
+// framing pending updates from the retry queue, transmitting in
+// sequence order, keeping every frame until it is acknowledged, and
+// reconnecting with exponential backoff — retransmitting all unacked
+// frames verbatim — whenever the connection is lost.
+type sender struct {
+	p    *Peer
+	dest p2p.PeerID
+	rng  *rng.Rand // jitter; used only by the sender's own goroutine
+	wake chan struct{}
+
+	mu       sync.Mutex
+	conn     net.Conn
+	unacked  []*frameRec // FIFO by seq; kept until acknowledged
+	nextSeq  uint64      // seq assigned to the next newly built frame
+	sendSeq  uint64      // seq of the next frame to (re)transmit
+	everConn bool
+}
+
+// frameRec is one framed batch awaiting acknowledgement.
+type frameRec struct {
+	seq      uint64
+	bytes    []byte
+	updates  int
+	attempts int
+}
+
+func (s *sender) wakeUp() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
 	}
-	oc := newOutConn(c)
-	p.outs[dest] = oc
-	p.wg.Add(1)
-	go func() {
-		defer p.wg.Done()
-		oc.writeLoop(p.quit)
-	}()
-	return oc, nil
+}
+
+// loop transmits until the peer shuts down.
+func (s *sender) loop() {
+	defer s.p.wg.Done()
+	// The loop is the only goroutine that dials, so closing the current
+	// connection on exit guarantees no readAcks goroutine outlives the
+	// peer — stop()'s own closeConn can race with a dial in flight.
+	defer s.closeConn(nil)
+	fails := 0
+	for {
+		select {
+		case <-s.p.quit:
+			return
+		case <-s.wake:
+		}
+		for {
+			select {
+			case <-s.p.quit:
+				return
+			default:
+			}
+			fr := s.nextFrame()
+			if fr == nil {
+				break
+			}
+			conn := s.ensureConn(&fails)
+			if conn == nil {
+				return // shutting down
+			}
+			s.mu.Lock()
+			fr.attempts++
+			if fr.attempts > 1 {
+				s.p.retries.Add(1)
+			}
+			s.mu.Unlock()
+			if _, err := conn.Write(fr.bytes); err != nil {
+				s.closeConn(conn)
+				fails++
+				if !s.backoff(fails) {
+					return
+				}
+				continue
+			}
+			fails = 0
+			s.mu.Lock()
+			if s.sendSeq <= fr.seq {
+				s.sendSeq = fr.seq + 1
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// nextFrame returns the next frame to transmit: the first
+// unacknowledged frame at or past the send cursor, else a fresh frame
+// built from the retry queue's coalesced pending updates.
+func (s *sender) nextFrame() *frameRec {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, fr := range s.unacked {
+		if fr.seq >= s.sendSeq {
+			return fr
+		}
+	}
+	p := s.p
+	p.rqMu.Lock()
+	us := p.rq.Drain(s.dest)
+	p.rqMu.Unlock()
+	if len(us) == 0 {
+		return nil
+	}
+	fr := &frameRec{seq: s.nextSeq, updates: len(us)}
+	s.nextSeq++
+	var buf bytes.Buffer
+	writeFrame(&buf, frameBatchSeq, encodeBatchSeq(p.cfg.ID, fr.seq, us))
+	fr.bytes = buf.Bytes()
+	s.unacked = append(s.unacked, fr)
+	return fr
+}
+
+// ensureConn returns the live connection, dialing with backoff until
+// one is established. Returns nil only on shutdown. Each attempt
+// re-resolves the destination's address, so a peer that rejoined at a
+// new address is found without any extra signalling.
+func (s *sender) ensureConn(fails *int) net.Conn {
+	s.mu.Lock()
+	if s.conn != nil {
+		c := s.conn
+		s.mu.Unlock()
+		return c
+	}
+	s.mu.Unlock()
+	for {
+		select {
+		case <-s.p.quit:
+			return nil
+		default:
+		}
+		addr := s.p.peerAddr(s.dest)
+		var c net.Conn
+		var err error
+		if addr == "" {
+			err = fmt.Errorf("wire: no address for peer %d", s.dest)
+		} else {
+			c, err = s.p.tr.Dial(s.p.cfg.ID, s.dest, addr)
+		}
+		if err != nil {
+			*fails++
+			if !s.backoff(*fails) {
+				return nil
+			}
+			continue
+		}
+		s.mu.Lock()
+		if s.everConn {
+			s.p.reconnects.Add(1)
+		}
+		s.everConn = true
+		s.conn = c
+		// Retransmit everything unacknowledged on the new connection.
+		if len(s.unacked) > 0 {
+			s.sendSeq = s.unacked[0].seq
+		}
+		s.mu.Unlock()
+		s.p.wg.Add(1)
+		go s.readAcks(c)
+		return c
+	}
+}
+
+// backoff sleeps the policy's delay; false means the peer is shutting
+// down.
+func (s *sender) backoff(fails int) bool {
+	d := s.p.retry.delay(s.rng, fails)
+	select {
+	case <-s.p.quit:
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// closeConn tears down a connection (the current one when c is nil)
+// and rewinds the send cursor so unacked frames are retransmitted.
+func (s *sender) closeConn(c net.Conn) {
+	s.mu.Lock()
+	cur := s.conn
+	if c == nil || cur == c {
+		s.conn = nil
+		if len(s.unacked) > 0 {
+			s.sendSeq = s.unacked[0].seq
+		}
+	}
+	s.mu.Unlock()
+	if c == nil {
+		c = cur
+	}
+	if c != nil {
+		c.Close()
+	}
+}
+
+// readAcks consumes cumulative acknowledgements from one connection
+// until it dies, then schedules retransmission.
+func (s *sender) readAcks(c net.Conn) {
+	defer s.p.wg.Done()
+	for {
+		typ, payload, err := readFrame(c)
+		if err != nil || typ != frameAck {
+			s.closeConn(c)
+			s.wakeUp()
+			return
+		}
+		seq, err := decodeAck(payload)
+		if err != nil {
+			s.closeConn(c)
+			s.wakeUp()
+			return
+		}
+		s.ack(seq)
+	}
+}
+
+// ack discards every frame with seq <= the cumulative acknowledgement.
+func (s *sender) ack(seq uint64) {
+	s.mu.Lock()
+	i := 0
+	for i < len(s.unacked) && s.unacked[i].seq <= seq {
+		if s.unacked[i].attempts > 1 {
+			s.p.redeliveries.Add(1)
+		}
+		i++
+	}
+	if i > 0 {
+		s.unacked = append([]*frameRec(nil), s.unacked[i:]...)
+	}
+	s.mu.Unlock()
 }

@@ -26,6 +26,8 @@ import (
 // Frame types.
 const (
 	frameBatch    = 'B' // updates: u32 n, then n x (u32 doc, f64 delta)
+	frameBatchSeq = 'U' // u32 sender, u64 seq, then a batch payload
+	frameAck      = 'A' // u64 seq: every frame with seq <= it has been folded
 	frameSnapReq  = 'Q' // termination probe request
 	frameSnapResp = 'S' // u64 sent, u64 processed
 	frameRanksReq = 'R' // rank collection request
@@ -100,6 +102,59 @@ func decodeBatch(b []byte) ([]p2p.Update, error) {
 		off += 12
 	}
 	return us, nil
+}
+
+// batchSeqHeader is the length of the (sender, seq) prefix a
+// sequenced batch carries in front of the plain batch payload.
+const batchSeqHeader = 12
+
+// encodeBatchSeq serializes a sequenced batch: the sender's identity
+// and a per-(sender, destination) sequence number prefix the plain
+// batch payload so receivers can suppress redelivered duplicates.
+func encodeBatchSeq(sender p2p.PeerID, seq uint64, us []p2p.Update) []byte {
+	buf := make([]byte, batchSeqHeader+4+12*len(us))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(sender))
+	binary.LittleEndian.PutUint64(buf[4:12], seq)
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(len(us)))
+	off := 16
+	for _, u := range us {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(u.Doc))
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(u.Delta))
+		off += 12
+	}
+	return buf
+}
+
+// decodeBatchSeq parses a sequenced batch payload.
+func decodeBatchSeq(b []byte) (sender p2p.PeerID, seq uint64, us []p2p.Update, err error) {
+	if len(b) < batchSeqHeader {
+		return 0, 0, nil, fmt.Errorf("wire: sequenced batch too short")
+	}
+	sender = p2p.PeerID(binary.LittleEndian.Uint32(b[:4]))
+	if sender < 0 {
+		return 0, 0, nil, fmt.Errorf("wire: sequenced batch from negative sender %d", sender)
+	}
+	seq = binary.LittleEndian.Uint64(b[4:12])
+	us, err = decodeBatch(b[batchSeqHeader:])
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	return sender, seq, us, nil
+}
+
+// encodeAck serializes a cumulative acknowledgement.
+func encodeAck(seq uint64) []byte {
+	buf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(buf, seq)
+	return buf
+}
+
+// decodeAck parses an acknowledgement payload.
+func decodeAck(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("wire: ack payload %d bytes", len(b))
+	}
+	return binary.LittleEndian.Uint64(b), nil
 }
 
 // encodeSnapshot serializes a termination-probe response.

@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"dpr/internal/p2p"
+)
+
+func TestBatchSeqCodec(t *testing.T) {
+	us := []p2p.Update{{Doc: 3, Delta: 0.25}, {Doc: 9, Delta: -1.5}}
+	sender, seq, out, err := decodeBatchSeq(encodeBatchSeq(5, 77, us))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sender != 5 || seq != 77 || len(out) != 2 || out[0] != us[0] || out[1] != us[1] {
+		t.Fatalf("round trip: sender=%d seq=%d %v", sender, seq, out)
+	}
+	// Empty batch is legal.
+	sender, seq, out, err = decodeBatchSeq(encodeBatchSeq(0, 1, nil))
+	if err != nil || sender != 0 || seq != 1 || len(out) != 0 {
+		t.Fatalf("empty: sender=%d seq=%d %v %v", sender, seq, out, err)
+	}
+}
+
+func TestBatchSeqCodecRejectsMalformed(t *testing.T) {
+	good := encodeBatchSeq(2, 9, []p2p.Update{{Doc: 1, Delta: 1}})
+	cases := map[string][]byte{
+		"empty":           nil,
+		"short header":    good[:batchSeqHeader-1],
+		"missing count":   good[:batchSeqHeader],
+		"truncated entry": good[:len(good)-5],
+		"trailing bytes":  append(append([]byte(nil), good...), 0xff),
+	}
+	for name, b := range cases {
+		if _, _, _, err := decodeBatchSeq(b); err == nil {
+			t.Errorf("%s: accepted %d bytes", name, len(b))
+		}
+	}
+}
+
+func TestAckCodec(t *testing.T) {
+	seq, err := decodeAck(encodeAck(1 << 40))
+	if err != nil || seq != 1<<40 {
+		t.Fatalf("ack round trip: %d %v", seq, err)
+	}
+	for _, n := range []int{0, 7, 9} {
+		if _, err := decodeAck(make([]byte, n)); err == nil {
+			t.Errorf("accepted %d-byte ack", n)
+		}
+	}
+}
+
+func FuzzDecodeBatch(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2})
+	f.Add(encodeBatch(nil))
+	f.Add(encodeBatch([]p2p.Update{{Doc: 7, Delta: 0.5}}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		us, err := decodeBatch(b)
+		if err != nil {
+			return
+		}
+		// A successful decode must re-encode to the same bytes.
+		if !bytes.Equal(encodeBatch(us), b) {
+			t.Fatalf("decode/encode not idempotent for %x", b)
+		}
+	})
+}
+
+func FuzzDecodeBatchSeq(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(encodeBatchSeq(0, 0, nil))
+	f.Add(encodeBatchSeq(3, 1<<33, []p2p.Update{{Doc: 1, Delta: math.Inf(1)}}))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		sender, seq, us, err := decodeBatchSeq(b)
+		if err != nil {
+			return
+		}
+		if sender < 0 {
+			t.Fatalf("decoded negative sender %d", sender)
+		}
+		if !bytes.Equal(encodeBatchSeq(sender, seq, us), b) {
+			t.Fatalf("decode/encode not idempotent for %x", b)
+		}
+	})
+}
+
+func FuzzReadFrame(f *testing.F) {
+	var buf bytes.Buffer
+	writeFrame(&buf, frameBatch, encodeBatch([]p2p.Update{{Doc: 1, Delta: 2}}))
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'B'})
+	f.Add([]byte{5, 0, 0, 0, 'U', 1, 2})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		typ, payload, err := readFrame(bytes.NewReader(b))
+		if err != nil {
+			return
+		}
+		// A successful read must reproduce the consumed prefix.
+		var out bytes.Buffer
+		if err := writeFrame(&out, typ, payload); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), b[:out.Len()]) {
+			t.Fatalf("read/write not idempotent for %x", b)
+		}
+	})
+}

@@ -1,0 +1,40 @@
+package wire
+
+import (
+	"net"
+	"time"
+
+	"dpr/internal/p2p"
+)
+
+// Transport sits between peers and the operating system's network
+// stack: every outbound connection a peer (or the cluster's
+// termination prober) opens goes through Dial. The indirection exists
+// so tests can substitute a FaultTransport that drops, delays,
+// duplicates and resets connections or partitions peer pairs — the
+// failure schedules of the paper's dynamic-network protocol — while
+// production code uses the real dialer.
+//
+// from and to identify the dialing and target peers so fault
+// injectors can scope failures to specific pairs; Observer marks
+// connections made by non-peer roles (termination probes, rank
+// collectors), which fault injectors leave untouched.
+type Transport interface {
+	Dial(from, to p2p.PeerID, addr string) (net.Conn, error)
+}
+
+// Observer is the PeerID used by non-peer dialers.
+const Observer p2p.PeerID = -1
+
+// dialTimeout bounds connection establishment for the real dialer.
+const dialTimeout = 5 * time.Second
+
+// tcpTransport is the production Transport: a plain TCP dialer.
+type tcpTransport struct{}
+
+func (tcpTransport) Dial(_, _ p2p.PeerID, addr string) (net.Conn, error) {
+	return net.DialTimeout("tcp", addr, dialTimeout)
+}
+
+// TCPDialer returns the production Transport backed by net.Dial.
+func TCPDialer() Transport { return tcpTransport{} }

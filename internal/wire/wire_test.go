@@ -192,7 +192,7 @@ func TestPeerRejectsGarbageConnection(t *testing.T) {
 	conn.Write([]byte{1, 0, 0, 0, 'Z', 0})
 	conn.Close()
 	// Peer still answers probes.
-	s, pr, err := probePeer(p.Addr())
+	s, pr, err := probePeer(nil, p.Addr())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,33 @@ type TCPResult struct {
 	Messages uint64        // update messages shipped between peers
 	Probes   int           // termination-detector probe rounds
 	Elapsed  time.Duration // wall-clock time to quiescence
+
+	// Fault-tolerance accounting (zero on a fault-free run).
+	Retries      uint64 // frame/request transmissions past the first attempt
+	Reconnects   uint64 // successful re-dials after a connection loss
+	Redeliveries uint64 // frames acknowledged after more than one attempt
+}
+
+func fromClusterResult(res wire.ClusterResult) TCPResult {
+	return TCPResult{
+		Ranks:        res.Ranks,
+		Messages:     res.Messages,
+		Probes:       res.Probes,
+		Elapsed:      res.Elapsed,
+		Retries:      res.Retries,
+		Reconnects:   res.Reconnects,
+		Redeliveries: res.Redeliveries,
+	}
+}
+
+func (o Options) clusterConfig() wire.ClusterConfig {
+	return wire.ClusterConfig{
+		Peers:   o.Peers,
+		Damping: o.Damping,
+		Epsilon: o.Epsilon,
+		Seed:    o.Seed,
+		Retry:   wire.RetryPolicy{Base: o.RetryBase, Max: o.RetryMax},
+	}
 }
 
 // ComputePageRankOverTCP runs the distributed computation over real
@@ -20,14 +47,15 @@ type TCPResult struct {
 // quiescence. This is the paper's closing proposal — web servers
 // collectively ranking the documents they host — executed for real
 // rather than simulated. timeout bounds the wait for quiescence.
+//
+// The wire layer implements the paper's store-and-retry protocol:
+// updates bound for an unreachable peer are coalesced in a sender-side
+// retry queue and redelivered (with reconnect backoff and exactly-once
+// folding) when the peer is reachable again, so connection loss never
+// corrupts the final ranks.
 func ComputePageRankOverTCP(g *Graph, opt Options, timeout time.Duration) (TCPResult, error) {
 	opt = opt.withDefaults()
-	cluster, err := wire.NewCluster(g, wire.ClusterConfig{
-		Peers:   opt.Peers,
-		Damping: opt.Damping,
-		Epsilon: opt.Epsilon,
-		Seed:    opt.Seed,
-	})
+	cluster, err := wire.NewCluster(g, opt.clusterConfig())
 	if err != nil {
 		return TCPResult{}, err
 	}
@@ -36,26 +64,17 @@ func ComputePageRankOverTCP(g *Graph, opt Options, timeout time.Duration) (TCPRe
 	if err != nil {
 		return TCPResult{}, err
 	}
-	return TCPResult{
-		Ranks:    res.Ranks,
-		Messages: res.Messages,
-		Probes:   res.Probes,
-		Elapsed:  res.Elapsed,
-	}, nil
+	return fromClusterResult(res), nil
 }
 
 // ComputePageRankOverHTTP is ComputePageRankOverTCP with the paper's
 // section 8 transport taken literally: each peer is a web server whose
 // HTTP interface is augmented with pagerank endpoints, and update
-// batches travel as POST requests.
+// batches travel as POST requests. Transient POST failures are retried
+// with capped backoff; sequence numbers make redelivery exactly-once.
 func ComputePageRankOverHTTP(g *Graph, opt Options, timeout time.Duration) (TCPResult, error) {
 	opt = opt.withDefaults()
-	cluster, err := wire.NewHTTPCluster(g, wire.ClusterConfig{
-		Peers:   opt.Peers,
-		Damping: opt.Damping,
-		Epsilon: opt.Epsilon,
-		Seed:    opt.Seed,
-	})
+	cluster, err := wire.NewHTTPCluster(g, opt.clusterConfig())
 	if err != nil {
 		return TCPResult{}, err
 	}
@@ -64,10 +83,49 @@ func ComputePageRankOverHTTP(g *Graph, opt Options, timeout time.Duration) (TCPR
 	if err != nil {
 		return TCPResult{}, err
 	}
-	return TCPResult{
-		Ranks:    res.Ranks,
-		Messages: res.Messages,
-		Probes:   res.Probes,
-		Elapsed:  res.Elapsed,
-	}, nil
+	return fromClusterResult(res), nil
 }
+
+// TCPCluster is a handle on a running TCP deployment that exposes the
+// paper's dynamic-network operations: individual peers can be crashed
+// (Kill) and later rejoined from their checkpoint at a fresh address
+// (Restart) while the computation keeps running — update messages
+// destined to the crashed peer wait in their senders' retry queues and
+// are redelivered once it returns, so the final ranks are unaffected.
+type TCPCluster struct {
+	c *wire.Cluster
+}
+
+// NewTCPCluster starts opt.Peers TCP peers over g without beginning
+// the computation; call Run to execute it.
+func NewTCPCluster(g *Graph, opt Options) (*TCPCluster, error) {
+	opt = opt.withDefaults()
+	c, err := wire.NewCluster(g, opt.clusterConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &TCPCluster{c: c}, nil
+}
+
+// Run executes the computation to quiescence, collects the ranks and
+// shuts the cluster down. Kill/Restart may be invoked concurrently.
+func (tc *TCPCluster) Run(timeout time.Duration) (TCPResult, error) {
+	res, err := tc.c.Run(timeout)
+	if err != nil {
+		return TCPResult{}, err
+	}
+	return fromClusterResult(res), nil
+}
+
+// Kill crashes one peer, checkpointing its durable state inside the
+// cluster.
+func (tc *TCPCluster) Kill(peer int) error { return tc.c.Kill(peer) }
+
+// Restart rejoins a crashed peer from its checkpoint at a new address.
+func (tc *TCPCluster) Restart(peer int) error { return tc.c.Restart(peer) }
+
+// NumPeers returns the cluster size.
+func (tc *TCPCluster) NumPeers() int { return tc.c.NumPeers() }
+
+// Close stops every peer.
+func (tc *TCPCluster) Close() { tc.c.Close() }
