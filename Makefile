@@ -1,7 +1,7 @@
 # Distributed Pagerank for P2P Systems — build/test/bench driver.
 GO ?= go
 
-.PHONY: all build vet test race chaos bench bench-pipeline ci
+.PHONY: all build vet test race chaos chaos-membership fuzz bench bench-pipeline ci
 
 all: build
 
@@ -25,6 +25,15 @@ race:
 chaos:
 	$(GO) test -race -count=1 -run Chaos ./internal/wire
 
+# Dynamic-membership gate: permanent leaves, joins, failure-detector
+# auto-eviction and the kill-one/join-one chaos scenario, under -race.
+chaos-membership:
+	$(GO) test -race -count=1 -run 'Membership|Leave|Join|FailureDetector' ./internal/wire
+
+# Short fuzz burst over the checkpoint decoder (truncated/corrupt input).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeCheckpoint -fuzztime 30s ./internal/wire
+
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./...
 
@@ -36,4 +45,5 @@ bench-pipeline:
 ci:
 	$(GO) vet ./... && $(GO) build ./... && $(GO) test -race ./... \
 		&& $(GO) test -race ./internal/wire ./internal/p2p \
-		&& $(GO) test -race -count=1 -run Chaos ./internal/wire
+		&& $(GO) test -race -count=1 -run Chaos ./internal/wire \
+		&& $(GO) test -race -count=1 -run 'Membership|Leave|Join|FailureDetector' ./internal/wire

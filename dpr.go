@@ -104,6 +104,19 @@ type Options struct {
 	RetryBase time.Duration
 	RetryMax  time.Duration
 
+	// Heartbeat enables the TCP cluster's failure detector: every
+	// Heartbeat interval each peer is pinged, and a peer that misses
+	// SuspectAfter consecutive probes is declared dead and permanently
+	// removed — its documents migrate to the ring successor and the
+	// computation continues without operator intervention. Zero (the
+	// default) disables automatic failure detection; crashed peers
+	// then wait for an explicit Restart or Leave.
+	Heartbeat time.Duration
+
+	// SuspectAfter is the number of consecutive missed heartbeats
+	// before a peer is evicted. Zero picks the default of 3.
+	SuspectAfter int
+
 	// Teleport personalizes the pagerank (topic-sensitive pagerank):
 	// document i's share of the teleport mass is Teleport[i] /
 	// sum(Teleport). Nil means the classic uniform teleport. One

@@ -239,6 +239,61 @@ func TestComputePageRankOverTCP(t *testing.T) {
 	}
 }
 
+func TestTCPClusterMembership(t *testing.T) {
+	g, err := GenerateWebGraph(400, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := NewTCPCluster(g, Options{Peers: 5, Epsilon: 1e-6, Seed: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tc.Close()
+	type outcome struct {
+		res TCPResult
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := tc.Run(60 * time.Second)
+		done <- outcome{res, err}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := tc.Leave(1); err != nil {
+		t.Fatal(err)
+	}
+	slot, err := tc.Join()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot != 5 {
+		t.Fatalf("joined slot %d, want 5", slot)
+	}
+	out := <-done
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.res.Leaves != 1 || out.res.Joins != 1 || out.res.Migrated == 0 {
+		t.Fatalf("membership stats: leaves=%d joins=%d migrated=%d",
+			out.res.Leaves, out.res.Joins, out.res.Migrated)
+	}
+	if out.res.Misdropped != 0 {
+		t.Fatalf("%d updates lost during migration", out.res.Misdropped)
+	}
+	if tc.NumLive() != 5 || tc.NumPeers() != 6 {
+		t.Fatalf("NumLive=%d NumPeers=%d, want 5/6", tc.NumLive(), tc.NumPeers())
+	}
+	ref, err := CentralizedPageRank(g, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ref {
+		if math.Abs(out.res.Ranks[i]-ref[i])/ref[i] > 1e-3 {
+			t.Fatalf("rank[%d]: tcp %v vs centralized %v", i, out.res.Ranks[i], ref[i])
+		}
+	}
+}
+
 func TestComputePageRankOverHTTP(t *testing.T) {
 	g, err := GenerateWebGraph(400, 11)
 	if err != nil {

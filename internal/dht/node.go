@@ -46,6 +46,14 @@ func (n *Node) Successor() *Node {
 // NumKeys reports how many keys this node stores.
 func (n *Node) NumKeys() int { return len(n.keys) }
 
+// EachKey visits every key/value pair stored at this node. Iteration
+// order is unspecified; callers needing determinism must sort.
+func (n *Node) EachKey(visit func(ID, interface{})) {
+	for k, v := range n.keys {
+		visit(k, v)
+	}
+}
+
 // closestPrecedingNode returns the live finger (or successor) whose id
 // most closely precedes k, the Chord routing step.
 func (n *Node) closestPrecedingNode(k ID) *Node {

@@ -65,12 +65,20 @@ func (c *IPCache) Hops(from PeerID, doc graph.NodeID, ring *dht.Ring, start *dht
 // Invalidate drops every cached address for documents held by peer p;
 // called when p leaves so stale addresses are re-resolved on rejoin.
 func (c *IPCache) Invalidate(net *Network, p PeerID) {
-	docs := make(map[graph.NodeID]struct{}, len(net.Docs(p)))
-	for _, d := range net.Docs(p) {
-		docs[d] = struct{}{}
+	c.InvalidateDocs(net.Docs(p))
+}
+
+// InvalidateDocs drops the cached addresses for the given documents
+// across all senders. Membership changes call this with the migrated
+// key range so the next send re-routes through the DHT and re-learns
+// the new owner instead of delivering to a departed peer.
+func (c *IPCache) InvalidateDocs(docs []graph.NodeID) {
+	gone := make(map[graph.NodeID]struct{}, len(docs))
+	for _, d := range docs {
+		gone[d] = struct{}{}
 	}
 	for key := range c.cache {
-		if _, gone := docs[key.doc]; gone {
+		if _, hit := gone[key.doc]; hit {
 			delete(c.cache, key)
 		}
 	}

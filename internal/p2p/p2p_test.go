@@ -282,6 +282,73 @@ func TestIPCacheInvalidate(t *testing.T) {
 	}
 }
 
+// TestIPCacheInvalidateUnderChurn replays the membership scenario the
+// cache must survive: a sender caches the owner of a document, that
+// owner departs and its key range moves to the ring successor, and the
+// stale entry — now pointing at a dead peer — is invalidated. The next
+// send must pay a fresh DHT route (and be charged for it), re-learn
+// the live owner, and then drop back to one-hop direct sends.
+func TestIPCacheInvalidateUnderChurn(t *testing.T) {
+	ring := dht.NewRing()
+	for i := 0; i < 16; i++ {
+		if _, err := ring.AddPeer(fmt.Sprintf("peer-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	start := ring.Nodes()[0]
+	const doc = graph.NodeID(42)
+	key := dht.GUIDFromUint64(uint64(doc)).ID()
+	victim := ring.Owner(key)
+	if victim == start {
+		start = ring.Nodes()[1]
+	}
+
+	c := NewIPCache(true)
+	if h := c.Hops(0, doc, ring, start); h < 1 {
+		t.Fatalf("first send hops = %d", h)
+	}
+	if h := c.Hops(0, doc, ring, start); h != 1 {
+		t.Fatalf("cached send hops = %d, want 1", h)
+	}
+	routedBefore, cachedBefore, hopsBefore := c.Stats()
+
+	// The owner departs; its range now belongs to the successor. The
+	// cache entry for doc is stale — it names a dead peer's address.
+	if err := ring.LeaveGraceful(victim); err != nil {
+		t.Fatal(err)
+	}
+	if owner := ring.Owner(key); owner == victim {
+		t.Fatal("departed peer still owns the key")
+	}
+	c.InvalidateDocs([]graph.NodeID{doc})
+	if c.Entries() != 0 {
+		t.Fatalf("stale entry survived invalidation: %d entries", c.Entries())
+	}
+
+	// Repair: the next send routes again and is charged DHT hops.
+	h := c.Hops(0, doc, ring, start)
+	if h < 1 {
+		t.Fatalf("re-resolution hops = %d", h)
+	}
+	routed, cached, hops := c.Stats()
+	if routed != routedBefore+1 {
+		t.Fatalf("re-resolution not counted as routed: %d -> %d", routedBefore, routed)
+	}
+	if cached != cachedBefore {
+		t.Fatalf("re-resolution wrongly counted as cache hit: %d -> %d", cachedBefore, cached)
+	}
+	if hops != hopsBefore+int64(h) {
+		t.Fatalf("hop accounting off: %d + %d != %d", hopsBefore, h, hops)
+	}
+	// Repaired: direct sends again.
+	if h := c.Hops(0, doc, ring, start); h != 1 {
+		t.Fatalf("post-repair send hops = %d, want 1", h)
+	}
+	if r2, c2, _ := c.Stats(); r2 != routed || c2 != cached+1 {
+		t.Fatalf("post-repair stats: routed=%d cached=%d", r2, c2)
+	}
+}
+
 func TestCounters(t *testing.T) {
 	c := &Counters{InterPeerMsgs: 100, IntraPeerMsgs: 50, Passes: 7}
 	if c.Total() != 150 {

@@ -121,6 +121,18 @@ func (q *RetryQueue) DrainOnline(net *Network, deliver func(dest PeerID, u Updat
 	return delivered
 }
 
+// Dests returns the destinations with queued updates in ascending
+// order, so callers can re-route queued state deterministically after
+// an ownership change.
+func (q *RetryQueue) Dests() []PeerID {
+	dests := make([]PeerID, 0, len(q.pending))
+	for dest := range q.pending {
+		dests = append(dests, dest)
+	}
+	slices.Sort(dests)
+	return dests
+}
+
 // Len returns the number of updates currently queued.
 func (q *RetryQueue) Len() int { return q.size }
 

@@ -53,6 +53,7 @@ func assertNoMassLost(t *testing.T, res ClusterResult) {
 // centralized baseline at the fault-free tolerance with zero updates
 // lost.
 func TestChaosResetsPartitionAndCrashes(t *testing.T) {
+	defer assertNoGoroutineLeaks(t)()
 	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(800, 121))
 	ft := NewFaultTransport(nil, FaultConfig{
 		Seed:      99,
@@ -124,6 +125,7 @@ func TestChaosResetsPartitionAndCrashes(t *testing.T) {
 // failed connection establishment: every dropped frame must be
 // redelivered from the sender's unacked window.
 func TestChaosDropsAndDialFailures(t *testing.T) {
+	defer assertNoGoroutineLeaks(t)()
 	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(400, 55))
 	ft := NewFaultTransport(nil, FaultConfig{
 		Seed:         7,
@@ -154,6 +156,7 @@ func TestChaosDropsAndDialFailures(t *testing.T) {
 // probabilistic faults at all, so any rank error is attributable to
 // the checkpoint/restore path itself.
 func TestKillRestartRecovery(t *testing.T) {
+	defer assertNoGoroutineLeaks(t)()
 	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(500, 77))
 	c, err := NewCluster(g, ClusterConfig{Peers: 4, Epsilon: 1e-6, Seed: 9})
 	if err != nil {
@@ -193,6 +196,7 @@ func TestKillRestartRecovery(t *testing.T) {
 // peer must not re-push its initial ranks (that would double-count
 // mass).
 func TestKillWhileIdleThenRestart(t *testing.T) {
+	defer assertNoGoroutineLeaks(t)()
 	g := graph.Cycle(40)
 	c, err := NewCluster(g, ClusterConfig{Peers: 3, Epsilon: 1e-8, Seed: 2})
 	if err != nil {
@@ -233,6 +237,7 @@ func TestKillWhileIdleThenRestart(t *testing.T) {
 // outstanding (sent > processed), so quiescence cannot be declared
 // early.
 func TestPartitionParksUpdatesUntilHealed(t *testing.T) {
+	defer assertNoGoroutineLeaks(t)()
 	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(300, 31))
 	ft := NewFaultTransport(nil, FaultConfig{Seed: 5})
 	// Partition peers 0 and 1 before the computation even starts.
@@ -291,12 +296,14 @@ func TestSnapshotCodecRoundTrip(t *testing.T) {
 		Rank: []float64{0.5, 1.25, 2.75},
 		Acc:  []float64{0.01, -0.02, 0.03},
 		Last: []float64{0.49, 1.24, 2.74},
-		LastSeq: map[p2p.PeerID]uint64{
-			0: 17,
-			2: 4,
+		LastSeq: []SeqEntry{
+			{Src: 0, Dest: 3, Seq: 17},
+			{Src: 2, Dest: 3, Seq: 4},
+			{Src: 2, Dest: 5, Seq: 9}, // adopted stream of a departed peer
 		},
 		Outbound: []OutboundState{
 			{
+				Src:     3,
 				Dest:    0,
 				NextSeq: 9,
 				Unacked: []UnackedFrame{
@@ -305,7 +312,17 @@ func TestSnapshotCodecRoundTrip(t *testing.T) {
 				},
 				Pending: []p2p.Update{{Doc: 2, Delta: 0.125}},
 			},
-			{Dest: 2, NextSeq: 3, Pending: []p2p.Update{}},
+			{Src: 3, Dest: 2, NextSeq: 3, Pending: []p2p.Update{}},
+			{
+				// Stream framed by departed peer 5, adopted by this one.
+				Src:     5,
+				Dest:    2,
+				NextSeq: 4,
+				Unacked: []UnackedFrame{
+					{Seq: 3, Updates: []p2p.Update{{Doc: 7, Delta: 0.75}}},
+				},
+				Pending: []p2p.Update{},
+			},
 		},
 		Sent:         100,
 		Processed:    90,
@@ -314,6 +331,8 @@ func TestSnapshotCodecRoundTrip(t *testing.T) {
 		Redeliveries: 3,
 		Coalesced:    7,
 		DupDropped:   1,
+		Forwarded:    4,
+		Misdropped:   0,
 		DeltaShipped: 12.5,
 		DeltaFolded:  11.25,
 	}

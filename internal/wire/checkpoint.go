@@ -23,10 +23,18 @@ import (
 // unacknowledged, receivers suppress what was already folded, and the
 // termination counters carry over so the cluster-wide probe stays
 // exact across the crash.
+//
+// Version 2 keys both the duplicate-suppression table and the
+// outbound queues by delivery stream (source, original destination)
+// instead of by single peer, which is what lets a departed peer's
+// state migrate: its ring successor adopts the dedup entries and the
+// unacknowledged frames under their original stream identity, so
+// redirected retransmissions are recognized wherever they land. The
+// same framing doubles as the handoff wire format (Handoff).
 
 const (
 	peerSnapMagic   = "DPRW"
-	peerSnapVersion = 1
+	peerSnapVersion = 2
 )
 
 // PeerSnapshot is a crashed peer's durable state.
@@ -37,25 +45,40 @@ type PeerSnapshot struct {
 	// Ranker state, indexed like Docs.
 	Rank, Acc, Last []float64
 
-	// LastSeq is the highest folded sequence number per sender.
-	LastSeq map[p2p.PeerID]uint64
+	// LastSeq is the highest folded sequence number per delivery
+	// stream (source peer, original destination).
+	LastSeq []SeqEntry
 
-	// Outbound is the store-and-retry state per destination.
+	// Outbound is the store-and-retry state per delivery stream.
 	Outbound []OutboundState
 
 	// Counters, carried across the restart.
 	Sent, Processed                   uint64
 	Retries, Reconnects, Redeliveries uint64
 	Coalesced, DupDropped             uint64
+	Forwarded, Misdropped             uint64
 	DeltaShipped, DeltaFolded         float64
 }
 
-// OutboundState is one destination's sender state.
+// SeqEntry is one duplicate-suppression record: the highest folded
+// sequence number of the (Src, Dest) delivery stream. Dest is the
+// peer the stream's frames were originally framed for, which after a
+// migration can differ from the peer holding the entry.
+type SeqEntry struct {
+	Src, Dest p2p.PeerID
+	Seq       uint64
+}
+
+// OutboundState is one delivery stream's sender state. Src is the
+// peer that framed the stream's batches — normally the snapshotted
+// peer itself, but after adopting a departed peer's outbound queues a
+// snapshot can carry streams framed by earlier owners.
 type OutboundState struct {
+	Src     p2p.PeerID
 	Dest    p2p.PeerID
 	NextSeq uint64
 	Unacked []UnackedFrame // framed, possibly transmitted, not acknowledged
-	Pending []p2p.Update   // coalesced, not yet framed
+	Pending []p2p.Update   // coalesced, not yet framed (Src == snapshot owner only)
 }
 
 // UnackedFrame is a framed batch that must be redelivered verbatim
@@ -66,17 +89,55 @@ type UnackedFrame struct {
 	Updates []p2p.Update
 }
 
+// Handoff is the state transferred when a departed peer's document
+// range moves to its ring successor: the ranker rows for the migrated
+// documents, the per-stream duplicate-suppression table, and the
+// departed peer's outbound queues (unacknowledged frames under their
+// original stream identity, plus parked never-framed updates). It is
+// the in-memory form of the same state a PeerSnapshot serializes.
+type Handoff struct {
+	Docs            []graph.NodeID
+	Rank, Acc, Last []float64
+	LastSeq         map[stream]uint64
+	Outbound        []OutboundState
+
+	done chan struct{} // closed by the adopting peer's processing loop
+}
+
+// HandoffFromSnapshot builds the handoff a departed peer's snapshot
+// implies: everything except its counters, which the cluster folds
+// into its departed-peer accumulators instead.
+func HandoffFromSnapshot(s *PeerSnapshot) *Handoff {
+	h := &Handoff{
+		Docs:    append([]graph.NodeID(nil), s.Docs...),
+		Rank:    append([]float64(nil), s.Rank...),
+		Acc:     append([]float64(nil), s.Acc...),
+		Last:    append([]float64(nil), s.Last...),
+		LastSeq: make(map[stream]uint64, len(s.LastSeq)),
+	}
+	for _, e := range s.LastSeq {
+		h.LastSeq[stream{src: e.Src, dest: e.Dest}] = e.Seq
+	}
+	for _, ob := range s.Outbound {
+		h.Outbound = append(h.Outbound, OutboundState{
+			Src: ob.Src, Dest: ob.Dest, NextSeq: ob.NextSeq,
+			Unacked: ob.Unacked, Pending: ob.Pending,
+		})
+	}
+	return h
+}
+
 // snapshot assembles the peer's durable state. Callers must have
 // stopped the peer's goroutines first (stop), so every field is
 // quiescent.
 func (p *Peer) snapshot() *PeerSnapshot {
+	docs, _ := p.rk.snapshotRanks()
 	s := &PeerSnapshot{
 		ID:           p.cfg.ID,
-		Docs:         append([]graph.NodeID(nil), p.rk.docs...),
+		Docs:         docs,
 		Rank:         append([]float64(nil), p.rk.rank...),
 		Acc:          append([]float64(nil), p.rk.acc...),
 		Last:         append([]float64(nil), p.rk.last...),
-		LastSeq:      make(map[p2p.PeerID]uint64, len(p.lastSeq)),
 		Sent:         p.sent.Load(),
 		Processed:    p.processed.Load(),
 		Retries:      p.retries.Load(),
@@ -84,44 +145,67 @@ func (p *Peer) snapshot() *PeerSnapshot {
 		Redeliveries: p.redeliveries.Load(),
 		Coalesced:    p.coalesced.Load(),
 		DupDropped:   p.dupDropped.Load(),
+		Forwarded:    p.forwarded.Load(),
+		Misdropped:   p.misdropped.Load(),
 		DeltaShipped: math.Float64frombits(p.deltaOutBits.Load()),
 		DeltaFolded:  math.Float64frombits(p.deltaInBits.Load()),
 	}
-	for from, seq := range p.lastSeq {
-		s.LastSeq[from] = seq
+	for st, seq := range p.lastSeq {
+		s.LastSeq = append(s.LastSeq, SeqEntry{Src: st.src, Dest: st.dest, Seq: seq})
 	}
-	dests := make([]p2p.PeerID, 0, len(p.senders))
-	for dest := range p.senders {
-		dests = append(dests, dest)
+	slices.SortFunc(s.LastSeq, func(a, b SeqEntry) int {
+		if a.Src != b.Src {
+			return int(a.Src - b.Src)
+		}
+		return int(a.Dest - b.Dest)
+	})
+	strms := make([]stream, 0, len(p.senders))
+	for st := range p.senders {
+		strms = append(strms, st)
 	}
-	slices.Sort(dests)
-	for _, dest := range dests {
-		snd := p.senders[dest]
-		ob := OutboundState{Dest: dest, NextSeq: snd.nextSeq}
+	slices.SortFunc(strms, func(a, b stream) int {
+		if a.src != b.src {
+			return int(a.src - b.src)
+		}
+		return int(a.dest - b.dest)
+	})
+	for _, st := range strms {
+		snd := p.senders[st]
+		ob := OutboundState{Src: st.src, Dest: st.dest, NextSeq: snd.nextSeq}
 		for _, fr := range snd.unacked {
 			// Decode the frame back into updates; the restore re-frames
-			// them with the same sequence number.
-			_, seq, us, err := decodeFrameBytes(fr.bytes)
+			// them with the same stream identity and sequence number.
+			_, _, seq, us, err := decodeFrameBytes(fr.bytes)
 			if err != nil {
 				continue // cannot happen: we encoded it
 			}
 			ob.Unacked = append(ob.Unacked, UnackedFrame{Seq: seq, Updates: us})
 		}
-		ob.Pending = p.rq.Drain(dest)
+		if st.src == p.cfg.ID {
+			ob.Pending = p.rq.Drain(st.dest)
+		}
 		if len(ob.Unacked) > 0 || len(ob.Pending) > 0 || ob.NextSeq > 1 {
 			s.Outbound = append(s.Outbound, ob)
 		}
 	}
+	// Queued destinations that never got a sender (possible when an
+	// ownership reroute parked updates during shutdown).
+	for _, dest := range p.rq.Dests() {
+		s.Outbound = append(s.Outbound, OutboundState{
+			Src: p.cfg.ID, Dest: dest, NextSeq: 1, Pending: p.rq.Drain(dest),
+		})
+	}
 	return s
 }
 
-// decodeFrameBytes parses a full batch frame as built by nextFrame.
-func decodeFrameBytes(b []byte) (p2p.PeerID, uint64, []p2p.Update, error) {
+// decodeFrameBytes parses a full stream-batch frame as built by
+// nextFrame or installAdoptedSender.
+func decodeFrameBytes(b []byte) (src, dest p2p.PeerID, seq uint64, us []p2p.Update, err error) {
 	typ, payload, err := readFrameBytes(b)
-	if err != nil || typ != frameBatchSeq {
-		return 0, 0, nil, fmt.Errorf("wire: not a sequenced batch frame")
+	if err != nil || typ != frameBatchStrm {
+		return 0, 0, 0, nil, fmt.Errorf("wire: not a stream batch frame")
 	}
-	return decodeBatchSeq(payload)
+	return decodeBatchStrm(payload)
 }
 
 func readFrameBytes(b []byte) (byte, []byte, error) {
@@ -150,6 +234,9 @@ func RestorePeer(cfg PeerConfig, snap *PeerSnapshot) (*Peer, error) {
 	if !slices.Equal(cfg.Docs, snap.Docs) {
 		return nil, fmt.Errorf("wire: snapshot document set does not match config")
 	}
+	if len(snap.Rank) != len(snap.Docs) || len(snap.Acc) != len(snap.Docs) || len(snap.Last) != len(snap.Docs) {
+		return nil, fmt.Errorf("wire: snapshot ranker state does not match its document set")
+	}
 	p, err := NewPeer(cfg)
 	if err != nil {
 		return nil, err
@@ -158,8 +245,8 @@ func RestorePeer(cfg PeerConfig, snap *PeerSnapshot) (*Peer, error) {
 	copy(p.rk.rank, snap.Rank)
 	copy(p.rk.acc, snap.Acc)
 	copy(p.rk.last, snap.Last)
-	for from, seq := range snap.LastSeq {
-		p.lastSeq[from] = seq
+	for _, e := range snap.LastSeq {
+		p.lastSeq[stream{src: e.Src, dest: e.Dest}] = e.Seq
 	}
 	p.sent.Store(snap.Sent)
 	p.processed.Store(snap.Processed)
@@ -168,14 +255,20 @@ func RestorePeer(cfg PeerConfig, snap *PeerSnapshot) (*Peer, error) {
 	p.redeliveries.Store(snap.Redeliveries)
 	p.coalesced.Store(snap.Coalesced)
 	p.dupDropped.Store(snap.DupDropped)
+	p.forwarded.Store(snap.Forwarded)
+	p.misdropped.Store(snap.Misdropped)
 	p.deltaOutBits.Store(math.Float64bits(snap.DeltaShipped))
 	p.deltaInBits.Store(math.Float64bits(snap.DeltaFolded))
 	for _, ob := range snap.Outbound {
-		s := p.newSender(ob.Dest)
+		st := stream{src: ob.Src, dest: ob.Dest}
+		if _, dup := p.senders[st]; dup {
+			continue
+		}
+		s := p.newSender(st)
 		s.nextSeq = ob.NextSeq
 		for _, uf := range ob.Unacked {
 			fr := &frameRec{seq: uf.Seq, updates: len(uf.Updates)}
-			fr.bytes = frameBytes(frameBatchSeq, encodeBatchSeq(p.cfg.ID, uf.Seq, uf.Updates))
+			fr.bytes = frameBytes(frameBatchStrm, encodeBatchStrm(st.src, st.dest, uf.Seq, uf.Updates))
 			s.unacked = append(s.unacked, fr)
 		}
 		if len(s.unacked) > 0 {
@@ -184,13 +277,110 @@ func RestorePeer(cfg PeerConfig, snap *PeerSnapshot) (*Peer, error) {
 			s.sendSeq = s.nextSeq
 		}
 		for _, u := range ob.Pending {
-			p.rq.DeferMerge(ob.Dest, u)
+			// Two merged checkpoints can queue the same document for
+			// the same destination; an absorbed update is consumed
+			// here, exactly like live coalescing, or the termination
+			// probe could never balance.
+			if p.rq.DeferMerge(ob.Dest, u) {
+				p.coalesced.Add(1)
+				p.processed.Add(1)
+			}
 		}
-		p.senders[ob.Dest] = s
+		p.senders[st] = s
 		p.wg.Add(1)
 		go s.loop()
 	}
+	// Pending updates only ever leave through a self-stream sender
+	// (adopted streams retransmit their inherited frames but never
+	// frame new ones), so every queued destination needs one — a
+	// merged checkpoint can carry a departed peer's pending updates
+	// for a destination this peer never dialed itself.
+	for _, dest := range p.rq.Dests() {
+		p.sender(stream{src: p.cfg.ID, dest: dest})
+	}
 	return p, nil
+}
+
+// MergeSnapshot folds a departed peer's snapshot into the (also
+// crashed) successor's snapshot: ranker rows for documents the
+// successor does not already hold, the per-stream dedup table (keeping
+// the higher sequence number), and the departed peer's outbound
+// streams. Counters are NOT merged — the cluster accounts a departed
+// peer's counters separately, exactly as in the live-adoption path.
+func MergeSnapshot(dst, src *PeerSnapshot) {
+	have := make(map[graph.NodeID]struct{}, len(dst.Docs))
+	for _, d := range dst.Docs {
+		have[d] = struct{}{}
+	}
+	for i, d := range src.Docs {
+		if _, dup := have[d]; dup {
+			continue
+		}
+		dst.Docs = append(dst.Docs, d)
+		dst.Rank = append(dst.Rank, src.Rank[i])
+		dst.Acc = append(dst.Acc, src.Acc[i])
+		dst.Last = append(dst.Last, src.Last[i])
+	}
+	seq := make(map[stream]int, len(dst.LastSeq))
+	for i, e := range dst.LastSeq {
+		seq[stream{src: e.Src, dest: e.Dest}] = i
+	}
+	for _, e := range src.LastSeq {
+		if i, ok := seq[stream{src: e.Src, dest: e.Dest}]; ok {
+			if e.Seq > dst.LastSeq[i].Seq {
+				dst.LastSeq[i].Seq = e.Seq
+			}
+			continue
+		}
+		dst.LastSeq = append(dst.LastSeq, e)
+	}
+	streams := make(map[stream]struct{}, len(dst.Outbound))
+	for _, ob := range dst.Outbound {
+		streams[stream{src: ob.Src, dest: ob.Dest}] = struct{}{}
+	}
+	for _, ob := range src.Outbound {
+		if _, dup := streams[stream{src: ob.Src, dest: ob.Dest}]; dup {
+			continue // cannot happen: streams migrate to exactly one successor
+		}
+		dst.Outbound = append(dst.Outbound, ob)
+	}
+}
+
+// ShedFromSnapshot extracts the ranker rows for docs from a crashed
+// peer's snapshot (for handing the range to a joining peer), removing
+// them from the snapshot in place. The snapshot's streams and queues
+// stay put: pending updates for shed documents are re-routed when the
+// peer is restored and the cluster pushes the new ownership table.
+func ShedFromSnapshot(s *PeerSnapshot, docs []graph.NodeID) (rank, acc, last []float64, err error) {
+	index := make(map[graph.NodeID]int, len(s.Docs))
+	for i, d := range s.Docs {
+		index[d] = i
+	}
+	rank = make([]float64, len(docs))
+	acc = make([]float64, len(docs))
+	last = make([]float64, len(docs))
+	shedSet := make(map[graph.NodeID]struct{}, len(docs))
+	for i, d := range docs {
+		j, ok := index[d]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("wire: snapshot of peer %d does not hold doc %d", s.ID, d)
+		}
+		rank[i], acc[i], last[i] = s.Rank[j], s.Acc[j], s.Last[j]
+		shedSet[d] = struct{}{}
+	}
+	keepDocs := s.Docs[:0]
+	keepRank, keepAcc, keepLast := s.Rank[:0], s.Acc[:0], s.Last[:0]
+	for j, d := range s.Docs {
+		if _, gone := shedSet[d]; gone {
+			continue
+		}
+		keepDocs = append(keepDocs, d)
+		keepRank = append(keepRank, s.Rank[j])
+		keepAcc = append(keepAcc, s.Acc[j])
+		keepLast = append(keepLast, s.Last[j])
+	}
+	s.Docs, s.Rank, s.Acc, s.Last = keepDocs, keepRank, keepAcc, keepLast
+	return rank, acc, last, nil
 }
 
 // frameBytes renders one frame to a byte slice.
@@ -213,7 +403,7 @@ func EncodeSnapshot(s *PeerSnapshot, w io.Writer) error {
 		peerSnapVersion, uint64(uint32(s.ID)), uint64(len(s.Docs)),
 		uint64(len(s.LastSeq)), uint64(len(s.Outbound)),
 		s.Sent, s.Processed, s.Retries, s.Reconnects, s.Redeliveries,
-		s.Coalesced, s.DupDropped,
+		s.Coalesced, s.DupDropped, s.Forwarded, s.Misdropped,
 		math.Float64bits(s.DeltaShipped), math.Float64bits(s.DeltaFolded),
 	}
 	for _, v := range hdr {
@@ -232,21 +422,19 @@ func EncodeSnapshot(s *PeerSnapshot, w io.Writer) error {
 			}
 		}
 	}
-	froms := make([]p2p.PeerID, 0, len(s.LastSeq))
-	for from := range s.LastSeq {
-		froms = append(froms, from)
-	}
-	slices.Sort(froms)
-	for _, from := range froms {
-		if err := binary.Write(bw, binary.LittleEndian, uint64(uint32(from))); err != nil {
-			return err
-		}
-		if err := binary.Write(bw, binary.LittleEndian, s.LastSeq[from]); err != nil {
-			return err
+	for _, e := range s.LastSeq {
+		rec := []uint64{uint64(uint32(e.Src)), uint64(uint32(e.Dest)), e.Seq}
+		for _, v := range rec {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
 		}
 	}
 	for _, ob := range s.Outbound {
-		head := []uint64{uint64(uint32(ob.Dest)), ob.NextSeq, uint64(len(ob.Unacked)), uint64(len(ob.Pending))}
+		head := []uint64{
+			uint64(uint32(ob.Src)), uint64(uint32(ob.Dest)), ob.NextSeq,
+			uint64(len(ob.Unacked)), uint64(len(ob.Pending)),
+		}
 		for _, v := range head {
 			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 				return err
@@ -291,6 +479,19 @@ func readU64(r io.Reader, vs ...*uint64) error {
 	return nil
 }
 
+// snapAllocCap bounds the initial capacity of any decoded slice so a
+// corrupted count field costs at most a few kilobytes up front; the
+// slices grow incrementally and a lying count dies on a short read
+// long before it can exhaust memory.
+const snapAllocCap = 4096
+
+func capAlloc(n uint64) int {
+	if n > snapAllocCap {
+		return snapAllocCap
+	}
+	return int(n)
+}
+
 func readUpdates(r io.Reader) ([]p2p.Update, error) {
 	var n uint64
 	if err := readU64(r, &n); err != nil {
@@ -299,18 +500,25 @@ func readUpdates(r io.Reader) ([]p2p.Update, error) {
 	if n > uint64(maxFrameBytes) {
 		return nil, fmt.Errorf("wire: snapshot update list of %d entries exceeds limit", n)
 	}
-	us := make([]p2p.Update, n)
-	for i := range us {
+	us := make([]p2p.Update, 0, capAlloc(n))
+	for i := uint64(0); i < n; i++ {
 		var doc, bits uint64
 		if err := readU64(r, &doc, &bits); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("wire: truncated snapshot update list: %w", err)
 		}
-		us[i] = p2p.Update{Doc: graph.NodeID(uint32(doc)), Delta: math.Float64frombits(bits)}
+		if doc > uint64(^uint32(0)) {
+			return nil, fmt.Errorf("wire: snapshot update doc %d out of range", doc)
+		}
+		us = append(us, p2p.Update{Doc: graph.NodeID(uint32(doc)), Delta: math.Float64frombits(bits)})
 	}
 	return us, nil
 }
 
-// DecodeSnapshot parses a snapshot written by EncodeSnapshot.
+// DecodeSnapshot parses a snapshot written by EncodeSnapshot. It is
+// hardened against truncated and corrupted input: every count field is
+// bounded, allocation grows incrementally rather than trusting counts,
+// and any structural inconsistency (including trailing garbage) is an
+// error rather than a silently misparsed snapshot.
 func DecodeSnapshot(r io.Reader) (*PeerSnapshot, error) {
 	br := bufio.NewReaderSize(r, 1<<16)
 	magic := make([]byte, 4)
@@ -322,25 +530,29 @@ func DecodeSnapshot(r io.Reader) (*PeerSnapshot, error) {
 	}
 	var version, id, ndocs, nseq, nout uint64
 	var sent, processed, retries, reconnects, redeliveries, coalesced, dup uint64
+	var fwd, misd uint64
 	var shippedBits, foldedBits uint64
 	if err := readU64(br, &version, &id, &ndocs, &nseq, &nout,
 		&sent, &processed, &retries, &reconnects, &redeliveries,
-		&coalesced, &dup, &shippedBits, &foldedBits); err != nil {
+		&coalesced, &dup, &fwd, &misd, &shippedBits, &foldedBits); err != nil {
 		return nil, fmt.Errorf("wire: reading snapshot header: %w", err)
 	}
 	if version != peerSnapVersion {
 		return nil, fmt.Errorf("wire: unsupported snapshot version %d", version)
+	}
+	if id > uint64(^uint32(0)>>1) {
+		return nil, fmt.Errorf("wire: snapshot peer id %d out of range", id)
 	}
 	if ndocs > uint64(maxFrameBytes) || nseq > uint64(maxFrameBytes) || nout > uint64(maxFrameBytes) {
 		return nil, fmt.Errorf("wire: snapshot header sizes out of range")
 	}
 	s := &PeerSnapshot{
 		ID:           p2p.PeerID(uint32(id)),
-		Docs:         make([]graph.NodeID, ndocs),
-		Rank:         make([]float64, ndocs),
-		Acc:          make([]float64, ndocs),
-		Last:         make([]float64, ndocs),
-		LastSeq:      make(map[p2p.PeerID]uint64, nseq),
+		Docs:         make([]graph.NodeID, 0, capAlloc(ndocs)),
+		Rank:         make([]float64, 0, capAlloc(ndocs)),
+		Acc:          make([]float64, 0, capAlloc(ndocs)),
+		Last:         make([]float64, 0, capAlloc(ndocs)),
+		LastSeq:      make([]SeqEntry, 0, capAlloc(nseq)),
 		Sent:         sent,
 		Processed:    processed,
 		Retries:      retries,
@@ -348,6 +560,8 @@ func DecodeSnapshot(r io.Reader) (*PeerSnapshot, error) {
 		Redeliveries: redeliveries,
 		Coalesced:    coalesced,
 		DupDropped:   dup,
+		Forwarded:    fwd,
+		Misdropped:   misd,
 		DeltaShipped: math.Float64frombits(shippedBits),
 		DeltaFolded:  math.Float64frombits(foldedBits),
 	}
@@ -356,31 +570,44 @@ func DecodeSnapshot(r io.Reader) (*PeerSnapshot, error) {
 		if err := readU64(br, &doc, &rank, &acc, &last); err != nil {
 			return nil, fmt.Errorf("wire: reading snapshot document %d: %w", i, err)
 		}
-		s.Docs[i] = graph.NodeID(uint32(doc))
-		s.Rank[i] = math.Float64frombits(rank)
-		s.Acc[i] = math.Float64frombits(acc)
-		s.Last[i] = math.Float64frombits(last)
+		if doc > uint64(^uint32(0)) {
+			return nil, fmt.Errorf("wire: snapshot document id %d out of range", doc)
+		}
+		s.Docs = append(s.Docs, graph.NodeID(uint32(doc)))
+		s.Rank = append(s.Rank, math.Float64frombits(rank))
+		s.Acc = append(s.Acc, math.Float64frombits(acc))
+		s.Last = append(s.Last, math.Float64frombits(last))
 	}
 	for i := uint64(0); i < nseq; i++ {
-		var from, seq uint64
-		if err := readU64(br, &from, &seq); err != nil {
-			return nil, err
+		var src, dest, seq uint64
+		if err := readU64(br, &src, &dest, &seq); err != nil {
+			return nil, fmt.Errorf("wire: reading snapshot seq entry %d: %w", i, err)
 		}
-		s.LastSeq[p2p.PeerID(uint32(from))] = seq
+		if src > uint64(^uint32(0)>>1) || dest > uint64(^uint32(0)>>1) {
+			return nil, fmt.Errorf("wire: snapshot seq entry peer id out of range")
+		}
+		s.LastSeq = append(s.LastSeq, SeqEntry{
+			Src: p2p.PeerID(uint32(src)), Dest: p2p.PeerID(uint32(dest)), Seq: seq,
+		})
 	}
 	for i := uint64(0); i < nout; i++ {
-		var dest, nextSeq, nun, npend uint64
-		if err := readU64(br, &dest, &nextSeq, &nun, &npend); err != nil {
-			return nil, err
+		var src, dest, nextSeq, nun, npend uint64
+		if err := readU64(br, &src, &dest, &nextSeq, &nun, &npend); err != nil {
+			return nil, fmt.Errorf("wire: reading snapshot outbound %d: %w", i, err)
+		}
+		if src > uint64(^uint32(0)>>1) || dest > uint64(^uint32(0)>>1) {
+			return nil, fmt.Errorf("wire: snapshot outbound peer id out of range")
 		}
 		if nun > uint64(maxFrameBytes) {
 			return nil, fmt.Errorf("wire: snapshot outbound sizes out of range")
 		}
-		ob := OutboundState{Dest: p2p.PeerID(uint32(dest)), NextSeq: nextSeq}
+		ob := OutboundState{
+			Src: p2p.PeerID(uint32(src)), Dest: p2p.PeerID(uint32(dest)), NextSeq: nextSeq,
+		}
 		for j := uint64(0); j < nun; j++ {
 			var seq uint64
 			if err := readU64(br, &seq); err != nil {
-				return nil, err
+				return nil, fmt.Errorf("wire: reading snapshot frame seq: %w", err)
 			}
 			us, err := readUpdates(br)
 			if err != nil {
@@ -397,6 +624,9 @@ func DecodeSnapshot(r io.Reader) (*PeerSnapshot, error) {
 		}
 		ob.Pending = pend
 		s.Outbound = append(s.Outbound, ob)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("wire: trailing bytes after snapshot")
 	}
 	return s, nil
 }

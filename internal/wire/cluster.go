@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"dpr/internal/dht"
 	"dpr/internal/graph"
 	"dpr/internal/p2p"
 	"dpr/internal/rng"
@@ -21,6 +22,18 @@ import (
 // may partition, and individual peers may crash (Kill) and rejoin
 // from their checkpoint at a new address (Restart) without losing a
 // single update.
+//
+// Membership is live (paper section 3.1): a Chord ring (internal/dht)
+// is the membership oracle, each document's GUID is a ring key placed
+// at its owner, and ownership moves with the ring. Leave permanently
+// removes a peer — its document range, duplicate-suppression tables
+// and outbound queues migrate to its ring successor, and every live
+// peer's routing and address tables are repushed so in-flight and
+// parked updates chase the documents to their new owner. Join adds a
+// fresh peer that takes over its canonical key range from its
+// successor. A heartbeat failure detector (ClusterConfig.Heartbeat)
+// turns an unresponsive peer into an automatic Leave, so the cluster
+// converges through permanent failures without operator intervention.
 type Cluster struct {
 	g   *graph.Graph
 	cfg ClusterConfig
@@ -28,12 +41,25 @@ type Cluster struct {
 	docPeer []p2p.PeerID
 	docs    [][]graph.NodeID
 
-	mu      sync.Mutex
-	peers   []*Peer         // nil while a slot is crashed
-	snaps   []*PeerSnapshot // decoded snapshot of a crashed slot
-	blobs   [][]byte        // serialized snapshot (exercises the codec)
-	addrs   []string
-	started bool
+	ring  *dht.Ring
+	nodes []*dht.Node // slot -> ring node
+
+	mu        sync.Mutex
+	peers     []*Peer         // nil while a slot is crashed or left
+	snaps     []*PeerSnapshot // decoded snapshot of a crashed slot
+	blobs     [][]byte        // serialized snapshot (exercises the codec)
+	addrs     []string
+	left      []bool       // slot departed permanently
+	forwardTo []p2p.PeerID // left slot -> adopting successor slot
+	departed  PeerStats    // frozen counters of departed peers
+	joins     uint64
+	leaves    uint64
+	migrated  uint64
+	started   bool
+
+	fdQuit chan struct{}
+	fdStop sync.Once
+	fdWg   sync.WaitGroup
 }
 
 // ClusterConfig parameterizes NewCluster.
@@ -42,6 +68,16 @@ type ClusterConfig struct {
 	Damping float64 // 0 means 0.85
 	Epsilon float64 // 0 means 1e-3
 	Seed    uint64
+
+	// Heartbeat enables the failure detector: every Heartbeat the
+	// cluster pings each non-departed slot over the transport, and a
+	// slot that misses SuspectAfter consecutive pings is permanently
+	// removed (Leave) with full state handoff. 0 disables detection.
+	Heartbeat time.Duration
+
+	// SuspectAfter is the consecutive-miss threshold before a slot is
+	// declared dead; 0 means 3.
+	SuspectAfter int
 
 	// Transport dials every peer-to-peer connection; nil means the
 	// real TCP dialer. Tests inject a FaultTransport to script
@@ -56,10 +92,15 @@ type ClusterConfig struct {
 }
 
 // NewCluster starts cfg.Peers TCP peers and distributes g's documents
-// among them uniformly at random.
+// among them uniformly at random. Each document's GUID is also placed
+// on the membership ring at its owner, so ownership can migrate with
+// ring membership from then on.
 func NewCluster(g *graph.Graph, cfg ClusterConfig) (*Cluster, error) {
 	if cfg.Peers < 1 {
 		return nil, fmt.Errorf("wire: need at least one peer")
+	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = 3
 	}
 	r := rng.New(cfg.Seed)
 	docPeer := make([]p2p.PeerID, g.NumNodes())
@@ -71,8 +112,26 @@ func NewCluster(g *graph.Graph, cfg ClusterConfig) (*Cluster, error) {
 	}
 	c := &Cluster{
 		g: g, cfg: cfg, docPeer: docPeer, docs: docs,
-		snaps: make([]*PeerSnapshot, cfg.Peers),
-		blobs: make([][]byte, cfg.Peers),
+		ring:      dht.NewRing(),
+		snaps:     make([]*PeerSnapshot, cfg.Peers),
+		blobs:     make([][]byte, cfg.Peers),
+		left:      make([]bool, cfg.Peers),
+		forwardTo: make([]p2p.PeerID, cfg.Peers),
+		fdQuit:    make(chan struct{}),
+	}
+	for i := 0; i < cfg.Peers; i++ {
+		c.forwardTo[i] = p2p.NoPeer
+		node, err := c.ring.AddPeer(fmt.Sprintf("peer-%d", i))
+		if err != nil {
+			return nil, err
+		}
+		c.nodes = append(c.nodes, node)
+	}
+	for d := 0; d < g.NumNodes(); d++ {
+		node := c.nodes[docPeer[d]]
+		if err := c.ring.PlaceKey(node, docKey(graph.NodeID(d)), graph.NodeID(d)); err != nil {
+			return nil, err
+		}
 	}
 	addrs := make([]string, cfg.Peers)
 	for i := 0; i < cfg.Peers; i++ {
@@ -89,6 +148,11 @@ func NewCluster(g *graph.Graph, cfg ClusterConfig) (*Cluster, error) {
 		p.SetPeers(addrs)
 	}
 	return c, nil
+}
+
+// docKey maps a document id to its ring position.
+func docKey(d graph.NodeID) dht.ID {
+	return dht.GUIDFromUint64(uint64(d)).ID()
 }
 
 func (c *Cluster) peerConfig(i int) PeerConfig {
@@ -119,6 +183,13 @@ type ClusterResult struct {
 	DupDropped   uint64  // duplicate frames suppressed by receivers
 	DeltaShipped float64 // total delta mass shipped
 	DeltaFolded  float64 // total delta mass folded (== shipped when none lost)
+
+	// Membership accounting.
+	Joins     uint64 // peers added while running
+	Leaves    uint64 // peers permanently removed (manual or detected)
+	Migrated  uint64 // documents whose ownership moved between peers
+	Forwarded uint64 // updates re-shipped after racing a migration
+	Misdropped uint64 // updates dropped with no resolvable owner (0 = none)
 }
 
 // Kill crashes peer i: its goroutines stop, its connections reset,
@@ -126,12 +197,17 @@ type ClusterResult struct {
 // its durable state is checkpointed inside the cluster for a later
 // Restart. The termination probe keeps counting the crashed peer's
 // outstanding messages, so quiescence cannot be declared over updates
-// parked in its store-and-retry queues.
+// parked in its store-and-retry queues. The cluster takes no
+// membership action: with the failure detector enabled the slot will
+// be suspected and permanently removed unless restarted first.
 func (c *Cluster) Kill(i int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if i < 0 || i >= len(c.peers) {
 		return fmt.Errorf("wire: no peer %d", i)
+	}
+	if c.left[i] {
+		return fmt.Errorf("wire: peer %d has left", i)
 	}
 	p := c.peers[i]
 	if p == nil {
@@ -158,6 +234,9 @@ func (c *Cluster) Restart(i int) error {
 	if i < 0 || i >= len(c.peers) {
 		return fmt.Errorf("wire: no peer %d", i)
 	}
+	if c.left[i] {
+		return fmt.Errorf("wire: peer %d has left permanently", i)
+	}
 	if c.peers[i] != nil {
 		return fmt.Errorf("wire: peer %d is not down", i)
 	}
@@ -176,23 +255,290 @@ func (c *Cluster) Restart(i int) error {
 	c.snaps[i] = nil
 	c.blobs[i] = nil
 	c.addrs[i] = p.Addr()
-	addrs := append([]string(nil), c.addrs...)
-	for _, q := range c.peers {
-		if q != nil {
-			q.SetPeers(addrs)
-		}
-	}
+	c.pushAddrsLocked()
 	if c.started {
 		p.Start()
 	}
 	return nil
 }
 
+// Leave permanently removes peer i: its ring node departs gracefully,
+// its document range, duplicate-suppression tables and outbound queues
+// migrate to its ring successor, and every live peer's routing and
+// address tables are repushed. The peer may be live (it is killed
+// first) or already crashed (its checkpoint is handed off). The last
+// live slot cannot leave.
+func (c *Cluster) Leave(i int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leaveLocked(i)
+}
+
+func (c *Cluster) leaveLocked(i int) error {
+	if i < 0 || i >= len(c.peers) {
+		return fmt.Errorf("wire: no peer %d", i)
+	}
+	if c.left[i] {
+		return fmt.Errorf("wire: peer %d has already left", i)
+	}
+	if c.ring.NumAlive() < 2 {
+		return fmt.Errorf("wire: cannot remove the last live peer")
+	}
+	// The successor inherits everything; resolve it before the ring
+	// forgets the departing node.
+	node := c.nodes[i]
+	succ := node.Successor()
+	if succ == nil || succ == node {
+		return fmt.Errorf("wire: peer %d has no live successor", i)
+	}
+	j := c.slotOf(succ)
+	if j < 0 {
+		return fmt.Errorf("wire: ring node %s has no cluster slot", succ.Name())
+	}
+	var snap *PeerSnapshot
+	switch {
+	case c.peers[i] != nil:
+		snap = c.peers[i].Kill()
+		c.peers[i] = nil
+	case c.snaps[i] != nil:
+		snap = c.snaps[i]
+	default:
+		return fmt.Errorf("wire: no state for peer %d", i)
+	}
+	if err := c.ring.LeaveGraceful(node); err != nil {
+		return err
+	}
+	// Handoff ordering matters: the successor must hold the departed
+	// peer's dedup tables BEFORE any sender learns the redirected
+	// address, or a redirected retransmission could double-fold.
+	if c.peers[j] != nil {
+		if err := c.peers[j].Adopt(HandoffFromSnapshot(snap)); err != nil {
+			return err
+		}
+	} else if c.snaps[j] != nil {
+		// Successor is itself crashed: merge the handoff into its
+		// checkpoint so its restart resumes with the adopted range.
+		MergeSnapshot(c.snaps[j], snap)
+		var buf bytes.Buffer
+		if err := EncodeSnapshot(c.snaps[j], &buf); err != nil {
+			return err
+		}
+		c.blobs[j] = buf.Bytes()
+	} else {
+		return fmt.Errorf("wire: successor %d of peer %d has no state", j, i)
+	}
+	// The departed peer's counters freeze into the cluster-wide
+	// accumulators (the successor does not inherit them; it re-counts
+	// the parked updates as it folds or forwards them).
+	c.departed = addStats(c.departed, snapStats(snap))
+	for _, d := range snap.Docs {
+		c.docPeer[d] = p2p.PeerID(j)
+	}
+	c.docs[j] = append(c.docs[j], snap.Docs...)
+	c.docs[i] = nil
+	c.snaps[i] = nil
+	c.blobs[i] = nil
+	c.left[i] = true
+	c.forwardTo[i] = p2p.PeerID(j)
+	c.leaves++
+	c.migrated += uint64(len(snap.Docs))
+	c.pushOwnershipLocked(snap.Docs, p2p.PeerID(j))
+	return nil
+}
+
+// Join adds a fresh peer: a new ring node takes over its canonical key
+// range from its successor, the matching ranker rows are shed (from
+// the live successor, or surgically from its checkpoint if crashed),
+// and the new peer starts computing at the handed-over state while
+// every live peer's routing and address tables are repushed. Returns
+// the new slot index.
+func (c *Cluster) Join() (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	i := len(c.peers)
+	node, err := c.ring.AddPeer(fmt.Sprintf("peer-%d", i))
+	if err != nil {
+		return -1, err
+	}
+	// The ring moved the keys in (pred, node] from the successor; those
+	// are exactly the documents the new peer takes over.
+	var docs []graph.NodeID
+	node.EachKey(func(_ dht.ID, v interface{}) {
+		docs = append(docs, v.(graph.NodeID))
+	})
+	sortDocs(docs)
+	// Group by current owner (a single slot in practice — the keys all
+	// came from the ring successor — but ownership is re-read from the
+	// table so the code has no hidden single-source assumption).
+	byOwner := make(map[p2p.PeerID][]graph.NodeID)
+	for _, d := range docs {
+		byOwner[c.docPeer[d]] = append(byOwner[c.docPeer[d]], d)
+	}
+	c.peers = append(c.peers, nil)
+	c.snaps = append(c.snaps, nil)
+	c.blobs = append(c.blobs, nil)
+	c.addrs = append(c.addrs, "")
+	c.left = append(c.left, false)
+	c.forwardTo = append(c.forwardTo, p2p.NoPeer)
+	c.nodes = append(c.nodes, node)
+	c.docs = append(c.docs, nil)
+	snap := &PeerSnapshot{ID: p2p.PeerID(i)}
+	for owner, od := range byOwner {
+		var rank, acc, last []float64
+		var err error
+		switch {
+		case int(owner) < len(c.peers) && c.peers[owner] != nil:
+			rank, acc, last, err = c.peers[owner].Shed(od, p2p.PeerID(i))
+		case int(owner) < len(c.snaps) && c.snaps[owner] != nil:
+			rank, acc, last, err = ShedFromSnapshot(c.snaps[owner], od)
+			if err == nil {
+				c.docs[owner] = removeDocs(c.docs[owner], od)
+				var buf bytes.Buffer
+				if err = EncodeSnapshot(c.snaps[owner], &buf); err == nil {
+					c.blobs[owner] = buf.Bytes()
+				}
+			}
+		default:
+			err = fmt.Errorf("wire: owner %d of joining range has no state", owner)
+		}
+		if err != nil {
+			return -1, err
+		}
+		snap.Docs = append(snap.Docs, od...)
+		snap.Rank = append(snap.Rank, rank...)
+		snap.Acc = append(snap.Acc, acc...)
+		snap.Last = append(snap.Last, last...)
+		if c.peers[owner] != nil {
+			c.docs[owner] = removeDocs(c.docs[owner], od)
+		}
+	}
+	for _, d := range snap.Docs {
+		c.docPeer[d] = p2p.PeerID(i)
+	}
+	c.docs[i] = snap.Docs
+	p, err := RestorePeer(c.peerConfig(i), snap)
+	if err != nil {
+		return -1, err
+	}
+	c.peers[i] = p
+	c.addrs[i] = p.Addr()
+	c.joins++
+	c.migrated += uint64(len(snap.Docs))
+	c.pushOwnershipLocked(snap.Docs, p2p.PeerID(i))
+	if c.started {
+		p.Start()
+	}
+	return i, nil
+}
+
+// slotOf resolves a ring node back to its cluster slot.
+func (c *Cluster) slotOf(n *dht.Node) int {
+	for i, m := range c.nodes {
+		if m == n {
+			return i
+		}
+	}
+	return -1
+}
+
+// effectiveAddrsLocked resolves departed slots to their adopting
+// successor's address, following redirect chains across multiple
+// departures. Senders keep dialing the slot their frames were framed
+// for; the redirect delivers them to whoever owns that state now.
+func (c *Cluster) effectiveAddrsLocked() []string {
+	addrs := make([]string, len(c.addrs))
+	for i := range c.addrs {
+		j := i
+		for hops := 0; c.left[j] && c.forwardTo[j] != p2p.NoPeer && hops <= len(c.addrs); hops++ {
+			j = int(c.forwardTo[j])
+		}
+		addrs[i] = c.addrs[j]
+	}
+	return addrs
+}
+
+// pushAddrsLocked repushes the effective address table to every live
+// peer.
+func (c *Cluster) pushAddrsLocked() {
+	addrs := c.effectiveAddrsLocked()
+	for i, q := range c.peers {
+		if q != nil && !c.left[i] {
+			q.SetPeers(addrs)
+		}
+	}
+}
+
+// pushOwnershipLocked pushes a migration (docs now belong to owner)
+// plus the refreshed address table to every live peer, which reroutes
+// their parked updates.
+func (c *Cluster) pushOwnershipLocked(docs []graph.NodeID, owner p2p.PeerID) {
+	addrs := c.effectiveAddrsLocked()
+	for i, q := range c.peers {
+		if q != nil && !c.left[i] {
+			q.UpdateOwnership(docs, owner, addrs)
+		}
+	}
+}
+
+// sortDocs orders a document slice ascending (insertion sort is fine:
+// migration sets are small relative to the graph).
+func sortDocs(docs []graph.NodeID) {
+	for i := 1; i < len(docs); i++ {
+		for j := i; j > 0 && docs[j-1] > docs[j]; j-- {
+			docs[j-1], docs[j] = docs[j], docs[j-1]
+		}
+	}
+}
+
+// removeDocs filters the shed documents out of an ownership list.
+func removeDocs(docs, shed []graph.NodeID) []graph.NodeID {
+	gone := make(map[graph.NodeID]struct{}, len(shed))
+	for _, d := range shed {
+		gone[d] = struct{}{}
+	}
+	keep := docs[:0]
+	for _, d := range docs {
+		if _, ok := gone[d]; !ok {
+			keep = append(keep, d)
+		}
+	}
+	return keep
+}
+
+// snapStats extracts a snapshot's counters as PeerStats.
+func snapStats(s *PeerSnapshot) PeerStats {
+	return PeerStats{
+		Sent: s.Sent, Processed: s.Processed,
+		Retries: s.Retries, Reconnects: s.Reconnects,
+		Redeliveries: s.Redeliveries, Coalesced: s.Coalesced,
+		DupDropped: s.DupDropped, Forwarded: s.Forwarded,
+		Misdropped:   s.Misdropped,
+		DeltaShipped: s.DeltaShipped, DeltaFolded: s.DeltaFolded,
+	}
+}
+
+// addStats sums two counter sets.
+func addStats(a, b PeerStats) PeerStats {
+	a.Sent += b.Sent
+	a.Processed += b.Processed
+	a.Retries += b.Retries
+	a.Reconnects += b.Reconnects
+	a.Redeliveries += b.Redeliveries
+	a.Coalesced += b.Coalesced
+	a.DupDropped += b.DupDropped
+	a.Forwarded += b.Forwarded
+	a.Misdropped += b.Misdropped
+	a.DeltaShipped += b.DeltaShipped
+	a.DeltaFolded += b.DeltaFolded
+	return a
+}
+
 // Run starts every peer, waits for global quiescence (two consecutive
 // probes with equal and unchanged sent/processed totals), collects the
-// ranks, and shuts the cluster down. Peers may be killed and restarted
-// concurrently; quiescence is only declared once every update —
-// including those parked in retry queues — has been folded.
+// ranks, and shuts the cluster down. Peers may be killed, restarted,
+// permanently removed and joined concurrently; quiescence is only
+// declared once every update — including those parked in retry queues
+// and those migrating between owners — has been folded.
 func (c *Cluster) Run(timeout time.Duration) (ClusterResult, error) {
 	start := time.Now()
 	c.mu.Lock()
@@ -202,7 +548,12 @@ func (c *Cluster) Run(timeout time.Duration) (ClusterResult, error) {
 			p.Start()
 		}
 	}
+	heartbeat := c.cfg.Heartbeat
 	c.mu.Unlock()
+	if heartbeat > 0 {
+		c.fdWg.Add(1)
+		go c.failureDetector(heartbeat)
+	}
 	res := ClusterResult{}
 	var prevSent, prevProcessed uint64 = ^uint64(0), ^uint64(0)
 	deadline := time.Now().Add(timeout)
@@ -229,36 +580,108 @@ func (c *Cluster) Run(timeout time.Duration) (ClusterResult, error) {
 	res.DupDropped = st.DupDropped
 	res.DeltaShipped = st.DeltaShipped
 	res.DeltaFolded = st.DeltaFolded
+	res.Forwarded = st.Forwarded
+	res.Misdropped = st.Misdropped
+	c.mu.Lock()
+	res.Joins = c.joins
+	res.Leaves = c.leaves
+	res.Migrated = c.migrated
+	c.mu.Unlock()
 	res.Elapsed = time.Since(start)
 	c.Close()
 	return res, nil
 }
 
-// slots returns a consistent copy of the cluster's peer table.
-func (c *Cluster) slots() ([]*Peer, []*PeerSnapshot, []string) {
+// failureDetector pings every non-departed slot each interval and
+// permanently removes (Leave) any slot that misses SuspectAfter
+// consecutive pings. Observer traffic passes fault injectors
+// untouched, so injected drop/reset faults cannot produce false
+// positives — only a genuinely dead listener (or a hung peer) misses.
+func (c *Cluster) failureDetector(interval time.Duration) {
+	defer c.fdWg.Done()
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	misses := make(map[int]int)
+	for {
+		select {
+		case <-c.fdQuit:
+			return
+		case <-ticker.C:
+		}
+		c.mu.Lock()
+		type target struct {
+			slot int
+			addr string
+		}
+		var targets []target
+		for i := range c.peers {
+			if !c.left[i] {
+				targets = append(targets, target{slot: i, addr: c.addrs[i]})
+			}
+		}
+		threshold := c.cfg.SuspectAfter
+		c.mu.Unlock()
+		for _, t := range targets {
+			if pingPeer(c.cfg.Transport, t.addr, interval) == nil {
+				delete(misses, t.slot)
+				continue
+			}
+			misses[t.slot]++
+			if misses[t.slot] < threshold {
+				continue
+			}
+			delete(misses, t.slot)
+			c.mu.Lock()
+			if !c.left[t.slot] && c.ring.NumAlive() >= 2 {
+				c.leaveLocked(t.slot) // best effort; a failed leave retries next round
+			}
+			c.mu.Unlock()
+		}
+	}
+}
+
+// slotView is a consistent copy of the cluster's slot table.
+type slotView struct {
+	peers    []*Peer
+	snaps    []*PeerSnapshot
+	addrs    []string
+	left     []bool
+	departed PeerStats
+}
+
+func (c *Cluster) slots() slotView {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return append([]*Peer(nil), c.peers...),
-		append([]*PeerSnapshot(nil), c.snaps...),
-		append([]string(nil), c.addrs...)
+	return slotView{
+		peers:    append([]*Peer(nil), c.peers...),
+		snaps:    append([]*PeerSnapshot(nil), c.snaps...),
+		addrs:    append([]string(nil), c.addrs...),
+		left:     append([]bool(nil), c.left...),
+		departed: c.departed,
+	}
 }
 
 // counters sums every slot's (sent, processed): live peers over TCP
 // (falling back to a direct read when the probe connection fails
-// transiently), crashed peers from their frozen checkpoint.
+// transiently), crashed peers from their frozen checkpoint, departed
+// peers from the cluster accumulators.
 func (c *Cluster) counters() (sent, processed uint64) {
-	peers, snaps, addrs := c.slots()
-	for i := range peers {
-		if peers[i] == nil {
-			if snaps[i] != nil {
-				sent += snaps[i].Sent
-				processed += snaps[i].Processed
+	v := c.slots()
+	sent, processed = v.departed.Sent, v.departed.Processed
+	for i := range v.peers {
+		if v.left[i] {
+			continue
+		}
+		if v.peers[i] == nil {
+			if v.snaps[i] != nil {
+				sent += v.snaps[i].Sent
+				processed += v.snaps[i].Processed
 			}
 			continue
 		}
-		s, pr, err := probePeer(c.cfg.Transport, addrs[i])
+		s, pr, err := probePeer(c.cfg.Transport, v.addrs[i])
 		if err != nil {
-			s, pr = peers[i].Counters()
+			s, pr = v.peers[i].Counters()
 		}
 		sent += s
 		processed += pr
@@ -267,21 +690,22 @@ func (c *Cluster) counters() (sent, processed uint64) {
 }
 
 // collectAll gathers every document's rank: live peers over TCP,
-// crashed peers from their checkpoint.
+// crashed peers from their checkpoint. Departed slots hold nothing —
+// their documents were adopted by live slots.
 func (c *Cluster) collectAll() []float64 {
 	ranks := make([]float64, c.g.NumNodes())
-	peers, snaps, addrs := c.slots()
-	for i := range peers {
-		if peers[i] == nil {
-			if snaps[i] != nil {
-				for j, d := range snaps[i].Docs {
-					ranks[d] = snaps[i].Rank[j]
+	v := c.slots()
+	for i := range v.peers {
+		if v.peers[i] == nil {
+			if v.snaps[i] != nil {
+				for j, d := range v.snaps[i].Docs {
+					ranks[d] = v.snaps[i].Rank[j]
 				}
 			}
 			continue
 		}
-		if err := collectRanks(c.cfg.Transport, addrs[i], ranks); err != nil {
-			docs, rs := peers[i].rk.snapshotRanks()
+		if err := collectRanks(c.cfg.Transport, v.addrs[i], ranks); err != nil {
+			docs, rs := v.peers[i].rk.snapshotRanks()
 			for j, d := range docs {
 				ranks[d] = rs[j]
 			}
@@ -290,41 +714,25 @@ func (c *Cluster) collectAll() []float64 {
 	return ranks
 }
 
-// stats sums every slot's counters.
-func (c *Cluster) stats() (st PeerStats) {
-	peers, snaps, _ := c.slots()
-	for i := range peers {
-		var ps PeerStats
+// stats sums every slot's counters, departed peers included.
+func (c *Cluster) stats() PeerStats {
+	v := c.slots()
+	st := v.departed
+	for i := range v.peers {
 		switch {
-		case peers[i] != nil:
-			ps = peers[i].Stats()
-		case snaps[i] != nil:
-			ps = PeerStats{
-				Sent: snaps[i].Sent, Processed: snaps[i].Processed,
-				Retries: snaps[i].Retries, Reconnects: snaps[i].Reconnects,
-				Redeliveries: snaps[i].Redeliveries, Coalesced: snaps[i].Coalesced,
-				DupDropped:   snaps[i].DupDropped,
-				DeltaShipped: snaps[i].DeltaShipped, DeltaFolded: snaps[i].DeltaFolded,
-			}
-		default:
-			continue
+		case v.peers[i] != nil:
+			st = addStats(st, v.peers[i].Stats())
+		case v.snaps[i] != nil:
+			st = addStats(st, snapStats(v.snaps[i]))
 		}
-		st.Sent += ps.Sent
-		st.Processed += ps.Processed
-		st.Retries += ps.Retries
-		st.Reconnects += ps.Reconnects
-		st.Redeliveries += ps.Redeliveries
-		st.Coalesced += ps.Coalesced
-		st.DupDropped += ps.DupDropped
-		st.DeltaShipped += ps.DeltaShipped
-		st.DeltaFolded += ps.DeltaFolded
 	}
-	return
+	return st
 }
 
 // observerDial opens a short-lived observer connection (probes, rank
-// collection) through the cluster's transport so nothing reaches
-// around it, while fault injectors leave observer traffic clean.
+// collection, heartbeats) through the cluster's transport so nothing
+// reaches around it, while fault injectors leave observer traffic
+// clean.
 func observerDial(tr Transport, addr string) (net.Conn, error) {
 	if tr == nil {
 		tr = TCPDialer()
@@ -332,12 +740,17 @@ func observerDial(tr Transport, addr string) (net.Conn, error) {
 	return tr.Dial(Observer, Observer, addr)
 }
 
+// probeTimeout bounds every observer round-trip so a hung peer can
+// never stall the termination probe or rank collection.
+const probeTimeout = 5 * time.Second
+
 func probePeer(tr Transport, addr string) (sent, processed uint64, err error) {
 	conn, err := observerDial(tr, addr)
 	if err != nil {
 		return 0, 0, err
 	}
 	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(probeTimeout))
 	if err := writeFrame(conn, frameSnapReq, nil); err != nil {
 		return 0, 0, err
 	}
@@ -357,6 +770,7 @@ func collectRanks(tr Transport, addr string, out []float64) error {
 		return err
 	}
 	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(probeTimeout))
 	if err := writeFrame(conn, frameRanksReq, nil); err != nil {
 		return err
 	}
@@ -371,8 +785,34 @@ func collectRanks(tr Transport, addr string, out []float64) error {
 	return err
 }
 
-// Close stops every peer.
+// pingPeer performs one heartbeat round-trip under a deadline.
+func pingPeer(tr Transport, addr string, timeout time.Duration) error {
+	if timeout < 50*time.Millisecond {
+		timeout = 50 * time.Millisecond
+	}
+	conn, err := observerDial(tr, addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(timeout))
+	if err := writeFrame(conn, framePing, nil); err != nil {
+		return err
+	}
+	typ, _, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if typ != framePong {
+		return fmt.Errorf("wire: unexpected frame %c to ping", typ)
+	}
+	return nil
+}
+
+// Close stops the failure detector and every peer.
 func (c *Cluster) Close() {
+	c.fdStop.Do(func() { close(c.fdQuit) })
+	c.fdWg.Wait()
 	c.mu.Lock()
 	peers := append([]*Peer(nil), c.peers...)
 	c.mu.Unlock()
@@ -383,25 +823,43 @@ func (c *Cluster) Close() {
 	}
 }
 
-// NumPeers returns the cluster size.
+// NumPeers returns the number of slots ever allocated (departed slots
+// included; they never come back).
 func (c *Cluster) NumPeers() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return len(c.peers)
 }
 
+// NumLive returns the number of live (running, non-departed) peers.
+func (c *Cluster) NumLive() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for i, p := range c.peers {
+		if p != nil && !c.left[i] {
+			n++
+		}
+	}
+	return n
+}
+
 // DebugCounters sums the live counters without probing over TCP.
 func (c *Cluster) DebugCounters() (sent, processed uint64) {
-	peers, snaps, _ := c.slots()
-	for i := range peers {
-		if peers[i] == nil {
-			if snaps[i] != nil {
-				sent += snaps[i].Sent
-				processed += snaps[i].Processed
+	v := c.slots()
+	sent, processed = v.departed.Sent, v.departed.Processed
+	for i := range v.peers {
+		if v.left[i] {
+			continue
+		}
+		if v.peers[i] == nil {
+			if v.snaps[i] != nil {
+				sent += v.snaps[i].Sent
+				processed += v.snaps[i].Processed
 			}
 			continue
 		}
-		s, pr := peers[i].Counters()
+		s, pr := v.peers[i].Counters()
 		sent += s
 		processed += pr
 	}

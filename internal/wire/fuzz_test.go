@@ -1,0 +1,87 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+)
+
+// fuzzSeedSnapshot is a representative v2 snapshot exercising every
+// record kind: documents, stream-keyed dedup entries, own and adopted
+// outbound streams, unacked frames and pending updates.
+func fuzzSeedSnapshot() *PeerSnapshot {
+	return &PeerSnapshot{
+		ID:   1,
+		Docs: []graph.NodeID{0, 2, 5},
+		Rank: []float64{0.15, 1.5, 0.3},
+		Acc:  []float64{0, 0.25, -0.125},
+		Last: []float64{0.15, 1.25, 0.3},
+		LastSeq: []SeqEntry{
+			{Src: 0, Dest: 1, Seq: 12},
+			{Src: 2, Dest: 4, Seq: 3},
+		},
+		Outbound: []OutboundState{
+			{
+				Src: 1, Dest: 0, NextSeq: 4,
+				Unacked: []UnackedFrame{{Seq: 3, Updates: []p2p.Update{{Doc: 9, Delta: 0.5}}}},
+				Pending: []p2p.Update{{Doc: 7, Delta: -0.25}},
+			},
+			{Src: 4, Dest: 2, NextSeq: 2,
+				Unacked: []UnackedFrame{{Seq: 1, Updates: []p2p.Update{{Doc: 3, Delta: 1}}}}},
+		},
+		Sent: 42, Processed: 40, Forwarded: 2,
+		DeltaShipped: 3.5, DeltaFolded: 3.25,
+	}
+}
+
+// FuzzDecodeCheckpoint hammers the snapshot decoder with corrupted,
+// truncated and adversarial input. The decoder must never panic, never
+// allocate unboundedly, and — when it does accept input — re-encoding
+// its result must round-trip (decode∘encode is the identity on the
+// accepted set), which catches fields silently dropped or misparsed.
+func FuzzDecodeCheckpoint(f *testing.F) {
+	var seed bytes.Buffer
+	if err := EncodeSnapshot(fuzzSeedSnapshot(), &seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	raw := seed.Bytes()
+	for _, cut := range []int{0, 3, 4, 11, len(raw) / 2, len(raw) - 1} {
+		if cut <= len(raw) {
+			f.Add(append([]byte(nil), raw[:cut]...))
+		}
+	}
+	// A header that lies about its record counts.
+	lying := append([]byte(nil), raw...)
+	for i := 20; i < 44 && i < len(lying); i++ {
+		lying[i] = 0xff
+	}
+	f.Add(lying)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := DecodeSnapshot(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(snap.Rank) != len(snap.Docs) || len(snap.Acc) != len(snap.Docs) || len(snap.Last) != len(snap.Docs) {
+			t.Fatalf("accepted snapshot with inconsistent ranker state: %d docs, %d/%d/%d values",
+				len(snap.Docs), len(snap.Rank), len(snap.Acc), len(snap.Last))
+		}
+		var out bytes.Buffer
+		if err := EncodeSnapshot(snap, &out); err != nil {
+			t.Fatalf("re-encoding accepted snapshot: %v", err)
+		}
+		again, err := DecodeSnapshot(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded snapshot: %v", err)
+		}
+		var final bytes.Buffer
+		if err := EncodeSnapshot(again, &final); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out.Bytes(), final.Bytes()) {
+			t.Fatal("encode/decode/encode is not a fixed point")
+		}
+	})
+}

@@ -62,6 +62,8 @@ type HTTPPeer struct {
 	retries      atomic.Uint64 // POST attempts past a request's first try
 	coalesced    atomic.Uint64 // updates absorbed by sender-side coalescing
 	dupDropped   atomic.Uint64 // duplicate posts suppressed
+	forwarded    atomic.Uint64 // misrouted updates re-shipped to the owner
+	misdropped   atomic.Uint64 // updates with no resolvable owner
 	deltaOutBits atomic.Uint64
 	deltaInBits  atomic.Uint64
 }
@@ -140,6 +142,8 @@ func (p *HTTPPeer) Stats() PeerStats {
 		Retries:      p.retries.Load(),
 		Coalesced:    p.coalesced.Load(),
 		DupDropped:   p.dupDropped.Load(),
+		Forwarded:    p.forwarded.Load(),
+		Misdropped:   p.misdropped.Load(),
 		DeltaShipped: math.Float64frombits(p.deltaOutBits.Load()),
 		DeltaFolded:  math.Float64frombits(p.deltaInBits.Load()),
 	}
@@ -240,10 +244,19 @@ func (p *HTTPPeer) processLoop() {
 				batch = append(batch, it.us...)
 			}
 			for len(batch) > 0 {
-				self := p.ship(p.rk.fold(batch))
-				for _, u := range batch {
-					addFloat(&p.deltaInBits, u.Delta)
+				out, fwd := p.rk.fold(batch)
+				self := p.ship(out)
+				if len(fwd) > 0 {
+					self = append(self, p.forward(fwd)...)
 				}
+				folded := 0.0
+				for _, u := range batch {
+					folded += u.Delta
+				}
+				for _, u := range fwd {
+					folded -= u.Delta
+				}
+				addFloat(&p.deltaInBits, folded)
 				p.processed.Add(uint64(len(batch)))
 				batch = self
 			}
@@ -265,6 +278,29 @@ func (p *HTTPPeer) ship(out map[p2p.PeerID][]p2p.Update) []p2p.Update {
 		}
 		p.post(dest, us)
 	}
+	return self
+}
+
+// forward re-ships updates that arrived for documents this peer does
+// not own (HTTP clusters have static membership, so this only fires on
+// a misconfigured placement table). Forwarded mass was counted shipped
+// at its origin, so only the send counter moves here.
+func (p *HTTPPeer) forward(fwd []p2p.Update) []p2p.Update {
+	var self []p2p.Update
+	for _, u := range fwd {
+		owner := p.rk.ownerOf(u.Doc)
+		switch {
+		case owner == p.cfg.ID && p.rk.owns(u.Doc):
+			self = append(self, u)
+			p.sent.Add(1)
+		case owner == p.cfg.ID || owner == p2p.NoPeer:
+			p.misdropped.Add(1)
+		default:
+			p.sent.Add(1)
+			p.post(owner, []p2p.Update{u})
+		}
+	}
+	p.forwarded.Add(uint64(len(fwd)))
 	return self
 }
 

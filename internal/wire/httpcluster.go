@@ -102,6 +102,8 @@ func (c *HTTPCluster) Run(timeout time.Duration) (ClusterResult, error) {
 		res.Retries += st.Retries
 		res.Coalesced += st.Coalesced
 		res.DupDropped += st.DupDropped
+		res.Forwarded += st.Forwarded
+		res.Misdropped += st.Misdropped
 		res.DeltaShipped += st.DeltaShipped
 		res.DeltaFolded += st.DeltaFolded
 	}

@@ -51,11 +51,23 @@ func (rp RetryPolicy) delay(r *rng.Rand, fails int) time.Duration {
 	return time.Duration(float64(d) * spread)
 }
 
+// writeTimeout bounds every frame write on the wire path, so a hung
+// receiver surfaces as a connection error (and a retransmission)
+// instead of blocking a sender forever.
+const writeTimeout = 10 * time.Second
+
+// ackTimeout bounds how long a sender waits for an acknowledgement
+// once frames are outstanding. The deadline is armed after each frame
+// write and extended (or cleared, when nothing is owed) on each ack,
+// so an idle connection never expires but a peer that accepts frames
+// and then hangs is torn down and its frames retransmitted elsewhere.
+const ackTimeout = 15 * time.Second
+
 // PeerConfig configures one TCP peer.
 type PeerConfig struct {
 	ID      p2p.PeerID
 	Graph   *graph.Graph // shared, read-only
-	DocPeer []p2p.PeerID // doc -> owning peer (shared, read-only)
+	DocPeer []p2p.PeerID // doc -> owning peer (copied; mutable per peer)
 	Docs    []graph.NodeID
 	Damping float64 // 0 means 0.85
 	Epsilon float64 // 0 means 1e-3
@@ -72,18 +84,31 @@ type PeerConfig struct {
 	Client *http.Client
 }
 
+// stream identifies one exactly-once delivery sequence: the sender and
+// the peer the frames were originally framed for. Under static
+// membership dest is always the receiving peer; after a permanent
+// leave, frames framed for the departed peer are redirected to its
+// successor and dedup'd against the stream they were sequenced on,
+// which the successor adopted with the rest of the departed state.
+type stream struct {
+	src  p2p.PeerID
+	dest p2p.PeerID
+}
+
 // Peer is one network node of the computation: a TCP listener, one
-// persistent outbound connection per destination peer, and the chaotic
+// persistent outbound connection per delivery stream, and the chaotic
 // iteration state for the documents it owns.
 //
 // The outbound path implements the paper's store-and-retry protocol:
 // updates bound for a remote peer are coalesced into a per-destination
-// retry queue, framed with (sender, seq) headers, and kept by the
-// sender until the destination acknowledges folding them. Connection
-// loss triggers reconnection with exponential backoff and verbatim
-// retransmission of every unacknowledged frame; receivers suppress
-// redelivered duplicates by per-sender sequence number, so delivery is
-// exactly-once end to end.
+// retry queue, framed with (sender, origDest, seq) headers, and kept
+// by the sender until the destination acknowledges folding them.
+// Connection loss triggers reconnection with exponential backoff and
+// verbatim retransmission of every unacknowledged frame; receivers
+// suppress redelivered duplicates per stream, so delivery is
+// exactly-once end to end — including across ownership migrations,
+// where both the frames and the duplicate-suppression table move to
+// the departed peer's successor together.
 type Peer struct {
 	cfg   PeerConfig
 	tr    Transport
@@ -93,14 +118,16 @@ type Peer struct {
 	addr  string
 
 	// Peer address table; mutated when a crashed peer rejoins at a
-	// new address, so reads always go through peerAddr.
+	// new address or a departed peer's slot is redirected to its
+	// successor, so reads always go through peerAddr.
 	peersMu sync.Mutex
 	peers   []string
 
-	// Outbound senders, created lazily, plus the shared retry queue
-	// holding not-yet-framed updates per destination.
+	// Outbound senders, created lazily, keyed by delivery stream,
+	// plus the shared retry queue holding not-yet-framed updates per
+	// destination.
 	sendMu  sync.Mutex
-	senders map[p2p.PeerID]*sender
+	senders map[stream]*sender
 	rqMu    sync.Mutex
 	rq      *p2p.RetryQueue
 
@@ -113,9 +140,9 @@ type Peer struct {
 	wg    sync.WaitGroup
 
 	// lastSeq is the duplicate-suppression table: the highest folded
-	// sequence number per sender. Owned by processLoop; read elsewhere
-	// only after the loops have stopped (Kill).
-	lastSeq map[p2p.PeerID]uint64
+	// sequence number per delivery stream. Owned by processLoop; read
+	// elsewhere only after the loops have stopped (Kill).
+	lastSeq map[stream]uint64
 
 	restored bool // resumed from a snapshot: skip the initial push
 
@@ -127,19 +154,40 @@ type Peer struct {
 	redeliveries atomic.Uint64 // frames acknowledged after more than one attempt
 	coalesced    atomic.Uint64 // updates absorbed by sender-side delta coalescing
 	dupDropped   atomic.Uint64 // duplicate frames suppressed by seq dedup
-	deltaOutBits atomic.Uint64 // float64 bits: delta mass shipped (self included)
+	forwarded    atomic.Uint64 // misrouted updates re-shipped to the current owner
+	misdropped   atomic.Uint64 // updates with no resolvable owner (must stay 0)
+	deltaOutBits atomic.Uint64 // float64 bits: delta mass originated (self included)
 	deltaInBits  atomic.Uint64 // float64 bits: delta mass folded
 }
 
 // inItem is one inbox entry: a batch of updates plus, for sequenced
-// remote frames, the metadata the processing loop needs to suppress
-// duplicates and acknowledge folding.
+// remote frames, the stream metadata the processing loop needs to
+// suppress duplicates and acknowledge folding. Membership operations
+// (handoff adoption, document shedding) also travel through the inbox
+// so they serialize with folding without extra locks.
 type inItem struct {
-	from  p2p.PeerID
-	seq   uint64
-	seqed bool
-	us    []p2p.Update
-	ack   func() // transmits the cumulative ack; nil for local items
+	from     p2p.PeerID
+	origDest p2p.PeerID
+	seq      uint64
+	seqed    bool
+	us       []p2p.Update
+	ack      func() // transmits the cumulative ack; nil for local items
+
+	adopt *Handoff  // nil unless this item carries a state handoff
+	shed  *shedReq  // nil unless this item requests a document shed
+}
+
+// shedReq asks the processing loop to extract ranker rows for a
+// joining peer; the reply is sent exactly once.
+type shedReq struct {
+	docs     []graph.NodeID
+	newOwner p2p.PeerID
+	reply    chan shedState
+}
+
+type shedState struct {
+	rank, acc, last []float64
+	err             error
 }
 
 // addFloat accumulates v into a float64 stored as atomic bits.
@@ -158,6 +206,7 @@ type PeerStats struct {
 	Sent, Processed                   uint64
 	Retries, Reconnects, Redeliveries uint64
 	Coalesced, DupDropped             uint64
+	Forwarded, Misdropped             uint64
 	DeltaShipped, DeltaFolded         float64
 }
 
@@ -187,15 +236,20 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		rk:      newRanker(cfg),
 		ln:      ln,
 		addr:    ln.Addr().String(),
-		senders: make(map[p2p.PeerID]*sender),
+		senders: make(map[stream]*sender),
 		rq:      p2p.NewRetryQueue(),
 		ins:     make(map[net.Conn]struct{}),
 		inbox:   make(chan inItem, 1024),
 		quit:    make(chan struct{}),
-		lastSeq: make(map[p2p.PeerID]uint64),
+		lastSeq: make(map[stream]uint64),
 	}
 	p.wg.Add(1)
 	go p.acceptLoop()
+	// The processing loop runs from birth, not from Start: membership
+	// operations (Adopt/Shed) and early inbound frames must be served
+	// even on a peer that has not begun computing yet.
+	p.wg.Add(1)
+	go p.processLoop()
 	return p, nil
 }
 
@@ -204,7 +258,8 @@ func (p *Peer) Addr() string { return p.addr }
 
 // SetPeers installs the full peer address table (indexed by PeerID).
 // It may be called again while running when a crashed peer rejoins at
-// a new address.
+// a new address, a fresh peer joins (the table grows), or a departed
+// peer's slot is redirected to its successor's address.
 func (p *Peer) SetPeers(addrs []string) {
 	p.peersMu.Lock()
 	p.peers = append([]string(nil), addrs...)
@@ -221,29 +276,34 @@ func (p *Peer) peerAddr(dest p2p.PeerID) string {
 	return p.peers[dest]
 }
 
-// Start launches the processing loop and performs the initial push
-// (skipped for peers restored from a snapshot, whose ranker state
-// already reflects everything they pushed before crashing).
+// Start begins computing: it wakes the senders and performs the
+// initial push (skipped for peers restored from a snapshot or
+// constructed from a join handoff, whose ranker state already
+// reflects everything pushed before).
 func (p *Peer) Start() {
-	p.wg.Add(1)
-	go p.processLoop()
-	p.sendMu.Lock()
-	for _, s := range p.senders {
-		s.wakeUp()
-	}
-	p.sendMu.Unlock()
+	p.wakeSenders()
 	if p.restored {
 		return
 	}
 	// Initial push of every owned document's starting rank. Self-
 	// directed updates enter through the inbox channel; the processing
 	// loop is already running, so the buffered channel drains.
-	if self := p.ship(p.rk.initialOut()); len(self) > 0 {
+	if self := p.ship(p.rk.initialOut(), true); len(self) > 0 {
 		select {
 		case p.inbox <- inItem{from: p.cfg.ID, us: self}:
 		case <-p.quit:
 		}
 	}
+}
+
+// wakeSenders nudges every sender loop (e.g. after an address-table
+// update redirected a departed peer's slot).
+func (p *Peer) wakeSenders() {
+	p.sendMu.Lock()
+	for _, s := range p.senders {
+		s.wakeUp()
+	}
+	p.sendMu.Unlock()
 }
 
 // stop halts every goroutine and closes every connection.
@@ -302,6 +362,8 @@ func (p *Peer) Stats() PeerStats {
 		Redeliveries: p.redeliveries.Load(),
 		Coalesced:    p.coalesced.Load(),
 		DupDropped:   p.dupDropped.Load(),
+		Forwarded:    p.forwarded.Load(),
+		Misdropped:   p.misdropped.Load(),
 		DeltaShipped: math.Float64frombits(p.deltaOutBits.Load()),
 		DeltaFolded:  math.Float64frombits(p.deltaInBits.Load()),
 	}
@@ -328,16 +390,14 @@ type connWriter struct {
 	conn net.Conn
 }
 
-// write emits one frame. Acks are written under a deadline so a jammed
-// peer can never stall the processing loop: a lost ack is recovered by
-// the sender's retransmission, which is re-acknowledged.
-func (cw *connWriter) write(typ byte, payload []byte, deadline bool) error {
+// write emits one frame under a write deadline, so a jammed peer can
+// never stall the processing loop or a response path: a lost ack is
+// recovered by the sender's retransmission, which is re-acknowledged.
+func (cw *connWriter) write(typ byte, payload []byte) error {
 	cw.mu.Lock()
 	defer cw.mu.Unlock()
-	if deadline {
-		cw.conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
-		defer cw.conn.SetWriteDeadline(time.Time{})
-	}
+	cw.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+	defer cw.conn.SetWriteDeadline(time.Time{})
 	return writeFrame(cw.conn, typ, payload)
 }
 
@@ -372,25 +432,42 @@ func (p *Peer) serveConn(conn net.Conn) {
 				return
 			}
 		case frameBatchSeq:
+			// Legacy sequenced batch: stream dest is implicitly us.
 			from, seq, us, err := decodeBatchSeq(payload)
 			if err != nil {
 				return
 			}
-			it := inItem{from: from, seq: seq, seqed: true, us: us,
-				ack: func() { cw.write(frameAck, encodeAck(seq), true) }}
+			it := inItem{from: from, origDest: p.cfg.ID, seq: seq, seqed: true, us: us,
+				ack: func() { cw.write(frameAck, encodeAck(seq)) }}
 			select {
 			case p.inbox <- it:
 			case <-p.quit:
 				return
 			}
+		case frameBatchStrm:
+			from, origDest, seq, us, err := decodeBatchStrm(payload)
+			if err != nil {
+				return
+			}
+			it := inItem{from: from, origDest: origDest, seq: seq, seqed: true, us: us,
+				ack: func() { cw.write(frameAck, encodeAck(seq)) }}
+			select {
+			case p.inbox <- it:
+			case <-p.quit:
+				return
+			}
+		case framePing:
+			if err := cw.write(framePong, nil); err != nil {
+				return
+			}
 		case frameSnapReq:
 			sent, processed := p.Counters()
-			if err := cw.write(frameSnapResp, encodeSnapshot(sent, processed), false); err != nil {
+			if err := cw.write(frameSnapResp, encodeSnapshot(sent, processed)); err != nil {
 				return
 			}
 		case frameRanksReq:
 			docs, ranks := p.rk.snapshotRanks()
-			if err := cw.write(frameRanks, encodeRanks(docs, ranks), false); err != nil {
+			if err := cw.write(frameRanks, encodeRanks(docs, ranks)); err != nil {
 				return
 			}
 		case frameStop:
@@ -431,24 +508,34 @@ func (p *Peer) processLoop() {
 	}
 }
 
-// consume suppresses duplicates, folds the surviving updates (and the
-// whole chain of self-directed consequences), then acknowledges. The
-// dedup table is advanced in the same loop iteration as the fold, so a
-// crash can never separate them — anything a sender sees acknowledged
-// is part of every later snapshot.
+// consume suppresses duplicates, applies membership operations, folds
+// the surviving updates (and the whole chain of self-directed
+// consequences), then acknowledges. The dedup table is advanced in the
+// same loop iteration as the fold, so a crash can never separate them
+// — anything a sender sees acknowledged is part of every later
+// snapshot.
 func (p *Peer) consume(items []inItem) {
 	var batch []p2p.Update
 	var acks []inItem
 	for _, it := range items {
+		if it.adopt != nil {
+			p.applyAdopt(it.adopt)
+			continue
+		}
+		if it.shed != nil {
+			p.applyShed(it.shed)
+			continue
+		}
 		if it.seqed {
-			if it.seq <= p.lastSeq[it.from] {
+			key := stream{src: it.from, dest: it.origDest}
+			if it.seq <= p.lastSeq[key] {
 				p.dupDropped.Add(1)
 				if it.ack != nil {
 					it.ack() // re-ack so the sender can discard the frame
 				}
 				continue
 			}
-			p.lastSeq[it.from] = it.seq
+			p.lastSeq[key] = it.seq
 			acks = append(acks, it)
 		}
 		batch = append(batch, it.us...)
@@ -463,13 +550,26 @@ func (p *Peer) consume(items []inItem) {
 	}
 }
 
-// handle folds a batch, ships remote consequences and returns the
-// self-directed ones for the caller to fold next.
+// handle folds a batch, ships remote consequences, forwards updates
+// for documents that migrated away, and returns the self-directed
+// ones for the caller to fold next.
 func (p *Peer) handle(batch []p2p.Update) []p2p.Update {
-	self := p.ship(p.rk.fold(batch))
-	for _, u := range batch {
-		addFloat(&p.deltaInBits, u.Delta)
+	out, fwd := p.rk.fold(batch)
+	self := p.ship(out, true)
+	if len(fwd) > 0 {
+		self = append(self, p.forward(fwd)...)
 	}
+	// Conservation accounting: only mass actually folded here counts
+	// as folded; forwarded mass stays in flight (its origination was
+	// already counted by whoever first shipped it).
+	folded := 0.0
+	for _, u := range batch {
+		folded += u.Delta
+	}
+	for _, u := range fwd {
+		folded -= u.Delta
+	}
+	addFloat(&p.deltaInBits, folded)
 	p.processed.Add(uint64(len(batch)))
 	return self
 }
@@ -477,13 +577,17 @@ func (p *Peer) handle(batch []p2p.Update) []p2p.Update {
 // ship routes batches toward their destinations and returns the
 // self-directed updates for in-loop processing. The sent counter is
 // incremented before anything is queued so the termination probe can
-// never observe processed > sent.
-func (p *Peer) ship(out map[p2p.PeerID][]p2p.Update) []p2p.Update {
+// never observe processed > sent. originated marks freshly minted
+// deltas, which count toward the shipped-mass conservation total;
+// forwarded mass was counted at its origin.
+func (p *Peer) ship(out map[p2p.PeerID][]p2p.Update, originated bool) []p2p.Update {
 	var self []p2p.Update
 	for dest, us := range out {
 		p.sent.Add(uint64(len(us)))
-		for _, u := range us {
-			addFloat(&p.deltaOutBits, u.Delta)
+		if originated {
+			for _, u := range us {
+				addFloat(&p.deltaOutBits, u.Delta)
+			}
 		}
 		if dest == p.cfg.ID {
 			self = append(self, us...)
@@ -492,6 +596,30 @@ func (p *Peer) ship(out map[p2p.PeerID][]p2p.Update) []p2p.Update {
 		p.queueRemote(dest, us)
 	}
 	return self
+}
+
+// forward re-ships updates that arrived for documents this peer does
+// not own — they raced an ownership migration. Each is routed to the
+// document's current owner; updates the routing table says are ours
+// but the fold refused (a transiently inconsistent table) are counted
+// in misdropped, which the conservation check treats as lost mass.
+func (p *Peer) forward(fwd []p2p.Update) []p2p.Update {
+	out := make(map[p2p.PeerID][]p2p.Update)
+	var self []p2p.Update
+	for _, u := range fwd {
+		owner := p.rk.ownerOf(u.Doc)
+		switch {
+		case owner == p.cfg.ID && p.rk.owns(u.Doc):
+			self = append(self, u) // adopted between fold and forward
+			p.sent.Add(1)
+		case owner == p.cfg.ID || owner == p2p.NoPeer:
+			p.misdropped.Add(1) // no resolvable owner; surfaced in stats
+		default:
+			out[owner] = append(out[owner], u)
+		}
+	}
+	p.forwarded.Add(uint64(len(fwd)))
+	return append(self, p.ship(out, false)...)
 }
 
 // queueRemote coalesces updates into the destination's retry queue
@@ -513,42 +641,203 @@ func (p *Peer) queueRemote(dest p2p.PeerID, us []p2p.Update) {
 		p.coalesced.Add(uint64(merged))
 		p.processed.Add(uint64(merged))
 	}
-	p.sender(dest).wakeUp()
+	p.sender(stream{src: p.cfg.ID, dest: dest}).wakeUp()
 }
 
-// sender returns (creating on first use) the destination's sender.
-func (p *Peer) sender(dest p2p.PeerID) *sender {
+// sender returns (creating on first use) the stream's sender.
+func (p *Peer) sender(st stream) *sender {
 	p.sendMu.Lock()
 	defer p.sendMu.Unlock()
-	s, ok := p.senders[dest]
+	s, ok := p.senders[st]
 	if !ok {
-		s = p.newSender(dest)
-		p.senders[dest] = s
+		s = p.newSender(st)
+		p.senders[st] = s
 		p.wg.Add(1)
 		go s.loop()
 	}
 	return s
 }
 
-func (p *Peer) newSender(dest p2p.PeerID) *sender {
+func (p *Peer) newSender(st stream) *sender {
 	return &sender{
 		p:       p,
-		dest:    dest,
-		rng:     rng.New(uint64(p.cfg.ID)<<32 ^ uint64(uint32(dest)) ^ 0x5bd1e995),
+		strm:    st,
+		rng:     rng.New(uint64(uint32(st.src))<<32 ^ uint64(uint32(st.dest)) ^ 0x5bd1e995),
 		wake:    make(chan struct{}, 1),
 		nextSeq: 1,
 		sendSeq: 1,
 	}
 }
 
-// sender owns the fault-tolerant outbound path to one destination:
-// framing pending updates from the retry queue, transmitting in
-// sequence order, keeping every frame until it is acknowledged, and
-// reconnecting with exponential backoff — retransmitting all unacked
-// frames verbatim — whenever the connection is lost.
+// UpdateOwnership applies a membership change pushed by the cluster:
+// docs now belong to owner, and addrs is the refreshed address table
+// (departed slots redirected to their successor's address). Pending
+// retry-queue entries are rerouted to their documents' current owners
+// so updates parked for a departed peer chase the documents to
+// wherever they migrated.
+func (p *Peer) UpdateOwnership(docs []graph.NodeID, owner p2p.PeerID, addrs []string) {
+	p.SetPeers(addrs)
+	p.rk.setOwner(docs, owner)
+	p.rerouteQueued()
+	p.wakeSenders()
+}
+
+// rerouteQueued re-homes every queued-but-unframed update whose
+// document's owner changed. Entries that merge into an existing entry
+// for the new owner count as coalesced-and-processed, exactly like a
+// first-time DeferMerge absorption; entries for documents this peer
+// now owns fold locally through the inbox.
+func (p *Peer) rerouteQueued() {
+	table := p.rk.ownerTable()
+	var selfUs []p2p.Update
+	merged := 0
+	p.rqMu.Lock()
+	for _, dest := range p.rq.Dests() {
+		for _, u := range p.rq.Drain(dest) {
+			owner := dest
+			if int(u.Doc) < len(table) {
+				owner = table[u.Doc]
+			}
+			if owner == p.cfg.ID {
+				selfUs = append(selfUs, u)
+				continue
+			}
+			if p.rq.DeferMerge(owner, u) {
+				merged++
+			}
+		}
+	}
+	dests := p.rq.Dests()
+	p.rqMu.Unlock()
+	if merged > 0 {
+		p.coalesced.Add(uint64(merged))
+		p.processed.Add(uint64(merged))
+	}
+	// Ensure every destination holding rerouted updates has a live
+	// sender — the new owner may never have been dialed before.
+	for _, dest := range dests {
+		p.sender(stream{src: p.cfg.ID, dest: dest}).wakeUp()
+	}
+	if len(selfUs) > 0 {
+		select {
+		case p.inbox <- inItem{from: p.cfg.ID, us: selfUs}:
+		case <-p.quit:
+		}
+	}
+}
+
+// Adopt hands a departed peer's durable state to this peer: ranker
+// rows for the migrated documents, the per-stream dedup table, parked
+// (never-framed) updates, and the departed peer's own unacknowledged
+// outbound frames, which this peer takes over retransmitting verbatim
+// under their original stream identity. The call blocks until the
+// processing loop has applied the handoff, so by the time it returns
+// any frame redirected here dedups correctly.
+func (p *Peer) Adopt(h *Handoff) error {
+	if h == nil {
+		return fmt.Errorf("wire: nil handoff")
+	}
+	h.done = make(chan struct{})
+	select {
+	case p.inbox <- inItem{adopt: h}:
+	case <-p.quit:
+		return fmt.Errorf("wire: peer %d is shut down", p.cfg.ID)
+	}
+	select {
+	case <-h.done:
+		return nil
+	case <-p.quit:
+		return fmt.Errorf("wire: peer %d shut down during adoption", p.cfg.ID)
+	}
+}
+
+// applyAdopt runs on the processing loop.
+func (p *Peer) applyAdopt(h *Handoff) {
+	defer close(h.done)
+	p.rk.adopt(h.Docs, h.Rank, h.Acc, h.Last)
+	for st, seq := range h.LastSeq {
+		if seq > p.lastSeq[st] {
+			p.lastSeq[st] = seq
+		}
+	}
+	for _, ob := range h.Outbound {
+		st := stream{src: ob.Src, dest: ob.Dest}
+		if len(ob.Unacked) > 0 {
+			p.installAdoptedSender(st, ob)
+		}
+		// Parked updates re-enter as a plain received batch: they were
+		// counted sent by the departed peer, and folding or forwarding
+		// them here balances that exactly once.
+		if len(ob.Pending) > 0 {
+			for next := append([]p2p.Update(nil), ob.Pending...); len(next) > 0; {
+				next = p.handle(next)
+			}
+		}
+	}
+}
+
+// installAdoptedSender primes a sender for a departed peer's stream,
+// loaded with its unacknowledged frames for verbatim retransmission.
+func (p *Peer) installAdoptedSender(st stream, ob OutboundState) {
+	p.sendMu.Lock()
+	if _, dup := p.senders[st]; dup {
+		p.sendMu.Unlock()
+		return // replayed handoff; the live sender already owns the stream
+	}
+	s := p.newSender(st)
+	s.nextSeq = ob.NextSeq
+	for _, uf := range ob.Unacked {
+		fr := &frameRec{seq: uf.Seq, updates: len(uf.Updates)}
+		fr.bytes = frameBytes(frameBatchStrm, encodeBatchStrm(st.src, st.dest, uf.Seq, uf.Updates))
+		s.unacked = append(s.unacked, fr)
+	}
+	if len(s.unacked) > 0 {
+		s.sendSeq = s.unacked[0].seq
+	} else {
+		s.sendSeq = s.nextSeq
+	}
+	p.senders[st] = s
+	p.wg.Add(1)
+	go s.loop()
+	p.sendMu.Unlock()
+	s.wakeUp()
+}
+
+// Shed extracts the ranker rows for docs (for handing to a joining
+// peer) and atomically repoints this peer's routing table at newOwner.
+// The call blocks until the processing loop has applied it, so no fold
+// can touch the extracted rows afterwards.
+func (p *Peer) Shed(docs []graph.NodeID, newOwner p2p.PeerID) (rank, acc, last []float64, err error) {
+	req := &shedReq{docs: docs, newOwner: newOwner, reply: make(chan shedState, 1)}
+	select {
+	case p.inbox <- inItem{shed: req}:
+	case <-p.quit:
+		return nil, nil, nil, fmt.Errorf("wire: peer %d is shut down", p.cfg.ID)
+	}
+	select {
+	case st := <-req.reply:
+		return st.rank, st.acc, st.last, st.err
+	case <-p.quit:
+		return nil, nil, nil, fmt.Errorf("wire: peer %d shut down during shed", p.cfg.ID)
+	}
+}
+
+// applyShed runs on the processing loop.
+func (p *Peer) applyShed(req *shedReq) {
+	rank, acc, last, err := p.rk.shed(req.docs, req.newOwner)
+	req.reply <- shedState{rank: rank, acc: acc, last: last, err: err}
+}
+
+// sender owns the fault-tolerant outbound path of one delivery stream:
+// framing pending updates from the retry queue (own streams only),
+// transmitting in sequence order, keeping every frame until it is
+// acknowledged, and reconnecting with exponential backoff —
+// retransmitting all unacked frames verbatim — whenever the connection
+// is lost. Adopted streams (src != this peer) only drain their
+// inherited frames; once everything is acknowledged they idle.
 type sender struct {
 	p    *Peer
-	dest p2p.PeerID
+	strm stream
 	rng  *rng.Rand // jitter; used only by the sender's own goroutine
 	wake chan struct{}
 
@@ -609,7 +898,10 @@ func (s *sender) loop() {
 				s.p.retries.Add(1)
 			}
 			s.mu.Unlock()
-			if _, err := conn.Write(fr.bytes); err != nil {
+			conn.SetWriteDeadline(time.Now().Add(writeTimeout))
+			_, err := conn.Write(fr.bytes)
+			conn.SetWriteDeadline(time.Time{})
+			if err != nil {
 				s.closeConn(conn)
 				fails++
 				if !s.backoff(fails) {
@@ -618,6 +910,10 @@ func (s *sender) loop() {
 				continue
 			}
 			fails = 0
+			// Arm the ack deadline: an acknowledgement for this frame is
+			// now owed, and SetReadDeadline reaches a Read already blocked
+			// in readAcks.
+			conn.SetReadDeadline(time.Now().Add(ackTimeout))
 			s.mu.Lock()
 			if s.sendSeq <= fr.seq {
 				s.sendSeq = fr.seq + 1
@@ -628,8 +924,9 @@ func (s *sender) loop() {
 }
 
 // nextFrame returns the next frame to transmit: the first
-// unacknowledged frame at or past the send cursor, else a fresh frame
-// built from the retry queue's coalesced pending updates.
+// unacknowledged frame at or past the send cursor, else — for streams
+// this peer originates — a fresh frame built from the retry queue's
+// coalesced pending updates.
 func (s *sender) nextFrame() *frameRec {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -639,8 +936,11 @@ func (s *sender) nextFrame() *frameRec {
 		}
 	}
 	p := s.p
+	if s.strm.src != p.cfg.ID {
+		return nil // adopted stream: only inherited frames, never fresh ones
+	}
 	p.rqMu.Lock()
-	us := p.rq.Drain(s.dest)
+	us := p.rq.Drain(s.strm.dest)
 	p.rqMu.Unlock()
 	if len(us) == 0 {
 		return nil
@@ -648,7 +948,7 @@ func (s *sender) nextFrame() *frameRec {
 	fr := &frameRec{seq: s.nextSeq, updates: len(us)}
 	s.nextSeq++
 	var buf bytes.Buffer
-	writeFrame(&buf, frameBatchSeq, encodeBatchSeq(p.cfg.ID, fr.seq, us))
+	writeFrame(&buf, frameBatchStrm, encodeBatchStrm(s.strm.src, s.strm.dest, fr.seq, us))
 	fr.bytes = buf.Bytes()
 	s.unacked = append(s.unacked, fr)
 	return fr
@@ -656,8 +956,9 @@ func (s *sender) nextFrame() *frameRec {
 
 // ensureConn returns the live connection, dialing with backoff until
 // one is established. Returns nil only on shutdown. Each attempt
-// re-resolves the destination's address, so a peer that rejoined at a
-// new address is found without any extra signalling.
+// re-resolves the stream destination's address, so a peer that
+// rejoined at a new address — or a departed slot redirected to its
+// successor — is found without any extra signalling.
 func (s *sender) ensureConn(fails *int) net.Conn {
 	s.mu.Lock()
 	if s.conn != nil {
@@ -672,13 +973,13 @@ func (s *sender) ensureConn(fails *int) net.Conn {
 			return nil
 		default:
 		}
-		addr := s.p.peerAddr(s.dest)
+		addr := s.p.peerAddr(s.strm.dest)
 		var c net.Conn
 		var err error
 		if addr == "" {
-			err = fmt.Errorf("wire: no address for peer %d", s.dest)
+			err = fmt.Errorf("wire: no address for peer %d", s.strm.dest)
 		} else {
-			c, err = s.p.tr.Dial(s.p.cfg.ID, s.dest, addr)
+			c, err = s.p.tr.Dial(s.p.cfg.ID, s.strm.dest, addr)
 		}
 		if err != nil {
 			*fails++
@@ -754,6 +1055,16 @@ func (s *sender) readAcks(c net.Conn) {
 			return
 		}
 		s.ack(seq)
+		// Progress: extend the deadline while more acks are owed, clear
+		// it once nothing is outstanding so idle connections never expire.
+		s.mu.Lock()
+		owed := len(s.unacked) > 0
+		s.mu.Unlock()
+		if owed {
+			c.SetReadDeadline(time.Now().Add(ackTimeout))
+		} else {
+			c.SetReadDeadline(time.Time{})
+		}
 	}
 }
 

@@ -25,14 +25,17 @@ import (
 
 // Frame types.
 const (
-	frameBatch    = 'B' // updates: u32 n, then n x (u32 doc, f64 delta)
-	frameBatchSeq = 'U' // u32 sender, u64 seq, then a batch payload
-	frameAck      = 'A' // u64 seq: every frame with seq <= it has been folded
-	frameSnapReq  = 'Q' // termination probe request
-	frameSnapResp = 'S' // u64 sent, u64 processed
-	frameRanksReq = 'R' // rank collection request
-	frameRanks    = 'K' // u32 n, then n x (u32 doc, f64 rank)
-	frameStop     = 'X' // shut down
+	frameBatch     = 'B' // updates: u32 n, then n x (u32 doc, f64 delta)
+	frameBatchSeq  = 'U' // u32 sender, u64 seq, then a batch payload
+	frameBatchStrm = 'V' // u32 sender, u32 origDest, u64 seq, then a batch payload
+	frameAck       = 'A' // u64 seq: every frame with seq <= it has been folded
+	frameSnapReq   = 'Q' // termination probe request
+	frameSnapResp  = 'S' // u64 sent, u64 processed
+	frameRanksReq  = 'R' // rank collection request
+	frameRanks     = 'K' // u32 n, then n x (u32 doc, f64 rank)
+	framePing      = 'P' // failure-detector heartbeat request
+	framePong      = 'O' // heartbeat response
+	frameStop      = 'X' // shut down
 )
 
 // maxFrameBytes bounds a frame to keep a corrupted length prefix from
@@ -140,6 +143,53 @@ func decodeBatchSeq(b []byte) (sender p2p.PeerID, seq uint64, us []p2p.Update, e
 		return 0, 0, nil, err
 	}
 	return sender, seq, us, nil
+}
+
+// batchStrmHeader is the length of the (sender, origDest, seq) prefix
+// a stream-identified batch carries in front of the plain batch
+// payload.
+const batchStrmHeader = 16
+
+// encodeBatchStrm serializes a stream-identified batch. The stream is
+// the pair (sender, origDest): origDest is the peer the batch was
+// originally framed for, which under dynamic membership may differ
+// from the peer that ends up folding it — a departed peer's document
+// range, duplicate-suppression tables and unacknowledged inbound
+// frames all migrate to its ring successor, and the successor dedups
+// each redirected frame against the (sender, origDest) stream it was
+// sequenced on. For a static cluster origDest always equals the
+// receiving peer and the frame behaves exactly like frameBatchSeq.
+func encodeBatchStrm(sender, origDest p2p.PeerID, seq uint64, us []p2p.Update) []byte {
+	buf := make([]byte, batchStrmHeader+4+12*len(us))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(sender))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(origDest))
+	binary.LittleEndian.PutUint64(buf[8:16], seq)
+	binary.LittleEndian.PutUint32(buf[16:20], uint32(len(us)))
+	off := 20
+	for _, u := range us {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(u.Doc))
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(u.Delta))
+		off += 12
+	}
+	return buf
+}
+
+// decodeBatchStrm parses a stream-identified batch payload.
+func decodeBatchStrm(b []byte) (sender, origDest p2p.PeerID, seq uint64, us []p2p.Update, err error) {
+	if len(b) < batchStrmHeader {
+		return 0, 0, 0, nil, fmt.Errorf("wire: stream batch too short")
+	}
+	sender = p2p.PeerID(binary.LittleEndian.Uint32(b[:4]))
+	origDest = p2p.PeerID(binary.LittleEndian.Uint32(b[4:8]))
+	if sender < 0 || origDest < 0 {
+		return 0, 0, 0, nil, fmt.Errorf("wire: stream batch with negative peer id")
+	}
+	seq = binary.LittleEndian.Uint64(b[8:16])
+	us, err = decodeBatch(b[batchStrmHeader:])
+	if err != nil {
+		return 0, 0, 0, nil, err
+	}
+	return sender, origDest, seq, us, nil
 }
 
 // encodeAck serializes a cumulative acknowledgement.

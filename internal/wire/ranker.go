@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"fmt"
 	"sync"
 
 	"dpr/internal/graph"
@@ -10,29 +11,35 @@ import (
 // ranker is the transport-independent per-peer computation: the
 // chaotic-iteration state for the documents one peer owns, shared by
 // the TCP and HTTP peers. All methods are safe for concurrent use.
+//
+// Under dynamic membership the document set is mutable: adopt appends
+// a departed peer's rows, shed extracts rows for a joining peer, and
+// setOwner rewrites the routing table. Each ranker owns a private copy
+// of the doc->peer table so a membership change pushed to one peer can
+// never race another peer's routing reads.
 type ranker struct {
 	id      p2p.PeerID
 	g       *graph.Graph
-	docPeer []p2p.PeerID
 	damping float64
 	epsilon float64
 
-	mu    sync.Mutex
-	docs  []graph.NodeID
-	index map[graph.NodeID]int32
-	rank  []float64
-	acc   []float64
-	last  []float64
+	mu      sync.Mutex
+	docPeer []p2p.PeerID // private copy; mutated by setOwner/adopt/shed
+	docs    []graph.NodeID
+	index   map[graph.NodeID]int32
+	rank    []float64
+	acc     []float64
+	last    []float64
 }
 
 func newRanker(cfg PeerConfig) *ranker {
 	r := &ranker{
 		id:      cfg.ID,
 		g:       cfg.Graph,
-		docPeer: cfg.DocPeer,
+		docPeer: append([]p2p.PeerID(nil), cfg.DocPeer...),
 		damping: cfg.Damping,
 		epsilon: cfg.Epsilon,
-		docs:    cfg.Docs,
+		docs:    append([]graph.NodeID(nil), cfg.Docs...),
 		index:   make(map[graph.NodeID]int32, len(cfg.Docs)),
 		rank:    make([]float64, len(cfg.Docs)),
 		acc:     make([]float64, len(cfg.Docs)),
@@ -56,20 +63,25 @@ func (r *ranker) initialOut() map[p2p.PeerID][]p2p.Update {
 	return out
 }
 
-// fold applies a batch of updates and returns the consequent batches.
-func (r *ranker) fold(batch []p2p.Update) map[p2p.PeerID][]p2p.Update {
+// fold applies a batch of updates and returns the consequent batches
+// plus the updates for documents this peer does not own. Misrouted
+// updates are NOT dropped — under dynamic membership they are updates
+// that raced an ownership migration, and the caller must forward them
+// to the current owner so no rank mass is ever lost.
+func (r *ranker) fold(batch []p2p.Update) (out map[p2p.PeerID][]p2p.Update, fwd []p2p.Update) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	touched := make(map[int32]graph.NodeID)
 	for _, u := range batch {
 		i, mine := r.index[u.Doc]
 		if !mine {
-			continue // misrouted; drop
+			fwd = append(fwd, u)
+			continue
 		}
 		r.acc[i] += u.Delta
 		touched[i] = u.Doc
 	}
-	out := make(map[p2p.PeerID][]p2p.Update)
+	out = make(map[p2p.PeerID][]p2p.Update)
 	for i, d := range touched {
 		old := r.rank[i]
 		fresh := (1 - r.damping) + r.acc[i]
@@ -89,7 +101,7 @@ func (r *ranker) fold(batch []p2p.Update) map[p2p.PeerID][]p2p.Update {
 			r.collectLocked(i, d, out)
 		}
 	}
-	return out
+	return out, fwd
 }
 
 // collectLocked batches document d's pending delta per destination.
@@ -112,11 +124,115 @@ func (r *ranker) collectLocked(i int32, d graph.NodeID, out map[p2p.PeerID][]p2p
 	r.last[i] = r.rank[i]
 }
 
+// ownerOf resolves a document's current owner from the private table.
+func (r *ranker) ownerOf(d graph.NodeID) p2p.PeerID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if int(d) >= len(r.docPeer) {
+		return p2p.NoPeer
+	}
+	return r.docPeer[d]
+}
+
+// owns reports whether this ranker currently holds document d.
+func (r *ranker) owns(d graph.NodeID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.index[d]
+	return ok
+}
+
+// ownerTable returns a snapshot copy of the routing table.
+func (r *ranker) ownerTable() []p2p.PeerID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]p2p.PeerID(nil), r.docPeer...)
+}
+
+// setOwner points the routing table entries for docs at owner. New
+// outbound updates for those documents route to the new owner from
+// the next fold on.
+func (r *ranker) setOwner(docs []graph.NodeID, owner p2p.PeerID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, d := range docs {
+		if int(d) < len(r.docPeer) {
+			r.docPeer[d] = owner
+		}
+	}
+}
+
+// adopt appends a migrated document range: the rows arrive mid-flight
+// from a handoff snapshot and continue exactly where the previous
+// owner's last fold left them (rank/acc committed, last marking what
+// has already been pushed downstream). Adopted docs are immediately
+// marked self-owned in the routing table.
+func (r *ranker) adopt(docs []graph.NodeID, rank, acc, last []float64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i, d := range docs {
+		if _, dup := r.index[d]; dup {
+			continue // already ours (e.g. replayed handoff); keep our state
+		}
+		r.index[d] = int32(len(r.docs))
+		r.docs = append(r.docs, d)
+		r.rank = append(r.rank, rank[i])
+		r.acc = append(r.acc, acc[i])
+		r.last = append(r.last, last[i])
+		if int(d) < len(r.docPeer) {
+			r.docPeer[d] = r.id
+		}
+	}
+}
+
+// shed extracts the rows for docs (handing them to a joining peer) and
+// atomically repoints the routing table at newOwner, so an update for
+// a shed document arriving in the very next fold is forwarded rather
+// than folded into state that already left.
+func (r *ranker) shed(docs []graph.NodeID, newOwner p2p.PeerID) (rank, acc, last []float64, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	shedSet := make(map[graph.NodeID]struct{}, len(docs))
+	rank = make([]float64, len(docs))
+	acc = make([]float64, len(docs))
+	last = make([]float64, len(docs))
+	for i, d := range docs {
+		j, mine := r.index[d]
+		if !mine {
+			return nil, nil, nil, fmt.Errorf("wire: peer %d cannot shed doc %d it does not own", r.id, d)
+		}
+		rank[i], acc[i], last[i] = r.rank[j], r.acc[j], r.last[j]
+		shedSet[d] = struct{}{}
+	}
+	keepDocs := r.docs[:0]
+	keepRank, keepAcc, keepLast := r.rank[:0], r.acc[:0], r.last[:0]
+	for j, d := range r.docs {
+		if _, gone := shedSet[d]; gone {
+			continue
+		}
+		keepDocs = append(keepDocs, d)
+		keepRank = append(keepRank, r.rank[j])
+		keepAcc = append(keepAcc, r.acc[j])
+		keepLast = append(keepLast, r.last[j])
+	}
+	r.docs, r.rank, r.acc, r.last = keepDocs, keepRank, keepAcc, keepLast
+	r.index = make(map[graph.NodeID]int32, len(r.docs))
+	for j, d := range r.docs {
+		r.index[d] = int32(j)
+	}
+	for _, d := range docs {
+		if int(d) < len(r.docPeer) {
+			r.docPeer[d] = newOwner
+		}
+	}
+	return rank, acc, last, nil
+}
+
 // snapshotRanks returns (docs, ranks) for collection.
 func (r *ranker) snapshotRanks() ([]graph.NodeID, []float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	ranks := make([]float64, len(r.rank))
-	copy(ranks, r.rank)
-	return r.docs, ranks
+	docs := append([]graph.NodeID(nil), r.docs...)
+	ranks := append([]float64(nil), r.rank...)
+	return docs, ranks
 }

@@ -86,6 +86,7 @@ func TestRanksCodec(t *testing.T) {
 }
 
 func TestClusterComputesPagerankOverTCP(t *testing.T) {
+	defer assertNoGoroutineLeaks(t)()
 	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(800, 121))
 	c, err := NewCluster(g, ClusterConfig{Peers: 6, Epsilon: 1e-6, Seed: 1})
 	if err != nil {
@@ -115,6 +116,7 @@ func TestClusterComputesPagerankOverTCP(t *testing.T) {
 }
 
 func TestClusterTightThresholdSmallGraph(t *testing.T) {
+	defer assertNoGoroutineLeaks(t)()
 	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(150, 122))
 	c, err := NewCluster(g, ClusterConfig{Peers: 3, Epsilon: 1e-7, Seed: 4})
 	if err != nil {
@@ -136,6 +138,7 @@ func TestClusterTightThresholdSmallGraph(t *testing.T) {
 }
 
 func TestClusterSinglePeer(t *testing.T) {
+	defer assertNoGoroutineLeaks(t)()
 	g := graph.Cycle(20)
 	c, err := NewCluster(g, ClusterConfig{Peers: 1, Epsilon: 1e-8, Seed: 2})
 	if err != nil {
@@ -153,6 +156,7 @@ func TestClusterSinglePeer(t *testing.T) {
 }
 
 func TestClusterEdgelessGraphTerminates(t *testing.T) {
+	defer assertNoGoroutineLeaks(t)()
 	g := graph.NewBuilder(10).Build()
 	c, err := NewCluster(g, ClusterConfig{Peers: 3, Seed: 3})
 	if err != nil {
@@ -177,6 +181,7 @@ func TestClusterValidation(t *testing.T) {
 }
 
 func TestPeerRejectsGarbageConnection(t *testing.T) {
+	defer assertNoGoroutineLeaks(t)()
 	g := graph.Cycle(4)
 	docPeer := make([]p2p.PeerID, 4)
 	p, err := NewPeer(PeerConfig{Graph: g, DocPeer: docPeer, Docs: []graph.NodeID{0, 1, 2, 3}})

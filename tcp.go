@@ -17,6 +17,13 @@ type TCPResult struct {
 	Retries      uint64 // frame/request transmissions past the first attempt
 	Reconnects   uint64 // successful re-dials after a connection loss
 	Redeliveries uint64 // frames acknowledged after more than one attempt
+
+	// Membership accounting (zero on a static-membership run).
+	Joins      uint64 // peers that joined mid-computation
+	Leaves     uint64 // peers that left permanently (manual or evicted)
+	Migrated   uint64 // documents re-homed by joins and leaves
+	Forwarded  uint64 // misrouted updates rerouted to the current owner
+	Misdropped uint64 // updates with no resolvable owner (should be 0)
 }
 
 func fromClusterResult(res wire.ClusterResult) TCPResult {
@@ -28,16 +35,23 @@ func fromClusterResult(res wire.ClusterResult) TCPResult {
 		Retries:      res.Retries,
 		Reconnects:   res.Reconnects,
 		Redeliveries: res.Redeliveries,
+		Joins:        res.Joins,
+		Leaves:       res.Leaves,
+		Migrated:     res.Migrated,
+		Forwarded:    res.Forwarded,
+		Misdropped:   res.Misdropped,
 	}
 }
 
 func (o Options) clusterConfig() wire.ClusterConfig {
 	return wire.ClusterConfig{
-		Peers:   o.Peers,
-		Damping: o.Damping,
-		Epsilon: o.Epsilon,
-		Seed:    o.Seed,
-		Retry:   wire.RetryPolicy{Base: o.RetryBase, Max: o.RetryMax},
+		Peers:        o.Peers,
+		Damping:      o.Damping,
+		Epsilon:      o.Epsilon,
+		Seed:         o.Seed,
+		Retry:        wire.RetryPolicy{Base: o.RetryBase, Max: o.RetryMax},
+		Heartbeat:    o.Heartbeat,
+		SuspectAfter: o.SuspectAfter,
 	}
 }
 
@@ -124,8 +138,24 @@ func (tc *TCPCluster) Kill(peer int) error { return tc.c.Kill(peer) }
 // Restart rejoins a crashed peer from its checkpoint at a new address.
 func (tc *TCPCluster) Restart(peer int) error { return tc.c.Restart(peer) }
 
-// NumPeers returns the cluster size.
+// Leave removes a peer permanently: its document range, ranks, dedup
+// state and parked updates migrate to the DHT ring successor, the
+// address tables are repushed, and in-flight updates are rerouted.
+// Works on both live and crashed peers; the slot is never reused.
+func (tc *TCPCluster) Leave(peer int) error { return tc.c.Leave(peer) }
+
+// Join adds a fresh peer mid-computation: it takes over its key range
+// from the current owners (live peers shed state directly, crashed
+// ones via checkpoint surgery) and starts serving immediately. Returns
+// the new peer's slot index.
+func (tc *TCPCluster) Join() (int, error) { return tc.c.Join() }
+
+// NumPeers returns the number of slots ever allocated (departed peers
+// included; slots are not reused).
 func (tc *TCPCluster) NumPeers() int { return tc.c.NumPeers() }
+
+// NumLive returns the number of peers currently in the membership.
+func (tc *TCPCluster) NumLive() int { return tc.c.NumLive() }
 
 // Close stops every peer.
 func (tc *TCPCluster) Close() { tc.c.Close() }
