@@ -1,7 +1,7 @@
 # Distributed Pagerank for P2P Systems — build/test/bench driver.
 GO ?= go
 
-.PHONY: all build vet test race chaos chaos-membership fuzz bench bench-pipeline ci
+.PHONY: all build vet lint test race chaos chaos-membership fuzz bench bench-pipeline ci
 
 all: build
 
@@ -11,8 +11,16 @@ build:
 vet:
 	$(GO) vet ./...
 
+# dprlint: the repo's own invariant checkers (determinism, wire
+# deadlines, lock hygiene, hot-path allocations, counter
+# conservation). Exits non-zero on any finding.
+lint:
+	$(GO) run ./cmd/dprlint
+
+# -shuffle=on randomizes test order each run, so accidental
+# inter-test coupling (shared globals, leftover files) surfaces early.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # Race-check the concurrent hot paths (pass pipeline, async engine,
 # chaotic solver, p2p substrate, fault-tolerant wire layer).
@@ -43,7 +51,8 @@ bench-pipeline:
 
 # Full gate: what a CI job should run.
 ci:
-	$(GO) vet ./... && $(GO) build ./... && $(GO) test -race ./... \
+	$(GO) vet ./... && $(GO) build ./... && $(GO) run ./cmd/dprlint \
+		&& $(GO) test -race -shuffle=on ./... \
 		&& $(GO) test -race ./internal/wire ./internal/p2p \
 		&& $(GO) test -race -count=1 -run Chaos ./internal/wire \
 		&& $(GO) test -race -count=1 -run 'Membership|Leave|Join|FailureDetector' ./internal/wire

@@ -1,0 +1,105 @@
+// Command dprlint runs the repository's invariant checkers over the
+// whole module: determinism (no global rand / clocks / map-ordered
+// output in the deterministic packages), wire-deadline discipline,
+// lock hygiene, the //dpr:hotpath allocation guard, and
+// shipped/folded counter conservation. It exits non-zero when any
+// diagnostic survives.
+//
+// Usage:
+//
+//	dprlint [-root dir] [-rules rule1,rule2] [package-path-suffix ...]
+//
+// With no arguments every package in the module is linted. Positional
+// arguments restrict reporting to packages whose import path has one
+// of the given suffixes (e.g. `dprlint internal/wire`).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"dpr/internal/lint"
+)
+
+func main() {
+	root := flag.String("root", "", "module root (default: nearest go.mod above cwd)")
+	rules := flag.String("rules", "", "comma-separated rule subset (default: all)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: dprlint [-root dir] [-rules %s] [pkg-suffix ...]\n",
+			strings.Join(lint.AllRules, ","))
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	dir := *root
+	if dir == "" {
+		var err error
+		dir, err = findModuleRoot()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "dprlint:", err)
+			os.Exit(2)
+		}
+	}
+	module, err := lint.ModulePath(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dprlint:", err)
+		os.Exit(2)
+	}
+
+	loader := lint.NewLoader()
+	pkgs, err := loader.LoadModule(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dprlint:", err)
+		os.Exit(2)
+	}
+	if args := flag.Args(); len(args) > 0 {
+		var kept []*lint.Package
+		for _, p := range pkgs {
+			for _, suffix := range args {
+				if p.ImportPath == suffix || strings.HasSuffix(p.ImportPath, "/"+strings.TrimSuffix(suffix, "/")) ||
+					p.ImportPath == module+"/"+strings.TrimSuffix(suffix, "/") {
+					kept = append(kept, p)
+					break
+				}
+			}
+		}
+		pkgs = kept
+	}
+
+	cfg := lint.DefaultConfig(module)
+	if *rules != "" {
+		cfg.Rules = strings.Split(*rules, ",")
+	}
+	diags := lint.Run(loader, pkgs, cfg)
+	for _, d := range diags {
+		if rel, err := filepath.Rel(dir, d.File); err == nil && !strings.HasPrefix(rel, "..") {
+			d.File = rel
+		}
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dprlint: %d issue(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// findModuleRoot walks up from the working directory to a go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}

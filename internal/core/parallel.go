@@ -232,6 +232,8 @@ func (e *PassEngine) runPassParallel(work []graph.NodeID, workers int) {
 // computeChunk folds one chunk's documents and coalesces their pushes
 // into the chunk's outbox. Per-document state is touched only through
 // the chunk owning the document, so no locks are needed.
+//
+//dpr:hotpath
 func (e *PassEngine) computeChunk(chunk []graph.NodeID, out *chunkOutbox, sc *chunkScratch) {
 	sc.nextEpoch()
 	for _, d := range chunk {
@@ -262,6 +264,8 @@ func (e *PassEngine) computeChunk(chunk []graph.NodeID, out *chunkOutbox, sc *ch
 // same-destination deltas accumulated into a single entry. Message
 // accounting stays per-edge (classified here; peer liveness is frozen
 // within a pass) so counters match the serial deliver path exactly.
+//
+//dpr:hotpath
 func (e *PassEngine) coalescePush(d graph.NodeID, out *chunkOutbox, sc *chunkScratch) {
 	links := e.st.g.OutLinks(d)
 	if len(links) == 0 {
@@ -307,6 +311,8 @@ func (e *PassEngine) coalescePush(d graph.NodeID, out *chunkOutbox, sc *chunkScr
 // list append order — is independent of worker count. Held documents
 // (offline peer) re-enter their shard's dirty list after the chunk
 // that held them, mirroring the serial merge.
+//
+//dpr:hotpath
 func (e *PassEngine) mergeShard(s int, outs []chunkOutbox) {
 	list := e.dirtyShard[s]
 	for ci := range outs {

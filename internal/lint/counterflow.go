@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// checkCounterFlow keeps the mass-conservation accounting two-sided:
+// any package that mutates a DeltaShipped-family counter (delta mass
+// originated) must also mutate a DeltaFolded-family counter (delta
+// mass consumed) somewhere in the same package. PR 2's invariant is
+// DeltaShipped == DeltaFolded at quiescence; a package that ships
+// mass it never folds (or that gained a new shipping path without the
+// matching fold-side accounting) breaks the equation silently — the
+// conservation check in tests then fails far from the cause.
+//
+// A "mutation" is an assignment or compound assignment whose
+// left-hand side names the counter, an Add/Store call on it, an
+// IncDec statement, or its address being taken as a call argument
+// (the addFloat(&p.deltaOutBits, v) idiom).
+func (p *pass) checkCounterFlow() {
+	var shipped []mutation
+	folded := 0
+	for _, f := range p.pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			for _, m := range p.counterMutations(n) {
+				switch m.family {
+				case familyShipped:
+					shipped = append(shipped, m)
+				case familyFolded:
+					folded++
+				}
+			}
+			return true
+		})
+	}
+	if folded > 0 {
+		return
+	}
+	for _, m := range shipped {
+		p.report(RuleCounterFlow, m.pos,
+			"%s mutates shipped-mass counter %q but package %s never mutates a folded-mass (DeltaFolded-family) counter; conservation (shipped == folded) cannot hold",
+			m.how, m.name, p.pkg.Types.Name())
+	}
+}
+
+type counterFamily int
+
+const (
+	familyNone counterFamily = iota
+	familyShipped
+	familyFolded
+)
+
+type mutation struct {
+	family counterFamily
+	name   string
+	how    string
+	pos    token.Pos
+}
+
+// familyOf classifies a counter name: the shipped family covers
+// DeltaShipped/deltaOut* spellings, the folded family
+// DeltaFolded/deltaIn*.
+func familyOf(name string) counterFamily {
+	lower := strings.ToLower(name)
+	if !strings.Contains(lower, "delta") {
+		return familyNone
+	}
+	rest := lower[strings.Index(lower, "delta")+len("delta"):]
+	switch {
+	case strings.HasPrefix(rest, "shipped"), strings.HasPrefix(rest, "out"):
+		return familyShipped
+	case strings.HasPrefix(rest, "folded"), strings.HasPrefix(rest, "in"):
+		return familyFolded
+	}
+	return familyNone
+}
+
+// counterName extracts the final name of an expression that could
+// denote a counter (identifier or field selector).
+func counterName(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		return e.Sel.Name, true
+	}
+	return "", false
+}
+
+// counterMutations classifies one AST node's counter mutations.
+func (p *pass) counterMutations(n ast.Node) []mutation {
+	var ms []mutation
+	add := func(e ast.Expr, how string, pos token.Pos) {
+		name, ok := counterName(e)
+		if !ok {
+			return
+		}
+		if fam := familyOf(name); fam != familyNone {
+			ms = append(ms, mutation{family: fam, name: name, how: how, pos: pos})
+		}
+	}
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		if n.Tok == token.DEFINE {
+			return nil // new variable, not a counter write
+		}
+		for _, lhs := range n.Lhs {
+			add(lhs, "assignment", n.Pos())
+		}
+	case *ast.IncDecStmt:
+		add(n.X, "increment", n.Pos())
+	case *ast.CallExpr:
+		// counter.Add(v) / counter.Store(v): the receiver is the
+		// selector's X, e.g. p.deltaOutBits.Add — X renders as
+		// p.deltaOutBits whose Sel is the counter name.
+		if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+			if sel.Sel.Name == "Add" || sel.Sel.Name == "Store" {
+				add(sel.X, sel.Sel.Name+" call", n.Pos())
+			}
+		}
+		// f(&counter, ...): address escaping into a mutator.
+		for _, arg := range n.Args {
+			if u, ok := arg.(*ast.UnaryExpr); ok && u.Op == token.AND {
+				add(u.X, "address-taken argument", n.Pos())
+			}
+		}
+	}
+	return ms
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// checkDeterminism enforces the bit-reproducibility contract of the
+// deterministic packages: every random draw must flow from an
+// explicit uint64 seed through internal/rng, no clock may leak into
+// results, and nothing order-sensitive may be produced by ranging
+// over a map.
+//
+// Three checks:
+//
+//  1. importing math/rand or math/rand/v2 is forbidden (the global
+//     generator is shared mutable state seeded from the clock);
+//  2. calling time.Now is forbidden (timing belongs to the driver
+//     binaries; deterministic code takes clocks and seeds as inputs);
+//  3. a `for ... range m` over a map whose body appends to a slice
+//     declared outside the loop, sends on a channel, or writes
+//     through a Writer/fmt produces output in map iteration order,
+//     which Go randomizes per run.
+func (p *pass) checkDeterminism() {
+	for _, f := range p.pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.report(RuleDeterminism, imp.Pos(),
+					"import of %s in deterministic package %s (use internal/rng with an explicit seed)",
+					path, p.pkg.ImportPath)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if p.isPkgFunc(n, "time", "Now") {
+					p.report(RuleDeterminism, n.Pos(),
+						"time.Now in deterministic package %s (inject clocks/seeds from the caller)",
+						p.pkg.ImportPath)
+				}
+			case *ast.RangeStmt:
+				p.checkMapRange(n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRange flags order-sensitive writes inside a map-range body.
+func (p *pass) checkMapRange(rng *ast.RangeStmt) {
+	t := p.typeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			p.report(RuleDeterminism, n.Pos(),
+				"channel send inside range over map (receiver observes map iteration order)")
+		case *ast.AssignStmt:
+			p.checkMapRangeAppend(rng, n)
+		case *ast.CallExpr:
+			if p.isOrderedSink(n) {
+				p.report(RuleDeterminism, n.Pos(),
+					"ordered output written inside range over map (iterate sorted keys instead)")
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeAppend flags `outer = append(outer, ...)` where outer
+// is declared outside the range statement: the slice's element order
+// then depends on map iteration order.
+func (p *pass) checkMapRangeAppend(rng *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || len(as.Lhs) <= i {
+			continue
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" {
+			continue
+		}
+		if _, builtin := p.objectOf(id).(*types.Builtin); !builtin {
+			continue // shadowed append
+		}
+		lhs, ok := as.Lhs[i].(*ast.Ident)
+		if !ok {
+			continue
+		}
+		obj := p.objectOf(lhs)
+		if obj == nil {
+			continue
+		}
+		// Declared inside the loop body: per-iteration scratch, fine.
+		if obj.Pos() >= rng.Body.Pos() && obj.Pos() <= rng.Body.End() {
+			continue
+		}
+		p.report(RuleDeterminism, as.Pos(),
+			"append to %q inside range over map makes its order depend on map iteration (sort the keys first)",
+			lhs.Name)
+	}
+}
+
+// isOrderedSink reports calls that emit output whose order matters:
+// the fmt printing family and Write/WriteString/WriteByte methods.
+func (p *pass) isOrderedSink(call *ast.CallExpr) bool {
+	pkgPath, name := p.calleePkg(call)
+	if pkgPath == "fmt" {
+		switch name {
+		case "Print", "Println", "Printf", "Fprint", "Fprintln", "Fprintf":
+			return true
+		}
+		return false
+	}
+	// Writer-shaped calls, whether methods (w.Write, b.WriteString)
+	// or package functions (binary.Write): both emit bytes in call
+	// order, so calling them per map entry serializes map order.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Write", "WriteString", "WriteByte", "WriteRune":
+			return true
+		}
+	}
+	return false
+}

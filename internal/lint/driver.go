@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// pass is the per-package analysis context handed to each analyzer.
+type pass struct {
+	cfg    Config
+	loader *Loader
+	pkg    *Package
+
+	// suppress maps file -> line -> rules ignored on that line (from
+	// //dpr:ignore comments; "*" means every rule). nodeadline maps
+	// file -> line -> true for //dpr:nodeadline annotations.
+	suppress   map[string]map[int][]string
+	nodeadline map[string]map[int]bool
+
+	diags []Diagnostic
+}
+
+// Run executes every configured analyzer over pkgs and returns the
+// surviving (non-suppressed) diagnostics sorted by position.
+func Run(loader *Loader, pkgs []*Package, cfg Config) []Diagnostic {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		p := &pass{cfg: cfg, loader: loader, pkg: pkg}
+		p.collectAnnotations()
+		if cfg.ruleEnabled(RuleDeterminism) && cfg.inScope(cfg.DeterministicPkgs, pkg.ImportPath) {
+			p.checkDeterminism()
+		}
+		if cfg.ruleEnabled(RuleWireDeadline) && cfg.inScope(cfg.DeadlinePkgs, pkg.ImportPath) {
+			p.checkDeadlines()
+		}
+		if cfg.ruleEnabled(RuleLockHold) && cfg.inScope(cfg.LockPkgs, pkg.ImportPath) {
+			p.checkLockHold()
+		}
+		if cfg.ruleEnabled(RuleHotPath) {
+			p.checkHotPath()
+		}
+		if cfg.ruleEnabled(RuleCounterFlow) {
+			p.checkCounterFlow()
+		}
+		all = append(all, p.diags...)
+	}
+	sortDiagnostics(all)
+	return all
+}
+
+// collectAnnotations scans every comment in the package for
+// //dpr:ignore and //dpr:nodeadline markers.
+func (p *pass) collectAnnotations() {
+	p.suppress = make(map[string]map[int][]string)
+	p.nodeadline = make(map[string]map[int]bool)
+	for _, f := range p.pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				pos := p.loader.Fset.Position(c.Pos())
+				if rest, ok := cutDirective(text, "dpr:ignore"); ok {
+					rules := parseIgnoreList(rest)
+					if len(rules) == 0 {
+						rules = []string{"*"}
+					}
+					m := p.suppress[pos.Filename]
+					if m == nil {
+						m = make(map[int][]string)
+						p.suppress[pos.Filename] = m
+					}
+					m[pos.Line] = append(m[pos.Line], rules...)
+				}
+				if _, ok := cutDirective(text, "dpr:nodeadline"); ok {
+					m := p.nodeadline[pos.Filename]
+					if m == nil {
+						m = make(map[int]bool)
+						p.nodeadline[pos.Filename] = m
+					}
+					m[pos.Line] = true
+				}
+			}
+		}
+	}
+}
+
+// cutDirective matches a "//dpr:xxx" comment and returns what follows.
+func cutDirective(comment, directive string) (rest string, ok bool) {
+	body, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return "", false
+	}
+	body = strings.TrimSpace(body)
+	rest, ok = strings.CutPrefix(body, directive)
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. dpr:ignorexyz
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// suppressed reports whether rule is ignored at pos (same line or the
+// line directly above).
+func (p *pass) suppressed(rule string, pos token.Position) bool {
+	m := p.suppress[pos.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, r := range m[line] {
+			if r == rule || r == "*" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasNoDeadline reports whether a //dpr:nodeadline annotation covers
+// pos: same line, the line above, or the doc comment of fn.
+func (p *pass) hasNoDeadline(pos token.Position, fn *ast.FuncDecl) bool {
+	if m := p.nodeadline[pos.Filename]; m != nil && (m[pos.Line] || m[pos.Line-1]) {
+		return true
+	}
+	if fn != nil && fn.Doc != nil {
+		for _, c := range fn.Doc.List {
+			if _, ok := cutDirective(c.Text, "dpr:nodeadline"); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// report records a diagnostic unless an ignore comment covers it.
+func (p *pass) report(rule string, pos token.Pos, format string, args ...interface{}) {
+	position := p.loader.Fset.Position(pos)
+	if p.suppressed(rule, position) {
+		return
+	}
+	p.diags = append(p.diags, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Column:  position.Column,
+		Rule:    rule,
+		Message: sprintf(format, args...),
+	})
+}
+
+// typeOf resolves an expression's type (nil when unknown).
+func (p *pass) typeOf(e ast.Expr) types.Type {
+	return p.pkg.Info.TypeOf(e)
+}
+
+// objectOf resolves an identifier's object via Uses then Defs.
+func (p *pass) objectOf(id *ast.Ident) types.Object {
+	if o := p.pkg.Info.Uses[id]; o != nil {
+		return o
+	}
+	return p.pkg.Info.Defs[id]
+}
+
+// isPkgFunc reports whether call invokes the package-level function
+// pkgPath.name (e.g. "time".Now).
+func (p *pass) isPkgFunc(call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := p.objectOf(sel.Sel)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == pkgPath
+}
+
+// calleePkg returns the defining package path and name of a call's
+// callee function or method ("", "" when not resolvable).
+func (p *pass) calleePkg(call *ast.CallExpr) (pkgPath, name string) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return "", ""
+	}
+	fn, ok := p.objectOf(id).(*types.Func)
+	if !ok {
+		return "", ""
+	}
+	if fn.Pkg() == nil {
+		return "", fn.Name()
+	}
+	return fn.Pkg().Path(), fn.Name()
+}
+
+// funcScopes yields every function scope in the package: each
+// FuncDecl body and each FuncLit body, with nested literals excluded
+// from the enclosing scope's statement walk (walkScope).
+type funcScope struct {
+	decl *ast.FuncDecl // nil for literals
+	lit  *ast.FuncLit  // nil for declarations
+	body *ast.BlockStmt
+}
+
+func (p *pass) funcScopes() []funcScope {
+	var scopes []funcScope
+	for _, f := range p.pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			scopes = append(scopes, funcScope{decl: fd, body: fd.Body})
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if fl, ok := n.(*ast.FuncLit); ok {
+					scopes = append(scopes, funcScope{decl: fd, lit: fl, body: fl.Body})
+				}
+				return true
+			})
+		}
+	}
+	return scopes
+}
+
+// walkScope visits every node in a scope's body without descending
+// into nested function literals.
+func walkScope(body *ast.BlockStmt, visit func(ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == body {
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(n)
+	})
+}
+
+func sprintf(format string, args ...interface{}) string {
+	if len(args) == 0 {
+		return format
+	}
+	return fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// checkHotPath enforces the allocation-free contract of functions
+// annotated //dpr:hotpath — the PR-1 pass pipeline's per-edge code,
+// whose whole point is that warm passes allocate nothing.
+//
+// Flagged constructs:
+//
+//   - make / new calls
+//   - map and slice composite literals
+//   - function literals (closures allocate, and capturing loop state
+//     by reference forces heap escapes)
+//   - append whose base is nil or a fresh literal (growth with no
+//     reusable capacity behind it)
+//   - fmt.* calls (interface boxing of every operand)
+//   - string concatenation and string<->[]byte conversions
+//   - go statements (a goroutine per call is not a warm-path move)
+//
+// Appending into engine-owned, capacity-reused slices (out.held =
+// append(out.held, d)) is the pipeline's designed idiom and stays
+// legal: the guard targets constructs that allocate on every pass,
+// not amortized growth into pooled scratch.
+func (p *pass) checkHotPath() {
+	for _, f := range p.pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !p.isHotPath(fd) {
+				continue
+			}
+			p.checkHotFunc(fd)
+		}
+	}
+}
+
+// isHotPath reports whether fn's doc comment carries //dpr:hotpath.
+func (p *pass) isHotPath(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if _, ok := cutDirective(c.Text, "dpr:hotpath"); ok {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *pass) checkHotFunc(fn *ast.FuncDecl) {
+	name := fn.Name.Name
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			p.report(RuleHotPath, n.Pos(), "closure in hot-path function %s allocates", name)
+			return false
+		case *ast.GoStmt:
+			p.report(RuleHotPath, n.Pos(), "go statement in hot-path function %s spawns per call", name)
+		case *ast.CompositeLit:
+			t := p.typeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				p.report(RuleHotPath, n.Pos(), "map literal in hot-path function %s allocates", name)
+			case *types.Slice:
+				p.report(RuleHotPath, n.Pos(), "slice literal in hot-path function %s allocates", name)
+			}
+		case *ast.CallExpr:
+			p.checkHotCall(fn, n)
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" && isString(p.typeOf(n)) {
+				p.report(RuleHotPath, n.Pos(), "string concatenation in hot-path function %s allocates", name)
+			}
+		}
+		return true
+	})
+}
+
+func (p *pass) checkHotCall(fn *ast.FuncDecl, call *ast.CallExpr) {
+	name := fn.Name.Name
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, builtin := p.objectOf(id).(*types.Builtin); builtin {
+			switch id.Name {
+			case "make":
+				p.report(RuleHotPath, call.Pos(), "make in hot-path function %s allocates", name)
+			case "new":
+				p.report(RuleHotPath, call.Pos(), "new in hot-path function %s allocates", name)
+			case "append":
+				if len(call.Args) > 0 && isFreshBase(call.Args[0]) {
+					p.report(RuleHotPath, call.Pos(),
+						"append to a fresh slice in hot-path function %s grows without preallocated capacity", name)
+				}
+			}
+			return
+		}
+	}
+	if pkgPath, _ := p.calleePkg(call); pkgPath == "fmt" {
+		p.report(RuleHotPath, call.Pos(), "fmt call in hot-path function %s allocates and boxes", name)
+	}
+	// string([]byte) / []byte(string) conversions.
+	if tv, ok := p.pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := p.typeOf(call.Fun), p.typeOf(call.Args[0])
+		if (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from)) {
+			p.report(RuleHotPath, call.Pos(), "string/[]byte conversion in hot-path function %s copies", name)
+		}
+	}
+}
+
+// isFreshBase reports append bases with no capacity behind them: nil
+// or a composite literal.
+func isFreshBase(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		// append(T(nil), ...) style conversions
+		if len(e.Args) == 1 {
+			return isFreshBase(e.Args[0])
+		}
+	}
+	return false
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

@@ -1,0 +1,155 @@
+// Package lint is dprlint: a from-scratch static-analysis pass that
+// enforces this repository's cross-cutting invariants — the ones the
+// compiler cannot see and `go vet` does not know about.
+//
+// The analyzers encode contracts established by earlier PRs:
+//
+//   - determinism: the deterministic packages (rng, graph, core,
+//     chaotic, simnet, experiments) must be bit-reproducible from a
+//     seed. Global math/rand, time.Now and map-iteration-ordered
+//     writes to ordered outputs are forbidden there.
+//   - wiredeadline: every net.Conn read/write in internal/wire must be
+//     covered by a Set{Read,Write}Deadline in the same function, so a
+//     hung peer surfaces as an error instead of a stuck goroutine.
+//   - lockhold: no channel operations, connection I/O or blocking
+//     calls while a sync.Mutex/RWMutex is held in the wire and p2p
+//     packages.
+//   - hotpath: functions annotated //dpr:hotpath (the sharded pass
+//     pipeline) may not contain allocating constructs.
+//   - counterflow: a package that mutates a DeltaShipped-family
+//     counter must also mutate a DeltaFolded-family counter, keeping
+//     the mass-conservation accounting two-sided.
+//
+// Diagnostics print as "file:line: [rule] message". A diagnostic is
+// suppressed by a `//dpr:ignore rule[,rule]` comment on the same line
+// or the line directly above; the wiredeadline rule alternatively
+// accepts `//dpr:nodeadline <reason>` (same placement, or in the
+// enclosing function's doc comment) for connections whose lifetime is
+// bounded some other way.
+//
+// Everything here is built on go/parser, go/types and go/ast alone —
+// no analysis frameworks, matching the repository's from-scratch
+// ethos.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Rule names, used in diagnostics and //dpr:ignore comments.
+const (
+	RuleDeterminism  = "determinism"
+	RuleWireDeadline = "wiredeadline"
+	RuleLockHold     = "lockhold"
+	RuleHotPath      = "hotpath"
+	RuleCounterFlow  = "counterflow"
+)
+
+// AllRules lists every rule in reporting order.
+var AllRules = []string{
+	RuleDeterminism, RuleWireDeadline, RuleLockHold, RuleHotPath, RuleCounterFlow,
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	File    string // path as parsed (absolute or loader-relative)
+	Line    int
+	Column  int
+	Rule    string
+	Message string
+}
+
+// String renders the canonical "file:line: [rule] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.File, d.Line, d.Rule, d.Message)
+}
+
+// Config scopes the analyzers to the packages whose contracts they
+// enforce. Paths are matched exactly against package import paths.
+type Config struct {
+	// DeterministicPkgs are the packages under the bit-reproducibility
+	// contract (rule: determinism).
+	DeterministicPkgs []string
+
+	// DeadlinePkgs are the packages under the wire-deadline discipline
+	// (rule: wiredeadline).
+	DeadlinePkgs []string
+
+	// LockPkgs are the packages under lock hygiene (rule: lockhold).
+	LockPkgs []string
+
+	// Rules optionally restricts which rules run; empty means all.
+	Rules []string
+}
+
+// DefaultConfig returns the scoping for this repository's module.
+func DefaultConfig(module string) Config {
+	p := func(s string) string { return module + "/" + s }
+	return Config{
+		DeterministicPkgs: []string{
+			p("internal/rng"), p("internal/graph"), p("internal/core"),
+			p("internal/chaotic"), p("internal/simnet"), p("internal/experiments"),
+		},
+		DeadlinePkgs: []string{p("internal/wire")},
+		LockPkgs:     []string{p("internal/wire"), p("internal/p2p")},
+	}
+}
+
+func (c Config) inScope(list []string, importPath string) bool {
+	for _, p := range list {
+		if p == importPath {
+			return true
+		}
+	}
+	return false
+}
+
+func (c Config) ruleEnabled(rule string) bool {
+	if len(c.Rules) == 0 {
+		return true
+	}
+	for _, r := range c.Rules {
+		if r == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// sortDiagnostics orders findings by file, line, column, rule.
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// parseIgnoreList parses the rule list of a //dpr:ignore comment body
+// ("rule1,rule2 optional reason...").
+func parseIgnoreList(body string) []string {
+	body = strings.TrimSpace(body)
+	if body == "" {
+		return nil
+	}
+	fields := strings.FieldsFunc(strings.SplitN(body, " ", 2)[0], func(r rune) bool {
+		return r == ','
+	})
+	var rules []string
+	for _, f := range fields {
+		if f = strings.TrimSpace(f); f != "" {
+			rules = append(rules, f)
+		}
+	}
+	return rules
+}

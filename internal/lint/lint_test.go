@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// Fixture packages under testdata/src/<name> declare their expected
+// diagnostics inline with backtick-quoted `// want` comments. Each
+// want is a regular expression matched (unanchored) against the
+// "[rule] message" rendering of a diagnostic reported on that line;
+// every diagnostic must match a want and every want must be matched.
+var wantRe = regexp.MustCompile("// want `([^`]+)`")
+
+// loadFixture type-checks testdata/src/<name> under the import path
+// fixture/<name>, scoped into every rule list but restricted to the
+// single rule under test, mirroring how DefaultConfig scopes the real
+// module.
+func loadFixture(t *testing.T, name, rule string) []Diagnostic {
+	t.Helper()
+	ip := "fixture/" + name
+	loader := NewLoader()
+	pkg, err := loader.LoadDir(filepath.Join("testdata", "src", name), ip)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", name, err)
+	}
+	cfg := Config{
+		DeterministicPkgs: []string{ip},
+		DeadlinePkgs:      []string{ip},
+		LockPkgs:          []string{ip},
+		Rules:             []string{rule},
+	}
+	return Run(loader, []*Package{pkg}, cfg)
+}
+
+func checkWants(t *testing.T, name string, diags []Diagnostic) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type want struct {
+		re      *regexp.Regexp
+		matched bool
+	}
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*want)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			for _, m := range wantRe.FindAllStringSubmatch(line, -1) {
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", path, i+1, m[1], err)
+				}
+				k := key{path, i + 1}
+				wants[k] = append(wants[k], &want{re: re})
+			}
+		}
+	}
+	for _, d := range diags {
+		rendered := fmt.Sprintf("[%s] %s", d.Rule, d.Message)
+		matched := false
+		for _, w := range wants[key{d.File, d.Line}] {
+			if !w.matched && w.re.MatchString(rendered) {
+				w.matched = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s:%d: no diagnostic matched want `%s`", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+func TestDeterminismFixture(t *testing.T) {
+	checkWants(t, "determinism", loadFixture(t, "determinism", RuleDeterminism))
+}
+
+func TestWireDeadlineFixture(t *testing.T) {
+	checkWants(t, "wiredeadline", loadFixture(t, "wiredeadline", RuleWireDeadline))
+}
+
+func TestLockHoldFixture(t *testing.T) {
+	checkWants(t, "lockhold", loadFixture(t, "lockhold", RuleLockHold))
+}
+
+func TestHotPathFixture(t *testing.T) {
+	checkWants(t, "hotpath", loadFixture(t, "hotpath", RuleHotPath))
+}
+
+func TestCounterFlowFixture(t *testing.T) {
+	checkWants(t, "counterflow", loadFixture(t, "counterflow", RuleCounterFlow))
+}
+
+func TestCounterFlowBalancedFixture(t *testing.T) {
+	if diags := loadFixture(t, "counterflowbalanced", RuleCounterFlow); len(diags) != 0 {
+		t.Fatalf("balanced package should report nothing, got %v", diags)
+	}
+}
+
+// TestRepoLintsClean is the gate's own gate: the repository must
+// satisfy every invariant dprlint enforces (modulo the annotated,
+// justified exceptions).
+func TestRepoLintsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	root := filepath.Join("..", "..")
+	loader := NewLoader()
+	pkgs, err := loader.LoadModule(root)
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	module, err := ModulePath(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range Run(loader, pkgs, DefaultConfig(module)) {
+		t.Errorf("repository violates its own invariants: %s", d)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{File: "x.go", Line: 7, Column: 3, Rule: RuleHotPath, Message: "boom"}
+	if got, want := d.String(), "x.go:7: [hotpath] boom"; got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestCutDirective(t *testing.T) {
+	cases := []struct {
+		comment, directive, rest string
+		ok                       bool
+	}{
+		{"//dpr:ignore lockhold reason", "dpr:ignore", "lockhold reason", true},
+		{"// dpr:nodeadline why", "dpr:nodeadline", "why", true},
+		{"//dpr:ignore", "dpr:ignore", "", true},
+		{"//dpr:ignorexyz", "dpr:ignore", "", false},
+		{"// plain comment", "dpr:ignore", "", false},
+	}
+	for _, c := range cases {
+		rest, ok := cutDirective(c.comment, c.directive)
+		if ok != c.ok || rest != c.rest {
+			t.Errorf("cutDirective(%q, %q) = %q, %v; want %q, %v",
+				c.comment, c.directive, rest, ok, c.rest, c.ok)
+		}
+	}
+}
+
+func TestFamilyOf(t *testing.T) {
+	cases := []struct {
+		name string
+		fam  counterFamily
+	}{
+		{"DeltaShipped", familyShipped},
+		{"deltaOutBits", familyShipped},
+		{"DeltaFolded", familyFolded},
+		{"deltaInBits", familyFolded},
+		{"delta", familyNone},
+		{"shipped", familyNone},
+		{"totalRank", familyNone},
+	}
+	for _, c := range cases {
+		if got := familyOf(c.name); got != c.fam {
+			t.Errorf("familyOf(%q) = %v, want %v", c.name, got, c.fam)
+		}
+	}
+}

@@ -1,0 +1,236 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package under analysis.
+type Package struct {
+	Dir        string
+	ImportPath string
+	Files      []*ast.File
+	Types      *types.Package
+	Info       *types.Info
+}
+
+// Loader parses and type-checks packages with nothing but the
+// standard library: module-local imports resolve to other loaded
+// packages, everything else is type-checked from GOROOT source via
+// go/importer's source importer. Loading the whole dpr module this
+// way takes a few seconds — acceptable for a lint gate, and it keeps
+// the tool free of external dependencies.
+type Loader struct {
+	Fset *token.FileSet
+
+	module string // module path from go.mod ("" until LoadModule)
+	root   string // module root directory
+
+	pkgs     map[string]*loadEntry // import path -> entry
+	checking map[string]bool       // cycle detection
+	std      types.Importer
+}
+
+type loadEntry struct {
+	pkg *Package
+	err error
+}
+
+// NewLoader returns an empty loader with a fresh file set.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:     fset,
+		pkgs:     make(map[string]*loadEntry),
+		checking: make(map[string]bool),
+		std:      importer.ForCompiler(fset, "source", nil),
+	}
+}
+
+// ModulePath reads the module path out of root/go.mod.
+func ModulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s/go.mod", root)
+}
+
+// LoadModule parses every package under root (skipping testdata,
+// hidden directories and test files) and type-checks them in
+// dependency order. It returns the packages sorted by import path.
+func (l *Loader) LoadModule(root string) ([]*Package, error) {
+	module, err := ModulePath(root)
+	if err != nil {
+		return nil, err
+	}
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	l.module, l.root = module, abs
+
+	var paths []string
+	err = filepath.WalkDir(abs, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name != "." && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(p, ".go") || strings.HasSuffix(p, "_test.go") {
+			return nil
+		}
+		dir := filepath.Dir(p)
+		rel, err := filepath.Rel(abs, dir)
+		if err != nil {
+			return err
+		}
+		ip := module
+		if rel != "." {
+			ip = module + "/" + filepath.ToSlash(rel)
+		}
+		if _, seen := l.pkgs[ip]; !seen {
+			l.pkgs[ip] = nil // reserve; parsed below in path order
+			paths = append(paths, ip)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+
+	for _, ip := range paths {
+		dir := abs
+		if ip != module {
+			dir = filepath.Join(abs, filepath.FromSlash(strings.TrimPrefix(ip, module+"/")))
+		}
+		entry, err := l.parseDir(dir, ip)
+		if err != nil {
+			return nil, err
+		}
+		l.pkgs[ip] = entry
+	}
+
+	var out []*Package
+	for _, ip := range paths {
+		p, err := l.check(ip)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %s: %w", ip, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the
+// given import path, without walking a module. Used for fixture
+// packages, whose import paths the tests choose to match the scoping
+// config. Fixtures may only import the standard library.
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	entry, err := l.parseDir(dir, importPath)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[importPath] = entry
+	return l.check(importPath)
+}
+
+// parseDir parses the non-test .go files of one directory.
+func (l *Loader) parseDir(dir, importPath string) (*loadEntry, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	p := &Package{Dir: dir, ImportPath: importPath}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		p.Files = append(p.Files, f)
+	}
+	if len(p.Files) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	return &loadEntry{pkg: p}, nil
+}
+
+// Import implements types.Importer over the loader's package set,
+// falling back to the GOROOT source importer for everything else.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.pkgs[path]; ok {
+		p, err := l.check(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// StdImport exposes standard-library type information to analyzers
+// (e.g. the net.Conn interface object).
+func (l *Loader) StdImport(path string) (*types.Package, error) {
+	return l.std.Import(path)
+}
+
+// check type-checks one previously parsed package, memoized.
+func (l *Loader) check(importPath string) (*Package, error) {
+	entry := l.pkgs[importPath]
+	if entry == nil {
+		return nil, fmt.Errorf("lint: package %s not loaded", importPath)
+	}
+	if entry.err != nil {
+		return nil, entry.err
+	}
+	p := entry.pkg
+	if p.Types != nil {
+		return p, nil
+	}
+	if l.checking[importPath] {
+		return nil, fmt.Errorf("import cycle through %s", importPath)
+	}
+	l.checking[importPath] = true
+	defer delete(l.checking, importPath)
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(importPath, l.Fset, p.Files, info)
+	if err != nil {
+		entry.err = err
+		return nil, err
+	}
+	p.Types, p.Info = tpkg, info
+	return p, nil
+}

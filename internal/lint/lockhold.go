@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkLockHold flags blocking operations performed while a
+// sync.Mutex or sync.RWMutex is held: channel sends and receives
+// (except non-blocking selects with a default case), net.Conn I/O,
+// time.Sleep, WaitGroup.Wait and Cond.Wait, and dialing. Holding a
+// lock across any of these lets one slow peer wedge every goroutine
+// that touches the same mutex — the failure mode PR 2's wire layer
+// was built to rule out.
+//
+// The analysis is lexical and per function: a critical section is
+// the source range between `x.Lock()` and the first later
+// `x.Unlock()` on the same expression in the same function scope
+// (through the end of the function for `defer x.Unlock()`). Nested
+// function literals are separate scopes — a goroutine body does not
+// hold its spawner's lock. Interprocedural holds (a helper called
+// with the lock held) are out of scope; the rule exists to keep
+// critical sections short and obvious, and a helper that blocks is
+// caught when it takes the same lock or does its own I/O.
+func (p *pass) checkLockHold() {
+	conn := p.netConnType()
+	for _, scope := range p.funcScopes() {
+		p.checkScopeLocks(scope, conn)
+	}
+}
+
+// lockRegion is one critical section's source interval.
+type lockRegion struct {
+	key        string // rendering of the mutex expression ("p.mu")
+	start, end token.Pos
+	rlock      bool
+}
+
+func (p *pass) checkScopeLocks(scope funcScope, conn *types.Interface) {
+	type openLock struct {
+		key   string
+		pos   token.Pos
+		rlock bool
+	}
+	var open []openLock
+	var regions []lockRegion
+	end := scope.body.End()
+
+	// Pass 1: collect critical sections from Lock/Unlock pairs in
+	// source order.
+	walkScope(scope.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			if key, _, ok := p.mutexCall(n.Call, "Unlock", "RUnlock"); ok {
+				for i := len(open) - 1; i >= 0; i-- {
+					if open[i].key == key {
+						regions = append(regions, lockRegion{key: key, start: open[i].pos, end: end, rlock: open[i].rlock})
+						open = append(open[:i], open[i+1:]...)
+						break
+					}
+				}
+			}
+			return false // a deferred call body runs at return, not here
+		case *ast.CallExpr:
+			if key, rlock, ok := p.mutexCall(n, "Lock", "RLock"); ok {
+				open = append(open, openLock{key: key, pos: n.End(), rlock: rlock})
+			} else if key, _, ok := p.mutexCall(n, "Unlock", "RUnlock"); ok {
+				for i := len(open) - 1; i >= 0; i-- {
+					if open[i].key == key {
+						regions = append(regions, lockRegion{key: key, start: open[i].pos, end: n.Pos(), rlock: open[i].rlock})
+						open = append(open[:i], open[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+	// Locks never released in this scope hold to the end of it.
+	for _, o := range open {
+		regions = append(regions, lockRegion{key: o.key, start: o.pos, end: end, rlock: o.rlock})
+	}
+	if len(regions) == 0 {
+		return
+	}
+
+	held := func(pos token.Pos) (lockRegion, bool) {
+		for _, r := range regions {
+			if pos > r.start && pos < r.end {
+				return r, true
+			}
+		}
+		return lockRegion{}, false
+	}
+
+	// Pass 2: flag blocking operations inside any critical section.
+	walkScope(scope.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			if selectHasDefault(n) {
+				return false // non-blocking by construction
+			}
+		case *ast.SendStmt:
+			if r, ok := held(n.Pos()); ok {
+				p.report(RuleLockHold, n.Pos(), "channel send while holding %s", r.key)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if r, ok := held(n.Pos()); ok {
+					p.report(RuleLockHold, n.Pos(), "channel receive while holding %s", r.key)
+				}
+			}
+		case *ast.CallExpr:
+			r, ok := held(n.Pos())
+			if !ok {
+				return true
+			}
+			if what := p.blockingCall(n, conn); what != "" {
+				p.report(RuleLockHold, n.Pos(), "%s while holding %s", what, r.key)
+			}
+		}
+		return true
+	})
+}
+
+// mutexCall matches a call `X.name()` where X is a sync.Mutex or
+// sync.RWMutex (possibly behind a pointer) and name is one of names.
+// It returns the rendered receiver expression as the region key.
+func (p *pass) mutexCall(call *ast.CallExpr, names ...string) (key string, rlock bool, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	match := false
+	for _, n := range names {
+		if sel.Sel.Name == n {
+			match = true
+			break
+		}
+	}
+	if !match {
+		return "", false, false
+	}
+	t := p.typeOf(sel.X)
+	if t == nil || !isSyncMutex(t) {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), sel.Sel.Name == "RLock" || sel.Sel.Name == "RUnlock", true
+}
+
+func isSyncMutex(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// blockingCall describes why a call blocks ("" when it does not).
+func (p *pass) blockingCall(call *ast.CallExpr, conn *types.Interface) string {
+	if p.isPkgFunc(call, "time", "Sleep") {
+		return "time.Sleep"
+	}
+	pkgPath, name := p.calleePkg(call)
+	if pkgPath == "sync" && name == "Wait" {
+		return "sync Wait"
+	}
+	if pkgPath == "net" && (name == "Dial" || name == "DialTimeout" || name == "DialTCP" || name == "DialUDP") {
+		return "net dial"
+	}
+	if pkgPath == "net/http" {
+		switch name {
+		case "Do", "Get", "Post", "PostForm", "Head":
+			return "HTTP round-trip"
+		}
+	}
+	if conn != nil {
+		for _, op := range p.connOps(call, conn) {
+			switch op.kind {
+			case opRead:
+				return "net.Conn read"
+			case opWrite:
+				return "net.Conn write"
+			}
+		}
+	}
+	return ""
+}
+
+func selectHasDefault(sel *ast.SelectStmt) bool {
+	for _, clause := range sel.Body.List {
+		if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}

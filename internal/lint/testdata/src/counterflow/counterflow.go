@@ -1,0 +1,23 @@
+// Package counterflow is a dprlint fixture: it mutates shipped-mass
+// counters through every recognized mutation form but never touches a
+// folded-mass counter, so conservation cannot hold.
+package counterflow
+
+type peer struct {
+	deltaShippedBits uint64
+	deltaOut         float64
+}
+
+func (p *peer) ship(v float64) {
+	p.deltaOut += v // want `assignment mutates shipped-mass counter "deltaOut"`
+}
+
+func (p *peer) bump() {
+	p.deltaShippedBits++ // want `increment mutates shipped-mass counter "deltaShippedBits"`
+}
+
+func (p *peer) publish(v uint64) {
+	setCounter(&p.deltaShippedBits, v) // want `address-taken argument mutates shipped-mass counter "deltaShippedBits"`
+}
+
+func setCounter(dst *uint64, v uint64) { *dst = v }

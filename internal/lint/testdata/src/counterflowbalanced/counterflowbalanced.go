@@ -1,0 +1,13 @@
+// Package counterflowbalanced is a dprlint fixture: it mutates both
+// counter families, so the counterflow rule reports nothing.
+package counterflowbalanced
+
+type ledger struct {
+	deltaShipped float64
+	deltaFolded  float64
+}
+
+func (l *ledger) transfer(v float64) {
+	l.deltaShipped += v
+	l.deltaFolded += v
+}

@@ -1,0 +1,61 @@
+// Package determinism is a dprlint fixture: every construct the
+// determinism rule forbids in a bit-reproducible package, next to the
+// sanctioned spelling of each.
+package determinism
+
+import (
+	"fmt"
+	"math/rand" // want `import of math/rand in deterministic package`
+	"sort"
+	"time"
+)
+
+func draw() int { return rand.Int() }
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic package`
+}
+
+func emit(m map[string]int, sink chan<- string) {
+	for k := range m {
+		sink <- k // want `channel send inside range over map`
+	}
+}
+
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside range over map`
+	}
+	return keys
+}
+
+func printAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `ordered output written inside range over map`
+	}
+}
+
+// sortedKeys collects then sorts, so the map's iteration order never
+// reaches the caller; the collection append is suppressed explicitly.
+func sortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		//dpr:ignore determinism keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// perIterationScratch appends only to a slice declared inside the
+// loop body, which cannot leak iteration order.
+func perIterationScratch(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var batch []int
+		batch = append(batch, vs...)
+		total += len(batch)
+	}
+	return total
+}

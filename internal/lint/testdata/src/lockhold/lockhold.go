@@ -1,0 +1,67 @@
+// Package lockhold is a dprlint fixture: blocking operations inside
+// and outside critical sections, for both Mutex and RWMutex.
+package lockhold
+
+import (
+	"net"
+	"sync"
+	"time"
+)
+
+type server struct {
+	mu   sync.Mutex
+	ch   chan int
+	conn net.Conn
+}
+
+func (s *server) sendUnderLock(v int) {
+	s.mu.Lock()
+	s.ch <- v // want `channel send while holding s.mu`
+	s.mu.Unlock()
+}
+
+func (s *server) sendAfterUnlock(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+func (s *server) sleepUnderDeferredUnlock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time.Sleep while holding s.mu`
+}
+
+func (s *server) connWriteUnderLock(b []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.conn.Write(b) // want `net.Conn write while holding s.mu`
+}
+
+// trySend is non-blocking by construction: a select with a default
+// case never parks the goroutine.
+func (s *server) trySend(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+	default:
+	}
+}
+
+// spawn starts a goroutine under the lock; the goroutine body is a
+// separate scope that does not hold its spawner's mutex.
+func (s *server) spawn(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		s.ch <- v
+	}()
+}
+
+func (s *server) recvUnderRLock(mu *sync.RWMutex) int {
+	mu.RLock()
+	v := <-s.ch // want `channel receive while holding mu`
+	mu.RUnlock()
+	return v
+}

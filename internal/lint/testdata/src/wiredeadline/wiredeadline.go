@@ -1,0 +1,64 @@
+// Package wiredeadline is a dprlint fixture: conn reads and writes
+// with and without deadlines, conn handoffs, and both forms of the
+// //dpr:nodeadline annotation.
+package wiredeadline
+
+import (
+	"io"
+	"net"
+	"time"
+)
+
+func readNoDeadline(c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf) // want `net.Conn read in readNoDeadline without SetReadDeadline`
+}
+
+func readWithDeadline(c net.Conn, buf []byte) (int, error) {
+	c.SetReadDeadline(time.Now().Add(time.Second))
+	return c.Read(buf)
+}
+
+func writeNoDeadline(c net.Conn, buf []byte) (int, error) {
+	return c.Write(buf) // want `net.Conn write in writeNoDeadline without SetWriteDeadline`
+}
+
+func writeWithBothDeadlines(c net.Conn, buf []byte) (int, error) {
+	c.SetDeadline(time.Now().Add(time.Second))
+	defer c.SetDeadline(time.Time{})
+	return c.Write(buf)
+}
+
+type encoder struct{ scratch [8]byte }
+
+func (e *encoder) encodeTo(w io.Writer) error {
+	_, err := w.Write(e.scratch[:])
+	return err
+}
+
+// viaHelper writes through an io.Writer parameter, which is still a
+// conn write at the call site and still needs a deadline.
+func viaHelper(c net.Conn, e *encoder) error {
+	return e.encodeTo(c) // want `net.Conn write in viaHelper without SetWriteDeadline`
+}
+
+// handoff passes the conn to another function that can arm its own
+// deadlines; that is ownership transfer, not I/O.
+func handoff(c net.Conn) {
+	go serve(c)
+}
+
+// serve reads until its caller closes the connection.
+//
+//dpr:nodeadline fixture: lifetime bounded by the caller's Close
+func serve(c net.Conn) {
+	var buf [1]byte
+	for {
+		if _, err := c.Read(buf[:]); err != nil {
+			return
+		}
+	}
+}
+
+func inlineAnnotated(c net.Conn, buf []byte) (int, error) {
+	return c.Read(buf) //dpr:nodeadline fixture: same-line annotation form
+}

@@ -212,13 +212,13 @@ func (c *faultConn) Write(b []byte) (int, error) {
 		c.Close()
 		return 0, fmt.Errorf("wire: injected drop (frame lost, connection reset)")
 	}
-	n, err := c.Conn.Write(b)
+	n, err := c.Conn.Write(b) //dpr:nodeadline passthrough wrapper: the caller's deadline is set on the wrapped conn and applies here
 	if err != nil {
 		return n, err
 	}
 	if dup {
 		c.t.dups.Add(1)
-		c.Conn.Write(b)
+		c.Conn.Write(b) //dpr:nodeadline passthrough wrapper: the caller's deadline is set on the wrapped conn and applies here
 	}
 	if reset {
 		c.t.resets.Add(1)

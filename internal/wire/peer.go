@@ -398,6 +398,7 @@ func (cw *connWriter) write(typ byte, payload []byte) error {
 	defer cw.mu.Unlock()
 	cw.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	defer cw.conn.SetWriteDeadline(time.Time{})
+	//dpr:ignore lockhold — intentional: the write deadline above bounds the hold to writeTimeout
 	return writeFrame(cw.conn, typ, payload)
 }
 
@@ -415,6 +416,7 @@ func (p *Peer) serveConn(conn net.Conn) {
 	}()
 	cw := &connWriter{conn: conn}
 	for {
+		//dpr:nodeadline inbound conns idle between sender batches by design; teardown is via Close from the failure detector or peer shutdown
 		typ, payload, err := readFrame(conn)
 		if err != nil {
 			return
