@@ -25,7 +25,7 @@ test:
 # Race-check the concurrent hot paths (pass pipeline, async engine,
 # chaotic solver, p2p substrate, fault-tolerant wire layer).
 race:
-	$(GO) test -race ./internal/core ./internal/chaotic ./internal/p2p ./internal/wire
+	$(GO) test -race ./internal/core ./internal/chaotic ./internal/p2p ./internal/wire ./internal/telemetry
 
 # Fault-injection suite: resets, drops, partitions and crash/restart
 # cycles under the race detector. -count=1 defeats the test cache so
@@ -49,10 +49,17 @@ bench:
 bench-pipeline:
 	$(GO) test -run XXX -bench BenchmarkRunPassParallel -benchmem .
 
+# Bench-regression gate: reruns the workers=1 pipeline benchmark and
+# fails on >25% drift from results/BENCH_passpipeline.json, then
+# checks the telemetry-instrumented variant stays within its <3%
+# overhead budget (results/BENCH_telemetry.json records a run).
+bench-check:
+	DPR_BENCH_CHECK=1 $(GO) test -run TestBenchRegressionGate -count=1 -v .
+
 # Full gate: what a CI job should run.
 ci:
 	$(GO) vet ./... && $(GO) build ./... && $(GO) run ./cmd/dprlint \
 		&& $(GO) test -race -shuffle=on ./... \
-		&& $(GO) test -race ./internal/wire ./internal/p2p \
+		&& $(GO) test -race ./internal/wire ./internal/p2p ./internal/telemetry \
 		&& $(GO) test -race -count=1 -run Chaos ./internal/wire \
 		&& $(GO) test -race -count=1 -run 'Membership|Leave|Join|FailureDetector' ./internal/wire

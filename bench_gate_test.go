@@ -1,0 +1,86 @@
+package dpr
+
+// The bench-regression gate: reruns the workers=1 pass-pipeline
+// benchmark and fails if throughput or steady-state allocations have
+// regressed more than 25% against the recorded baseline in
+// results/BENCH_passpipeline.json, then measures the telemetry-
+// instrumented variant and enforces the <3% overhead budget. Benchmark
+// runs take tens of seconds and their numbers are hardware-dependent,
+// so the gate only arms when DPR_BENCH_CHECK=1 is set (make
+// bench-check); otherwise it skips.
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"dpr/internal/graph"
+	"dpr/internal/telemetry"
+)
+
+// benchBaseline mirrors the slice of results/BENCH_passpipeline.json
+// the gate reads.
+type benchBaseline struct {
+	Pipeline struct {
+		Workers1 struct {
+			AllocsOp   float64 `json:"allocs_op"`
+			DocsPerSec float64 `json:"docs_per_sec"`
+		} `json:"workers1"`
+	} `json:"pipeline"`
+}
+
+func TestBenchRegressionGate(t *testing.T) {
+	if os.Getenv("DPR_BENCH_CHECK") == "" {
+		t.Skip("set DPR_BENCH_CHECK=1 (make bench-check) to run the bench regression gate")
+	}
+	raw, err := os.ReadFile("results/BENCH_passpipeline.json")
+	if err != nil {
+		t.Fatalf("reading baseline: %v", err)
+	}
+	var base benchBaseline
+	if err := json.Unmarshal(raw, &base); err != nil {
+		t.Fatalf("parsing baseline: %v", err)
+	}
+	wantAllocs := base.Pipeline.Workers1.AllocsOp
+	wantDocs := base.Pipeline.Workers1.DocsPerSec
+	if wantAllocs == 0 || wantDocs == 0 {
+		t.Fatalf("baseline missing pipeline.workers1 numbers: %+v", base)
+	}
+
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(100000, 1))
+
+	plain := testing.Benchmark(passPipelineBench(g, 1, nil))
+	plainDocs := plain.Extra["docs/sec"]
+	t.Logf("plain:     %v allocs/op, %.0f docs/sec (baseline %.0f allocs/op, %.0f docs/sec)",
+		plain.AllocsPerOp(), plainDocs, wantAllocs, wantDocs)
+
+	const tolerance = 0.25
+	if got := float64(plain.AllocsPerOp()); got > wantAllocs*(1+tolerance) {
+		t.Errorf("allocs/op regressed beyond %d%%: %v vs baseline %v",
+			int(tolerance*100), got, wantAllocs)
+	}
+	if plainDocs < wantDocs*(1-tolerance) {
+		t.Errorf("docs/sec regressed beyond %d%%: %.0f vs baseline %.0f",
+			int(tolerance*100), plainDocs, wantDocs)
+	}
+
+	// Telemetry overhead: same loop with a live sink (registry
+	// histograms + trace ring). The budget is <3% throughput and no
+	// per-op allocation growth beyond noise — the sink's mutators are
+	// //dpr:hotpath and allocation-free by construction.
+	sink := telemetry.NewPassSink(telemetry.NewRegistry(), telemetry.NewTrace(0))
+	instr := testing.Benchmark(passPipelineBench(g, 1, sink))
+	instrDocs := instr.Extra["docs/sec"]
+	t.Logf("telemetry: %v allocs/op, %.0f docs/sec", instr.AllocsPerOp(), instrDocs)
+
+	if plainDocs > 0 {
+		overhead := 1 - instrDocs/plainDocs
+		t.Logf("telemetry throughput overhead: %.2f%%", overhead*100)
+		if overhead > 0.03 {
+			t.Errorf("telemetry overhead %.2f%% exceeds the 3%% budget", overhead*100)
+		}
+	}
+	if extra := instr.AllocsPerOp() - plain.AllocsPerOp(); extra > 2 {
+		t.Errorf("telemetry adds %d allocs/op to the hot path (want 0, tolerate alloc-count noise of 2)", extra)
+	}
+}

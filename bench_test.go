@@ -16,6 +16,7 @@ import (
 	"dpr/internal/p2p"
 	"dpr/internal/rng"
 	"dpr/internal/solver"
+	"dpr/internal/telemetry"
 )
 
 func benchScale() experiments.Scale {
@@ -309,33 +310,55 @@ func BenchmarkAblationIPCache(b *testing.B) {
 func BenchmarkRunPassParallel(b *testing.B) {
 	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(100000, 1))
 	for _, workers := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
-			b.ReportAllocs()
-			var docs, passes int64
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				b.StopTimer()
-				net := p2p.NewNetwork(1000)
-				net.AssignRandom(g, rng.New(1))
-				e, err := core.NewPassEngine(g, net, nil, core.Options{Workers: workers})
-				if err != nil {
-					b.Fatal(err)
-				}
-				e.OnPass = func(s core.PassStats) bool {
-					docs += int64(s.ProcessedDocs)
-					passes++
-					return true
-				}
-				b.StartTimer()
-				res := e.Run()
-				if !res.Converged {
-					b.Fatal("did not converge")
-				}
+		b.Run(fmt.Sprintf("workers%d", workers), passPipelineBench(g, workers, nil))
+	}
+}
+
+// BenchmarkRunPassTelemetry is the workers=1 pipeline benchmark with a
+// live telemetry sink (registry histograms plus trace ring) attached —
+// the instrumentation-cost measurement behind
+// results/BENCH_telemetry.json and the <3%% overhead budget
+// make bench-check enforces.
+func BenchmarkRunPassTelemetry(b *testing.B) {
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(100000, 1))
+	sink := telemetry.NewPassSink(telemetry.NewRegistry(), telemetry.NewTrace(0))
+	b.Run("workers1", passPipelineBench(g, 1, sink))
+}
+
+// passPipelineBench is the shared body of the pass-pipeline
+// benchmarks: engine and placement setup off the clock, e.Run() on it,
+// throughput and steady-state allocations reported. sink, when
+// non-nil, attaches per-pass telemetry so the same loop measures the
+// instrumented hot path (testing.Benchmark reuses it from the
+// bench-regression gate).
+func passPipelineBench(g *graph.Graph, workers int, sink *telemetry.PassSink) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var docs, passes int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			net := p2p.NewNetwork(1000)
+			net.AssignRandom(g, rng.New(1))
+			e, err := core.NewPassEngine(g, net, nil, core.Options{Workers: workers})
+			if err != nil {
+				b.Fatal(err)
 			}
-			if sec := b.Elapsed().Seconds(); sec > 0 {
-				b.ReportMetric(float64(docs)/sec, "docs/sec")
+			e.Sink = sink
+			e.OnPass = func(s core.PassStats) bool {
+				docs += int64(s.ProcessedDocs)
+				passes++
+				return true
 			}
-			b.ReportMetric(float64(passes)/float64(b.N), "passes/op")
-		})
+			b.StartTimer()
+			res := e.Run()
+			if !res.Converged {
+				b.Fatal("did not converge")
+			}
+		}
+		if sec := b.Elapsed().Seconds(); sec > 0 {
+			b.ReportMetric(float64(docs)/sec, "docs/sec")
+		}
+		b.ReportMetric(float64(passes)/float64(b.N), "passes/op")
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"dpr/internal/experiments"
 	"dpr/internal/metrics"
+	"dpr/internal/telemetry"
 )
 
 func main() {
@@ -28,6 +29,7 @@ func main() {
 	csv := flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile to `file` on exit")
+	telemetryFlag := flag.Bool("telemetry", false, "record pass telemetry (residual decay, docs/sec) and dump the registry on exit")
 	flag.Parse()
 
 	// Profiling hooks so hot-path regressions are diagnosable without
@@ -84,6 +86,30 @@ func main() {
 		fail(2)
 	}
 	sc.Seed = *seed
+
+	// Telemetry: one registry + trace shared by every experiment's
+	// pass engines, dumped in exposition format when the run ends.
+	var reg *telemetry.Registry
+	var trace *telemetry.Trace
+	if *telemetryFlag {
+		reg = telemetry.NewRegistry()
+		trace = telemetry.NewTrace(0)
+		clock := func() int64 { return time.Now().UnixNano() }
+		trace.SetClock(clock)
+		sink := telemetry.NewPassSink(reg, trace)
+		sink.Clock = clock
+		sc.Sink = sink
+	}
+	dumpTelemetry := func() {
+		if reg == nil {
+			return
+		}
+		fmt.Println("--- telemetry ---")
+		if err := reg.Snapshot().RenderText(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "dprbench: rendering telemetry: %v\n", err)
+		}
+		fmt.Printf("(trace captured %d of %d convergence events)\n", trace.Len(), trace.Cap())
+	}
 
 	show := func(t *metrics.Table) {
 		if *csv {
@@ -215,6 +241,7 @@ func main() {
 		})
 	}
 
+	dumpTelemetry()
 	stopProfiles()
 	writeHeap()
 }

@@ -18,6 +18,10 @@ import (
 	"time"
 
 	"dpr"
+	"dpr/internal/core"
+	"dpr/internal/p2p"
+	"dpr/internal/rng"
+	"dpr/internal/telemetry"
 )
 
 func main() {
@@ -27,6 +31,7 @@ func main() {
 	seed := flag.Uint64("seed", 42, "graph and placement seed")
 	topK := flag.Int("top", 10, "top documents to print")
 	useTCP := flag.Bool("tcp", false, "run over real TCP sockets on localhost")
+	telemetryFlag := flag.Bool("telemetry", false, "serve /metrics, /trace and pprof during the run (-tcp) and dump the registry on exit")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -43,17 +48,55 @@ func main() {
 
 	start := time.Now()
 	var ranks []float64
-	if *useTCP {
-		res, err := dpr.ComputePageRankOverTCP(g, dpr.Options{
-			Peers: *peers, Epsilon: *eps, Seed: *seed,
-		}, 10*time.Minute)
+	switch {
+	case *useTCP:
+		opt := dpr.Options{Peers: *peers, Epsilon: *eps, Seed: *seed}
+		if *telemetryFlag {
+			opt.DebugAddr = "127.0.0.1:0"
+		}
+		cluster, err := dpr.NewTCPCluster(g, opt)
 		if err != nil {
+			fail(err)
+		}
+		if addr := cluster.DebugAddr(); addr != "" {
+			fmt.Printf("debug listener: http://%s/metrics  /trace  /debug/pprof/\n", addr)
+		}
+		res, err := cluster.Run(10 * time.Minute)
+		if err != nil {
+			cluster.Close()
 			fail(err)
 		}
 		fmt.Printf("quiesced in %v over TCP; %d update messages, %d termination probes\n",
 			res.Elapsed.Round(time.Millisecond), res.Messages, res.Probes)
 		ranks = res.Ranks
-	} else {
+		if *telemetryFlag {
+			fmt.Println("--- telemetry ---")
+			fmt.Print(cluster.TelemetryText())
+		}
+	case *telemetryFlag:
+		// The channel engine has no pass structure to trace, so
+		// -telemetry without -tcp runs the synchronized pass engine
+		// with a pass sink attached and dumps its registry.
+		net := p2p.NewNetwork(*peers)
+		net.AssignRandom(g, rng.New(*seed))
+		e, err := core.NewPassEngine(g, net, nil, core.Options{Epsilon: *eps})
+		if err != nil {
+			fail(err)
+		}
+		reg := telemetry.NewRegistry()
+		sink := telemetry.NewPassSink(reg, nil)
+		sink.Clock = func() int64 { return time.Now().UnixNano() }
+		e.Sink = sink
+		res := e.Run()
+		elapsed := time.Since(start)
+		fmt.Printf("converged=%v in %v; %d passes, %d network messages\n",
+			res.Converged, elapsed.Round(time.Millisecond), res.Passes, res.Counters.InterPeerMsgs)
+		ranks = res.Ranks
+		fmt.Println("--- telemetry ---")
+		if err := reg.Snapshot().RenderText(os.Stdout); err != nil {
+			fail(err)
+		}
+	default:
 		res, err := dpr.ComputePageRank(g, dpr.Options{
 			Peers: *peers, Epsilon: *eps, Async: true, Seed: *seed,
 		})

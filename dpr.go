@@ -117,6 +117,14 @@ type Options struct {
 	// before a peer is evicted. Zero picks the default of 3.
 	SuspectAfter int
 
+	// DebugAddr, when non-empty, starts an HTTP debug listener on the
+	// TCP/HTTP cluster serving /metrics (plain-text exposition of the
+	// telemetry registry), /trace (the convergence event ring as JSON)
+	// and /debug/pprof. Use ":0" for an ephemeral port and read the
+	// bound address back with TCPCluster.DebugAddr. Empty (the
+	// default) disables the listener.
+	DebugAddr string
+
 	// Teleport personalizes the pagerank (topic-sensitive pagerank):
 	// document i's share of the teleport mass is Teleport[i] /
 	// sum(Teleport). Nil means the classic uniform teleport. One

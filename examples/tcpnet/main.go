@@ -7,9 +7,13 @@
 package main
 
 import (
+	"bufio"
+	"encoding/json"
 	"fmt"
 	"log"
 	"math"
+	"net/http"
+	"strings"
 	"time"
 
 	"dpr"
@@ -51,6 +55,89 @@ func main() {
 
 	crashDemo(g, ref)
 	membershipDemo(g, ref)
+	observabilityDemo(g)
+}
+
+// observabilityDemo reruns the computation with the debug listener
+// enabled and watches it converge live from the outside: while the
+// peers exchange updates, an ordinary HTTP client polls /metrics for
+// the shipped/folded delta mass closing in on each other — the
+// system's own conservation law acting as a progress bar. The same
+// listener serves the convergence event trace at /trace and the Go
+// profiler at /debug/pprof/.
+func observabilityDemo(g *dpr.Graph) {
+	fmt.Println("\n--- observability demo ---")
+	cluster, err := dpr.NewTCPCluster(g, dpr.Options{
+		Peers: 8, Epsilon: 1e-6, Seed: 77,
+		DebugAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cluster.Close()
+	base := "http://" + cluster.DebugAddr()
+	fmt.Printf("debug listener: %s/metrics  %s/trace  %s/debug/pprof/\n", base, base, base)
+
+	type runOut struct {
+		res dpr.TCPResult
+		err error
+	}
+	done := make(chan runOut, 1)
+	go func() {
+		res, err := cluster.Run(2 * time.Minute)
+		done <- runOut{res, err}
+	}()
+
+	// Poll the exposition endpoint like a scrape agent would.
+	scrape := func(name string) float64 {
+		resp, err := http.Get(base + "/metrics")
+		if err != nil {
+			return math.NaN()
+		}
+		defer resp.Body.Close()
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			var v float64
+			if n, _ := fmt.Sscanf(sc.Text(), name+" %g", &v); n == 1 {
+				return v
+			}
+		}
+		return math.NaN()
+	}
+	traceLen := 0
+	for i := 0; i < 3; i++ {
+		time.Sleep(15 * time.Millisecond)
+		shipped := scrape("wire_delta_shipped")
+		folded := scrape("wire_delta_folded")
+		if !math.IsNaN(shipped) {
+			fmt.Printf("live scrape %d: delta shipped %.3f, folded %.3f (gap %.2e)\n",
+				i+1, shipped, folded, math.Abs(shipped-folded))
+		}
+		// The same listener serves the event ring as JSON.
+		if resp, err := http.Get(base + "/trace?n=0"); err == nil {
+			var doc struct {
+				Len int `json:"len"`
+			}
+			if json.NewDecoder(resp.Body).Decode(&doc) == nil {
+				traceLen = doc.Len
+			}
+			resp.Body.Close()
+		}
+	}
+
+	out := <-done
+	if out.err != nil {
+		log.Fatal(out.err)
+	}
+	fmt.Printf("quiesced in %v; final registry has the whole story:\n",
+		out.res.Elapsed.Round(time.Millisecond))
+	snap := cluster.TelemetryText()
+	for _, line := range strings.Split(strings.TrimSpace(snap), "\n") {
+		if strings.HasPrefix(line, "wire_delta_") || strings.HasPrefix(line, "wire_rank_mass") {
+			fmt.Println("  " + line)
+		}
+	}
+	fmt.Printf("trace ring held %d convergence events at last scrape\n", traceLen)
 }
 
 // crashDemo reruns the computation while crashing peers mid-flight:

@@ -6,6 +6,7 @@ import (
 
 	"dpr/internal/graph"
 	"dpr/internal/p2p"
+	"dpr/internal/telemetry"
 )
 
 // PassStats describes one pass of the PassEngine.
@@ -69,6 +70,13 @@ type PassEngine struct {
 	// OnPass, when non-nil, runs after every pass with that pass's
 	// statistics; returning false stops the computation early.
 	OnPass func(PassStats) bool
+
+	// Sink, when non-nil, receives per-pass telemetry: the residual
+	// (max |rank change|) and throughput histograms plus pass-boundary
+	// trace events. The engine calls it from RunPass only, so a
+	// single sink must not be shared between concurrently running
+	// engines.
+	Sink *telemetry.PassSink
 
 	// Router, when non-nil, prices the network path of every
 	// inter-peer message (section 3.2: DHT-routed on first contact,
@@ -219,6 +227,9 @@ func (e *PassEngine) push(d graph.NodeID) {
 func (e *PassEngine) RunPass() PassStats {
 	e.pass++
 	e.passInter, e.passIntra, e.passRedelivered, e.passMaxChange = 0, 0, 0, 0
+	if e.Sink != nil {
+		e.Sink.PassStart(e.pass, e.pendingDocs())
+	}
 	if e.churn != nil {
 		e.churn.Step()
 	}
@@ -272,6 +283,9 @@ func (e *PassEngine) RunPass() PassStats {
 	e.counters.IntraPeerMsgs += e.passIntra
 	e.counters.Redelivered += e.passRedelivered
 	e.counters.Passes = e.pass
+	if e.Sink != nil {
+		e.Sink.RecordPass(e.pass, e.passMaxChange, len(work), e.retry.Len())
+	}
 	return PassStats{
 		Pass:          e.pass,
 		InterMsgs:     e.passInter,

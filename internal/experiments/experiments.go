@@ -13,6 +13,7 @@ import (
 	"dpr/internal/p2p"
 	"dpr/internal/rng"
 	"dpr/internal/solver"
+	"dpr/internal/telemetry"
 )
 
 // Scale selects experiment sizes.
@@ -23,6 +24,11 @@ type Scale struct {
 	InsertTrials int   // random nodes sampled for Table 4 (paper: 1000)
 	CorpusDocs   int   // documents in the search corpus (paper: 11000)
 	Seed         uint64
+
+	// Sink, when non-nil, is attached to every pass engine the
+	// drivers run, so a frontend (cmd/dprbench -telemetry) can watch
+	// residual decay and throughput across a whole experiment.
+	Sink *telemetry.PassSink
 }
 
 // Small returns a laptop-fast configuration preserving every
@@ -120,6 +126,7 @@ func (sc Scale) runDistributed(g *graph.Graph, eps, availability float64) (core.
 	if err != nil {
 		return core.Result{}, nil, err
 	}
+	e.Sink = sc.Sink
 	res := e.Run()
 	if !res.Converged {
 		return res, e, fmt.Errorf("experiments: %d-node run at eps=%g did not converge in %d passes",

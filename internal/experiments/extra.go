@@ -53,6 +53,7 @@ func QualityVsPass(sc Scale) ([]QualityVsPassResult, error) {
 		if err != nil {
 			return nil, err
 		}
+		e.Sink = sc.Sink
 		r := QualityVsPassResult{GraphSize: n}
 		e.OnPass = func(s core.PassStats) bool {
 			ranks := e.Ranks()

@@ -48,6 +48,7 @@ func InsertCost(sc Scale) ([]InsertCostRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		e.Sink = sc.Sink
 		if res := e.Run(); !res.Converged {
 			return nil, fmt.Errorf("experiments: insert-cost base run did not converge")
 		}

@@ -61,6 +61,7 @@ func Table6(sc Scale) (*Table6Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	engine.Sink = sc.Sink
 	res := engine.Run()
 	if !res.Converged {
 		return nil, fmt.Errorf("experiments: search pagerank did not converge")

@@ -112,6 +112,15 @@ func TestHotPathFixture(t *testing.T) {
 	checkWants(t, "hotpath", loadFixture(t, "hotpath", RuleHotPath))
 }
 
+// TestTelemetrySnapFixture pins the determinism rule's coverage of
+// snapshot rendering: exposition output or point lists built inside a
+// range over a map are flagged, the sorted-keys form is clean. The
+// live internal/telemetry package is in DeterministicPkgs, so
+// TestRepoLintsClean holds it to exactly this standard.
+func TestTelemetrySnapFixture(t *testing.T) {
+	checkWants(t, "telemetrysnap", loadFixture(t, "telemetrysnap", RuleDeterminism))
+}
+
 func TestCounterFlowFixture(t *testing.T) {
 	checkWants(t, "counterflow", loadFixture(t, "counterflow", RuleCounterFlow))
 }

@@ -1,0 +1,58 @@
+// Package telemetrysnap is a dprlint fixture for the determinism
+// rule's snapshot-rendering coverage: a miniature metrics registry
+// whose exposition output must never depend on map iteration order,
+// next to the sanctioned sorted-keys spelling. This is the exact shape
+// internal/telemetry's Snapshot/RenderText path is held to.
+package telemetrysnap
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+type registry struct {
+	counters map[string]uint64
+	gauges   map[string]float64
+}
+
+// renderUnordered writes samples straight out of a map range — the
+// scrape output would shuffle between identical states.
+func (r *registry) renderUnordered(w io.Writer) {
+	for name, v := range r.counters {
+		fmt.Fprintf(w, "%s %d\n", name, v) // want `ordered output written inside range over map`
+	}
+}
+
+// snapshotUnordered builds the point list in map order, so two
+// snapshots of one registry can disagree.
+func (r *registry) snapshotUnordered() []string {
+	var points []string
+	for name := range r.gauges {
+		points = append(points, name) // want `append to "points" inside range over map`
+	}
+	return points
+}
+
+// stampSnapshot reads wall time inside the deterministic package;
+// clocks are injected by the frontends instead.
+func stampSnapshot() int64 {
+	return time.Now().UnixNano() // want `time.Now in deterministic package`
+}
+
+// renderSorted is the sanctioned form: collect the keys, sort them,
+// and only then emit — output depends on the registry's contents
+// alone. The collection append is suppressed explicitly because the
+// keys are sorted before use.
+func (r *registry) renderSorted(w io.Writer) {
+	names := make([]string, 0, len(r.counters))
+	for name := range r.counters {
+		//dpr:ignore determinism names are sorted before use
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%s %d\n", name, r.counters[name])
+	}
+}

@@ -1,0 +1,68 @@
+package telemetry
+
+// PassSink bundles the per-pass instruments the engine records into:
+// a residual histogram (the max |rank change| per pass, the quantity
+// whose decay is convergence), a docs-per-pass histogram, a docs/sec
+// rate histogram, and a pass counter, plus trace events marking pass
+// boundaries. The engine mutates it from a single goroutine; the
+// instruments themselves are safe for concurrent readers.
+//
+// Clock is optional. The deterministic layers must not read wall
+// time, so the engine never stamps passes itself — a frontend that
+// wants rates installs a nanosecond clock here and on the trace.
+type PassSink struct {
+	Passes   *Counter
+	Residual *Histogram
+	PassDocs *Histogram
+	Rate     *Histogram
+	Trace    *Trace // optional
+	Clock    func() int64
+
+	lastNS int64
+}
+
+// NewPassSink registers the standard pass instruments on reg and
+// attaches the (optional, may be nil) trace.
+func NewPassSink(reg *Registry, tr *Trace) *PassSink {
+	return &PassSink{
+		Passes:   reg.Counter("pass_total"),
+		Residual: reg.Histogram("pass_residual", ExpBuckets(1e-9, 10, 10)),
+		PassDocs: reg.Histogram("pass_docs", ExpBuckets(10, 10, 7)),
+		Rate:     reg.Histogram("pass_docs_per_sec", ExpBuckets(1e3, 10, 7)),
+		Trace:    tr,
+	}
+}
+
+// PassStart marks the beginning of a pass over pending dirty
+// documents.
+//
+//dpr:hotpath
+func (s *PassSink) PassStart(pass, pending int) {
+	if s.Clock != nil {
+		s.lastNS = s.Clock()
+	}
+	if s.Trace != nil {
+		s.Trace.Record(EvPassStart, -1, int32(pass), 0, int64(pending))
+	}
+}
+
+// RecordPass closes out a pass: residual is the max |rank change|
+// observed, docs the number of documents recomputed, deferred the
+// updates still parked for unreachable peers.
+//
+//dpr:hotpath
+func (s *PassSink) RecordPass(pass int, residual float64, docs, deferred int) {
+	s.Passes.Add(1)
+	s.Residual.Observe(residual)
+	s.PassDocs.Observe(float64(docs))
+	if s.Clock != nil {
+		now := s.Clock()
+		if dt := now - s.lastNS; dt > 0 && docs > 0 {
+			s.Rate.Observe(float64(docs) * 1e9 / float64(dt))
+		}
+		s.lastNS = now
+	}
+	if s.Trace != nil {
+		s.Trace.Record(EvPassEnd, -1, int32(pass), residual, int64(deferred))
+	}
+}

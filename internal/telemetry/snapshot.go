@@ -1,0 +1,262 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// CounterPoint is one counter's value in a snapshot.
+type CounterPoint struct {
+	Name  string
+	Value uint64
+}
+
+// FloatPoint is one float counter's value in a snapshot.
+type FloatPoint struct {
+	Name  string
+	Value float64
+}
+
+// GaugePoint is one gauge's value in a snapshot.
+type GaugePoint struct {
+	Name  string
+	Value float64
+}
+
+// HistPoint is one histogram's state in a snapshot. Counts holds the
+// raw (non-cumulative) per-bucket tallies, len(Bounds)+1 with the
+// final +Inf overflow bucket last. A point whose Bounds is nil (after
+// a merge of incompatible layouts) still carries Count and Sum.
+type HistPoint struct {
+	Name   string
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot is a point-in-time copy of a registry, with every section
+// sorted by instrument name. Snapshots are plain data: mergeable,
+// renderable, and safe to hold after the cluster that produced them
+// has shut down.
+type Snapshot struct {
+	Counters []CounterPoint
+	Floats   []FloatPoint
+	Gauges   []GaugePoint
+	Hists    []HistPoint
+}
+
+// Merge combines two snapshots name-by-name: counters, float counters,
+// and gauges sum; histograms with identical bounds sum bucket-wise.
+// Histograms whose bounds differ degrade to a bucketless point (Bounds
+// and Counts nil) that still sums Count and Sum — a rule chosen
+// because it keeps Merge associative, which the snapshot tests check
+// by property. Neither receiver nor argument is modified.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	var out Snapshot
+	i, j := 0, 0
+	for i < len(s.Counters) || j < len(o.Counters) {
+		switch {
+		case j >= len(o.Counters) || (i < len(s.Counters) && s.Counters[i].Name < o.Counters[j].Name):
+			out.Counters = append(out.Counters, s.Counters[i])
+			i++
+		case i >= len(s.Counters) || o.Counters[j].Name < s.Counters[i].Name:
+			out.Counters = append(out.Counters, o.Counters[j])
+			j++
+		default:
+			out.Counters = append(out.Counters, CounterPoint{Name: s.Counters[i].Name, Value: s.Counters[i].Value + o.Counters[j].Value})
+			i++
+			j++
+		}
+	}
+	i, j = 0, 0
+	for i < len(s.Floats) || j < len(o.Floats) {
+		switch {
+		case j >= len(o.Floats) || (i < len(s.Floats) && s.Floats[i].Name < o.Floats[j].Name):
+			out.Floats = append(out.Floats, s.Floats[i])
+			i++
+		case i >= len(s.Floats) || o.Floats[j].Name < s.Floats[i].Name:
+			out.Floats = append(out.Floats, o.Floats[j])
+			j++
+		default:
+			out.Floats = append(out.Floats, FloatPoint{Name: s.Floats[i].Name, Value: s.Floats[i].Value + o.Floats[j].Value})
+			i++
+			j++
+		}
+	}
+	i, j = 0, 0
+	for i < len(s.Gauges) || j < len(o.Gauges) {
+		switch {
+		case j >= len(o.Gauges) || (i < len(s.Gauges) && s.Gauges[i].Name < o.Gauges[j].Name):
+			out.Gauges = append(out.Gauges, s.Gauges[i])
+			i++
+		case i >= len(s.Gauges) || o.Gauges[j].Name < s.Gauges[i].Name:
+			out.Gauges = append(out.Gauges, o.Gauges[j])
+			j++
+		default:
+			out.Gauges = append(out.Gauges, GaugePoint{Name: s.Gauges[i].Name, Value: s.Gauges[i].Value + o.Gauges[j].Value})
+			i++
+			j++
+		}
+	}
+	i, j = 0, 0
+	for i < len(s.Hists) || j < len(o.Hists) {
+		switch {
+		case j >= len(o.Hists) || (i < len(s.Hists) && s.Hists[i].Name < o.Hists[j].Name):
+			out.Hists = append(out.Hists, s.Hists[i])
+			i++
+		case i >= len(s.Hists) || o.Hists[j].Name < s.Hists[i].Name:
+			out.Hists = append(out.Hists, o.Hists[j])
+			j++
+		default:
+			out.Hists = append(out.Hists, mergeHist(s.Hists[i], o.Hists[j]))
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func mergeHist(a, b HistPoint) HistPoint {
+	m := HistPoint{Name: a.Name, Count: a.Count + b.Count, Sum: a.Sum + b.Sum}
+	if !sameBounds(a.Bounds, b.Bounds) {
+		return m // incompatible layouts: keep totals, drop buckets
+	}
+	m.Bounds = append([]float64(nil), a.Bounds...)
+	m.Counts = make([]uint64, len(a.Counts))
+	for i := range m.Counts {
+		var av, bv uint64
+		if i < len(a.Counts) {
+			av = a.Counts[i]
+		}
+		if i < len(b.Counts) {
+			bv = b.Counts[i]
+		}
+		m.Counts[i] = av + bv
+	}
+	return m
+}
+
+func sameBounds(a, b []float64) bool {
+	if a == nil || b == nil || len(a) != len(b) {
+		return a == nil && b == nil
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CounterValue returns the named counter's value, or zero when absent.
+func (s Snapshot) CounterValue(name string) uint64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// FloatValue returns the named float counter's value, or zero when
+// absent.
+func (s Snapshot) FloatValue(name string) float64 {
+	for _, f := range s.Floats {
+		if f.Name == name {
+			return f.Value
+		}
+	}
+	return 0
+}
+
+// GaugeValue returns the named gauge's value, or zero when absent.
+func (s Snapshot) GaugeValue(name string) float64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// RenderText writes the snapshot in plain-text exposition format, the
+// stable contract served at /metrics and checked by golden tests:
+//
+//	# TYPE <name> counter|gauge|histogram
+//	<name> <value>
+//
+// Histogram buckets render cumulatively with an le label, then _sum
+// and _count lines. Lines appear in sorted instrument-name order
+// across all kinds, never in map order.
+func (s Snapshot) RenderText(w io.Writer) error {
+	type entry struct {
+		name string
+		emit func(io.Writer) error
+	}
+	var entries []entry
+	for _, c := range s.Counters {
+		c := c
+		entries = append(entries, entry{c.Name, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", c.Name, c.Name, c.Value)
+			return err
+		}})
+	}
+	for _, f := range s.Floats {
+		f := f
+		entries = append(entries, entry{f.Name, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %s\n", f.Name, f.Name, ftoa(f.Value))
+			return err
+		}})
+	}
+	for _, g := range s.Gauges {
+		g := g
+		entries = append(entries, entry{g.Name, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", g.Name, g.Name, ftoa(g.Value))
+			return err
+		}})
+	}
+	for _, h := range s.Hists {
+		h := h
+		entries = append(entries, entry{h.Name, func(w io.Writer) error {
+			return renderHist(w, h)
+		}})
+	}
+	// Each section is already sorted; a stable sort by name interleaves
+	// the kinds into one ordered document without ranging any map.
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+	for _, e := range entries {
+		if err := e.emit(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func renderHist(w io.Writer, h HistPoint) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", h.Name); err != nil {
+		return err
+	}
+	cum := uint64(0)
+	for i, b := range h.Bounds {
+		if i < len(h.Counts) {
+			cum += h.Counts[i]
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", h.Name, ftoa(b), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.Name, h.Count); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", h.Name, ftoa(h.Sum), h.Name, h.Count)
+	return err
+}
+
+// ftoa formats floats the way the exposition contract fixes them:
+// shortest round-trip representation.
+func ftoa(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,288 @@
+// Package telemetry is the repo's observability substrate: a
+// stdlib-only metrics registry (atomic counters, float counters,
+// gauges, fixed-bucket histograms) plus a bounded ring-buffer trace of
+// convergence events. The pass engine and the wire layer record into
+// it on their hot paths, so every instrument mutation is allocation-
+// free (and annotated //dpr:hotpath so dprlint enforces that), and
+// every read path renders in sorted-name order so output never depends
+// on map iteration (the determinism lint covers this package).
+//
+// The package deliberately has no dependency on the rest of the repo
+// and no clock of its own: components that want timestamps inject a
+// nanosecond clock, which keeps the deterministic layers (core,
+// chaotic) free of time.Now.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing uint64 instrument. The method
+// set mirrors atomic.Uint64 (Add/Load/Store) so call sites that used
+// raw atomics before port with a receiver rename only. Store exists
+// for checkpoint restore, which rebuilds a crashed peer's counters
+// from its durable snapshot.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+//
+//dpr:hotpath
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Store overwrites the value (checkpoint restore only).
+func (c *Counter) Store(n uint64) { c.v.Store(n) }
+
+// FloatCounter is a monotonically increasing float64 instrument,
+// maintained as IEEE bits under compare-and-swap so concurrent Adds
+// never lose mass — this is what the conservation invariant
+// (DeltaShipped == DeltaFolded) is audited against.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add increases the counter by v.
+//
+//dpr:hotpath
+func (f *FloatCounter) Add(v float64) {
+	for {
+		old := f.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if f.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (f *FloatCounter) Load() float64 { return math.Float64frombits(f.bits.Load()) }
+
+// Store overwrites the value (checkpoint restore only).
+func (f *FloatCounter) Store(v float64) { f.bits.Store(math.Float64bits(v)) }
+
+// Gauge is a float64 instrument that can move both ways — rank mass
+// held by a peer, queue depths, and the like. Merging snapshots sums
+// gauges, so per-peer gauges aggregate into a cluster total.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set overwrites the gauge.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add moves the gauge by v (negative to decrease).
+//
+//dpr:hotpath
+func (g *Gauge) Add(v float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Load returns the current value.
+func (g *Gauge) Load() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets chosen at
+// construction. bounds are inclusive upper edges in increasing order;
+// observations above the last bound land in the implicit +Inf bucket.
+// Observe is lock-free and allocation-free: a linear scan over at most
+// a few dozen bounds plus three atomic adds.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf overflow
+	count  atomic.Uint64
+	sum    FloatCounter
+}
+
+// NewHistogram builds a histogram with the given bucket upper bounds,
+// which must be sorted ascending. Prefer Registry.Histogram, which
+// also names and registers it.
+func NewHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+//
+//dpr:hotpath
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Load() }
+
+// ExpBuckets returns n exponentially spaced bucket bounds starting at
+// start and multiplying by factor: start, start*factor, ...
+func ExpBuckets(start, factor float64, n int) []float64 {
+	b := make([]float64, n)
+	v := start
+	for i := range b {
+		b[i] = v
+		v *= factor
+	}
+	return b
+}
+
+// instrument kinds, for the registry's ordered index.
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindFloat
+	kindGauge
+	kindHist
+)
+
+// Registry is a named collection of instruments. Lookup-or-create is
+// mutex-guarded and intended for setup paths; the instruments
+// themselves are lock-free. The registry keeps a sorted name index so
+// snapshots and renderings never iterate a map.
+type Registry struct {
+	mu       sync.Mutex
+	kinds    map[string]kind
+	order    []string // all registered names, sorted
+	counters map[string]*Counter
+	floats   map[string]*FloatCounter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds:    make(map[string]kind),
+		counters: make(map[string]*Counter),
+		floats:   make(map[string]*FloatCounter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// register claims name for k, keeping the sorted index current. A
+// name may only ever hold one instrument kind; reusing it for another
+// is a programming error and panics.
+func (r *Registry) register(name string, k kind) (existing bool) {
+	got, ok := r.kinds[name]
+	if ok {
+		if got != k {
+			panic("telemetry: instrument " + name + " re-registered with a different kind")
+		}
+		return true
+	}
+	r.kinds[name] = k
+	i := sort.SearchStrings(r.order, name)
+	r.order = append(r.order, "")
+	copy(r.order[i+1:], r.order[i:])
+	r.order[i] = name
+	return false
+}
+
+// Counter returns the counter registered under name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.register(name, kindCounter) {
+		return r.counters[name]
+	}
+	c := &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// FloatCounter returns the float counter registered under name,
+// creating it on first use.
+func (r *Registry) FloatCounter(name string) *FloatCounter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.register(name, kindFloat) {
+		return r.floats[name]
+	}
+	f := &FloatCounter{}
+	r.floats[name] = f
+	return f
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.register(name, kindGauge) {
+		return r.gauges[name]
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it
+// with the given bounds on first use. Later calls ignore bounds and
+// return the existing instrument.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.register(name, kindHist) {
+		return r.hists[name]
+	}
+	h := NewHistogram(bounds)
+	r.hists[name] = h
+	return h
+}
+
+// Snapshot captures every instrument's current value, in sorted name
+// order. The capture is not a single atomic cut across instruments —
+// concurrent writers may land between reads — but each individual
+// value is a consistent atomic load, which is what the conservation
+// checks need at quiescence.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var s Snapshot
+	for _, name := range r.order {
+		switch r.kinds[name] {
+		case kindCounter:
+			s.Counters = append(s.Counters, CounterPoint{Name: name, Value: r.counters[name].Load()})
+		case kindFloat:
+			s.Floats = append(s.Floats, FloatPoint{Name: name, Value: r.floats[name].Load()})
+		case kindGauge:
+			s.Gauges = append(s.Gauges, GaugePoint{Name: name, Value: r.gauges[name].Load()})
+		case kindHist:
+			h := r.hists[name]
+			hp := HistPoint{
+				Name:   name,
+				Bounds: append([]float64(nil), h.bounds...),
+				Counts: make([]uint64, len(h.counts)),
+				Count:  h.count.Load(),
+				Sum:    h.sum.Load(),
+			}
+			for i := range h.counts {
+				hp.Counts[i] = h.counts[i].Load()
+			}
+			s.Hists = append(s.Hists, hp)
+		}
+	}
+	return s
+}

@@ -1,0 +1,292 @@
+package telemetry
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCounterAndFloatCounter(t *testing.T) {
+	var c Counter
+	c.Add(3)
+	c.Add(4)
+	if got := c.Load(); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	c.Store(42)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("after Store, counter = %d, want 42", got)
+	}
+
+	var f FloatCounter
+	f.Add(0.5)
+	f.Add(0.25)
+	if got := f.Load(); got != 0.75 {
+		t.Fatalf("float counter = %v, want 0.75", got)
+	}
+	f.Store(1.5)
+	if got := f.Load(); got != 1.5 {
+		t.Fatalf("after Store, float counter = %v, want 1.5", got)
+	}
+
+	var g Gauge
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Load(); got != 6 {
+		t.Fatalf("gauge = %v, want 6", got)
+	}
+}
+
+// FloatCounter's CAS loop must not lose mass under contention — the
+// conservation audit depends on it.
+func TestFloatCounterConcurrentAdds(t *testing.T) {
+	var f FloatCounter
+	const workers, adds = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < adds; i++ {
+				f.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := f.Load(); got != workers*adds {
+		t.Fatalf("concurrent adds lost mass: %v, want %d", got, workers*adds)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 1.5, 50, 1e6} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 0.5+1+1.5+50+1e6 {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	// Bounds are inclusive upper edges: 0.5 and 1 land in le=1,
+	// 1.5 in le=10, 50 in le=100, 1e6 in +Inf.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 10, 4)
+	want := []float64{1, 10, 100, 1000}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ExpBuckets = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryKinds(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a")
+	if r.Counter("a") != c {
+		t.Fatal("second Counter(a) returned a different instrument")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a as a gauge did not panic")
+		}
+	}()
+	r.Gauge("a")
+}
+
+func TestSnapshotSortedAndValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("zeta").Add(1)
+	r.Gauge("alpha").Set(2)
+	r.FloatCounter("mid").Add(3)
+	r.Histogram("hist", []float64{1}).Observe(0.5)
+	s := r.Snapshot()
+	if s.CounterValue("zeta") != 1 || s.GaugeValue("alpha") != 2 || s.FloatValue("mid") != 3 {
+		t.Fatalf("snapshot values wrong: %+v", s)
+	}
+	if s.CounterValue("absent") != 0 || s.FloatValue("absent") != 0 || s.GaugeValue("absent") != 0 {
+		t.Fatal("absent instruments must read as zero")
+	}
+	if len(s.Hists) != 1 || s.Hists[0].Count != 1 {
+		t.Fatalf("histogram point wrong: %+v", s.Hists)
+	}
+}
+
+// randomHist builds a histogram point over one of two bucket layouts
+// (so merges exercise both the aligned and the degrade path) with
+// small-integer values, keeping float addition exact and the
+// associativity property test meaningful.
+func randomHist(r *rand.Rand, name string) HistPoint {
+	layouts := [][]float64{{1, 10, 100}, {5, 50}}
+	b := layouts[r.Intn(len(layouts))]
+	h := HistPoint{Name: name, Bounds: append([]float64(nil), b...), Counts: make([]uint64, len(b)+1)}
+	for i := range h.Counts {
+		h.Counts[i] = uint64(r.Intn(5))
+		h.Count += h.Counts[i]
+	}
+	h.Sum = float64(r.Intn(100))
+	return h
+}
+
+func randomSnapshot(r *rand.Rand) Snapshot {
+	names := []string{"a", "b", "c", "d"}
+	var s Snapshot
+	for _, n := range names {
+		if r.Intn(2) == 0 {
+			s.Counters = append(s.Counters, CounterPoint{Name: "c_" + n, Value: uint64(r.Intn(100))})
+		}
+		if r.Intn(2) == 0 {
+			s.Floats = append(s.Floats, FloatPoint{Name: "f_" + n, Value: float64(r.Intn(100))})
+		}
+		if r.Intn(2) == 0 {
+			s.Gauges = append(s.Gauges, GaugePoint{Name: "g_" + n, Value: float64(r.Intn(100) - 50)})
+		}
+		if r.Intn(2) == 0 {
+			s.Hists = append(s.Hists, randomHist(r, "h_"+n))
+		}
+	}
+	return s
+}
+
+// Merge must be associative: the cluster folds per-peer registries in
+// slot order, but nothing about the result may depend on that order of
+// folding.
+func TestMergeAssociativeQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	property := func() bool {
+		a, b, c := randomSnapshot(r), randomSnapshot(r), randomSnapshot(r)
+		left := a.Merge(b).Merge(c)
+		right := a.Merge(b.Merge(c))
+		return reflect.DeepEqual(left, right)
+	}
+	cfg := &quick.Config{MaxCount: 500, Values: func(vs []reflect.Value, _ *rand.Rand) {}}
+	if err := quick.Check(func() bool { return property() }, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Merge with an empty snapshot must be the identity.
+func TestMergeIdentityQuick(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	cfg := &quick.Config{MaxCount: 200, Values: func(vs []reflect.Value, _ *rand.Rand) {}}
+	err := quick.Check(func() bool {
+		a := randomSnapshot(r)
+		var zero Snapshot
+		return reflect.DeepEqual(a.Merge(zero), a) && reflect.DeepEqual(zero.Merge(a), a)
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Rendered histogram buckets are cumulative, so they must be
+// monotonically non-decreasing and end at the observation count, for
+// any sequence of observations.
+func TestHistogramMonotonicQuick(t *testing.T) {
+	property := func(obs []float64) bool {
+		h := NewHistogram(ExpBuckets(1e-6, 10, 12))
+		for _, v := range obs {
+			h.Observe(v)
+		}
+		r := NewRegistry()
+		r.hists["h"] = h
+		r.register("h", kindHist)
+		hp := r.Snapshot().Hists[0]
+		cum, total := uint64(0), uint64(0)
+		for _, c := range hp.Counts {
+			total += c
+		}
+		if total != hp.Count || hp.Count != uint64(len(obs)) {
+			return false
+		}
+		prev := uint64(0)
+		for i := range hp.Bounds {
+			cum += hp.Counts[i]
+			if cum < prev {
+				return false
+			}
+			prev = cum
+		}
+		return cum <= hp.Count
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceRingWraps(t *testing.T) {
+	tr := NewTrace(4)
+	var ns int64
+	tr.SetClock(func() int64 { ns += 10; return ns })
+	for i := 0; i < 10; i++ {
+		tr.Record(EvShip, int32(i), -1, float64(i), 0)
+	}
+	if tr.Len() != 4 || tr.Cap() != 4 {
+		t.Fatalf("len/cap = %d/%d, want 4/4", tr.Len(), tr.Cap())
+	}
+	evs := tr.Recent(0)
+	if len(evs) != 4 {
+		t.Fatalf("Recent(0) returned %d events", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d (oldest first)", i, e.Seq, want)
+		}
+	}
+	if evs[0].TimeNS != 70 {
+		t.Fatalf("clock not applied: t=%d", evs[0].TimeNS)
+	}
+	last2 := tr.Recent(2)
+	if len(last2) != 2 || last2[1].Seq != 10 {
+		t.Fatalf("Recent(2) = %+v", last2)
+	}
+}
+
+func TestEventTypeNames(t *testing.T) {
+	if EvPassStart.String() != "pass_start" || EvShed.String() != "shed" {
+		t.Fatal("event names drifted")
+	}
+	if EventType(99).String() != "unknown" || EventType(-1).String() != "unknown" {
+		t.Fatal("out-of-range event types must render as unknown")
+	}
+}
+
+func TestPassSinkRecords(t *testing.T) {
+	reg := NewRegistry()
+	tr := NewTrace(16)
+	sink := NewPassSink(reg, tr)
+	var ns int64
+	sink.Clock = func() int64 { ns += 1e9; return ns }
+	sink.PassStart(1, 100)
+	sink.RecordPass(1, 0.5, 1000, 3)
+	s := reg.Snapshot()
+	if s.CounterValue("pass_total") != 1 {
+		t.Fatalf("pass_total = %d", s.CounterValue("pass_total"))
+	}
+	evs := tr.Recent(0)
+	if len(evs) != 2 || evs[0].Type != EvPassStart || evs[1].Type != EvPassEnd {
+		t.Fatalf("trace events = %+v", evs)
+	}
+	if evs[1].Value != 0.5 || evs[1].Aux != 3 {
+		t.Fatalf("pass_end event = %+v", evs[1])
+	}
+	// 1000 docs in one simulated second.
+	var rate HistPoint
+	for _, h := range s.Hists {
+		if h.Name == "pass_docs_per_sec" {
+			rate = h
+		}
+	}
+	if rate.Count != 1 || rate.Sum != 1000 {
+		t.Fatalf("rate histogram = %+v", rate)
+	}
+}

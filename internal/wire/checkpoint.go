@@ -138,17 +138,17 @@ func (p *Peer) snapshot() *PeerSnapshot {
 		Rank:         append([]float64(nil), p.rk.rank...),
 		Acc:          append([]float64(nil), p.rk.acc...),
 		Last:         append([]float64(nil), p.rk.last...),
-		Sent:         p.sent.Load(),
-		Processed:    p.processed.Load(),
-		Retries:      p.retries.Load(),
-		Reconnects:   p.reconnects.Load(),
-		Redeliveries: p.redeliveries.Load(),
-		Coalesced:    p.coalesced.Load(),
-		DupDropped:   p.dupDropped.Load(),
-		Forwarded:    p.forwarded.Load(),
-		Misdropped:   p.misdropped.Load(),
-		DeltaShipped: math.Float64frombits(p.deltaOutBits.Load()),
-		DeltaFolded:  math.Float64frombits(p.deltaInBits.Load()),
+		Sent:         p.m.sent.Load(),
+		Processed:    p.m.processed.Load(),
+		Retries:      p.m.retries.Load(),
+		Reconnects:   p.m.reconnects.Load(),
+		Redeliveries: p.m.redeliveries.Load(),
+		Coalesced:    p.m.coalesced.Load(),
+		DupDropped:   p.m.dupDropped.Load(),
+		Forwarded:    p.m.forwarded.Load(),
+		Misdropped:   p.m.misdropped.Load(),
+		DeltaShipped: p.m.deltaShipped.Load(),
+		DeltaFolded:  p.m.deltaFolded.Load(),
 	}
 	for st, seq := range p.lastSeq {
 		s.LastSeq = append(s.LastSeq, SeqEntry{Src: st.src, Dest: st.dest, Seq: seq})
@@ -248,17 +248,8 @@ func RestorePeer(cfg PeerConfig, snap *PeerSnapshot) (*Peer, error) {
 	for _, e := range snap.LastSeq {
 		p.lastSeq[stream{src: e.Src, dest: e.Dest}] = e.Seq
 	}
-	p.sent.Store(snap.Sent)
-	p.processed.Store(snap.Processed)
-	p.retries.Store(snap.Retries)
-	p.reconnects.Store(snap.Reconnects)
-	p.redeliveries.Store(snap.Redeliveries)
-	p.coalesced.Store(snap.Coalesced)
-	p.dupDropped.Store(snap.DupDropped)
-	p.forwarded.Store(snap.Forwarded)
-	p.misdropped.Store(snap.Misdropped)
-	p.deltaOutBits.Store(math.Float64bits(snap.DeltaShipped))
-	p.deltaInBits.Store(math.Float64bits(snap.DeltaFolded))
+	p.m.restore(snap)
+	p.rk.resetMass()
 	for _, ob := range snap.Outbound {
 		st := stream{src: ob.Src, dest: ob.Dest}
 		if _, dup := p.senders[st]; dup {
@@ -282,8 +273,8 @@ func RestorePeer(cfg PeerConfig, snap *PeerSnapshot) (*Peer, error) {
 			// here, exactly like live coalescing, or the termination
 			// probe could never balance.
 			if p.rq.DeferMerge(ob.Dest, u) {
-				p.coalesced.Add(1)
-				p.processed.Add(1)
+				p.m.coalesced.Add(1)
+				p.m.processed.Add(1)
 			}
 		}
 		p.senders[st] = s

@@ -12,6 +12,7 @@ import (
 	"dpr/internal/graph"
 	"dpr/internal/p2p"
 	"dpr/internal/rng"
+	"dpr/internal/telemetry"
 )
 
 // Cluster runs a whole computation over real TCP sockets on localhost:
@@ -52,10 +53,21 @@ type Cluster struct {
 	left      []bool       // slot departed permanently
 	forwardTo []p2p.PeerID // left slot -> adopting successor slot
 	departed  PeerStats    // frozen counters of departed peers
-	joins     uint64
-	leaves    uint64
-	migrated  uint64
 	started   bool
+
+	// Telemetry: one registry per slot (retained across Kill/Restart so
+	// a slot's counters survive its crashes), a cluster-level registry
+	// for membership and probe counters, and a shared convergence-event
+	// trace. TelemetrySnapshot merges them all.
+	regs  []*telemetry.Registry
+	reg   *telemetry.Registry
+	trace *telemetry.Trace
+	dbg   *telemetry.DebugServer
+
+	mJoins    *telemetry.Counter
+	mLeaves   *telemetry.Counter
+	mMigrated *telemetry.Counter
+	mProbes   *telemetry.Counter
 
 	fdQuit chan struct{}
 	fdStop sync.Once
@@ -89,6 +101,15 @@ type ClusterConfig struct {
 
 	// Client overrides the HTTP client (HTTP clusters only).
 	Client *http.Client
+
+	// DebugAddr, when non-empty, starts the opt-in debug listener on
+	// that address (host:port; ":0" picks an ephemeral port) serving
+	// /metrics, /trace and /debug/pprof. Cluster.DebugAddr reports the
+	// bound address.
+	DebugAddr string
+
+	// TraceCap bounds the convergence-event ring; 0 means 4096.
+	TraceCap int
 }
 
 // NewCluster starts cfg.Peers TCP peers and distributes g's documents
@@ -117,7 +138,17 @@ func NewCluster(g *graph.Graph, cfg ClusterConfig) (*Cluster, error) {
 		blobs:     make([][]byte, cfg.Peers),
 		left:      make([]bool, cfg.Peers),
 		forwardTo: make([]p2p.PeerID, cfg.Peers),
+		reg:       telemetry.NewRegistry(),
+		trace:     telemetry.NewTrace(cfg.TraceCap),
 		fdQuit:    make(chan struct{}),
+	}
+	c.trace.SetClock(func() int64 { return time.Now().UnixNano() })
+	c.mJoins = c.reg.Counter("cluster_joins")
+	c.mLeaves = c.reg.Counter("cluster_leaves")
+	c.mMigrated = c.reg.Counter("cluster_docs_migrated")
+	c.mProbes = c.reg.Counter("cluster_probes")
+	for i := 0; i < cfg.Peers; i++ {
+		c.regs = append(c.regs, telemetry.NewRegistry())
 	}
 	for i := 0; i < cfg.Peers; i++ {
 		c.forwardTo[i] = p2p.NoPeer
@@ -147,6 +178,14 @@ func NewCluster(g *graph.Graph, cfg ClusterConfig) (*Cluster, error) {
 	for _, p := range c.peers {
 		p.SetPeers(addrs)
 	}
+	if cfg.DebugAddr != "" {
+		dbg, err := telemetry.ServeDebug(cfg.DebugAddr, c.TelemetrySnapshot, c.trace)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.dbg = dbg
+	}
 	return c, nil
 }
 
@@ -165,6 +204,8 @@ func (c *Cluster) peerConfig(i int) PeerConfig {
 		Epsilon:   c.cfg.Epsilon,
 		Transport: c.cfg.Transport,
 		Retry:     c.cfg.Retry,
+		Registry:  c.regs[i],
+		Trace:     c.trace,
 	}
 }
 
@@ -221,6 +262,7 @@ func (c *Cluster) Kill(i int) error {
 	}
 	c.snaps[i] = snap
 	c.blobs[i] = buf.Bytes()
+	c.trace.Record(telemetry.EvKill, int32(i), -1, 0, int64(len(snap.Docs)))
 	return nil
 }
 
@@ -256,6 +298,7 @@ func (c *Cluster) Restart(i int) error {
 	c.blobs[i] = nil
 	c.addrs[i] = p.Addr()
 	c.pushAddrsLocked()
+	c.trace.Record(telemetry.EvRestart, int32(i), -1, 0, int64(len(snap.Docs)))
 	if c.started {
 		p.Start()
 	}
@@ -340,8 +383,9 @@ func (c *Cluster) leaveLocked(i int) error {
 	c.blobs[i] = nil
 	c.left[i] = true
 	c.forwardTo[i] = p2p.PeerID(j)
-	c.leaves++
-	c.migrated += uint64(len(snap.Docs))
+	c.mLeaves.Add(1)
+	c.mMigrated.Add(uint64(len(snap.Docs)))
+	c.trace.Record(telemetry.EvLeave, int32(i), -1, 0, int64(j))
 	c.pushOwnershipLocked(snap.Docs, p2p.PeerID(j))
 	return nil
 }
@@ -382,6 +426,7 @@ func (c *Cluster) Join() (int, error) {
 	c.forwardTo = append(c.forwardTo, p2p.NoPeer)
 	c.nodes = append(c.nodes, node)
 	c.docs = append(c.docs, nil)
+	c.regs = append(c.regs, telemetry.NewRegistry())
 	snap := &PeerSnapshot{ID: p2p.PeerID(i)}
 	for owner, od := range byOwner {
 		var rank, acc, last []float64
@@ -422,8 +467,9 @@ func (c *Cluster) Join() (int, error) {
 	}
 	c.peers[i] = p
 	c.addrs[i] = p.Addr()
-	c.joins++
-	c.migrated += uint64(len(snap.Docs))
+	c.mJoins.Add(1)
+	c.mMigrated.Add(uint64(len(snap.Docs)))
+	c.trace.Record(telemetry.EvJoin, int32(i), -1, 0, int64(len(snap.Docs)))
 	c.pushOwnershipLocked(snap.Docs, p2p.PeerID(i))
 	if c.started {
 		p.Start()
@@ -562,6 +608,7 @@ func (c *Cluster) Run(timeout time.Duration) (ClusterResult, error) {
 			return res, fmt.Errorf("wire: no quiescence within %v", timeout)
 		}
 		sent, processed := c.counters()
+		c.mProbes.Add(1)
 		res.Probes++
 		if sent == processed && sent == prevSent && processed == prevProcessed {
 			res.Messages = sent
@@ -582,11 +629,9 @@ func (c *Cluster) Run(timeout time.Duration) (ClusterResult, error) {
 	res.DeltaFolded = st.DeltaFolded
 	res.Forwarded = st.Forwarded
 	res.Misdropped = st.Misdropped
-	c.mu.Lock()
-	res.Joins = c.joins
-	res.Leaves = c.leaves
-	res.Migrated = c.migrated
-	c.mu.Unlock()
+	res.Joins = c.mJoins.Load()
+	res.Leaves = c.mLeaves.Load()
+	res.Migrated = c.mMigrated.Load()
 	res.Elapsed = time.Since(start)
 	c.Close()
 	return res, nil
@@ -633,6 +678,7 @@ func (c *Cluster) failureDetector(interval time.Duration) {
 			delete(misses, t.slot)
 			c.mu.Lock()
 			if !c.left[t.slot] && c.ring.NumAlive() >= 2 {
+				c.trace.Record(telemetry.EvEvict, int32(t.slot), -1, 0, int64(threshold))
 				c.leaveLocked(t.slot) // best effort; a failed leave retries next round
 			}
 			c.mu.Unlock()
@@ -809,18 +855,61 @@ func pingPeer(tr Transport, addr string, timeout time.Duration) error {
 	return nil
 }
 
-// Close stops the failure detector and every peer.
+// Close stops the failure detector, the debug listener (if any) and
+// every peer.
 func (c *Cluster) Close() {
 	c.fdStop.Do(func() { close(c.fdQuit) })
 	c.fdWg.Wait()
 	c.mu.Lock()
 	peers := append([]*Peer(nil), c.peers...)
+	dbg := c.dbg
+	c.dbg = nil
 	c.mu.Unlock()
+	if dbg != nil {
+		dbg.Close()
+	}
 	for _, p := range peers {
 		if p != nil {
 			p.Close()
 		}
 	}
+}
+
+// TelemetrySnapshot merges every slot's registry (live, crashed and
+// departed slots alike — a departed slot's registry holds its frozen
+// final counters) with the cluster-level registry into one snapshot.
+// Valid even after Close: registries are plain memory.
+func (c *Cluster) TelemetrySnapshot() telemetry.Snapshot {
+	c.mu.Lock()
+	regs := append([]*telemetry.Registry(nil), c.regs...)
+	c.mu.Unlock()
+	snap := c.reg.Snapshot()
+	for _, r := range regs {
+		snap = snap.Merge(r.Snapshot())
+	}
+	return snap
+}
+
+// TelemetryText renders the merged snapshot in the /metrics exposition
+// format.
+func (c *Cluster) TelemetryText() string {
+	var buf bytes.Buffer
+	c.TelemetrySnapshot().RenderText(&buf)
+	return buf.String()
+}
+
+// Trace exposes the cluster's convergence-event ring.
+func (c *Cluster) Trace() *telemetry.Trace { return c.trace }
+
+// DebugAddr reports the debug listener's bound address ("" when the
+// listener is disabled or the cluster is closed).
+func (c *Cluster) DebugAddr() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dbg == nil {
+		return ""
+	}
+	return c.dbg.Addr()
 }
 
 // NumPeers returns the number of slots ever allocated (departed slots

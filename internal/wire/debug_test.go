@@ -1,0 +1,188 @@
+package wire
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"dpr/internal/graph"
+)
+
+// TestDebugListenerServesCluster boots a TCP cluster with the debug
+// listener enabled and exercises all three endpoint families. The
+// listener is live from NewCluster until Run's final Close, so the
+// scrapes happen before and during the computation.
+func TestDebugListenerServesCluster(t *testing.T) {
+	defer assertNoGoroutineLeaks(t)()
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(400, 31))
+	c, err := NewCluster(g, ClusterConfig{Peers: 4, Epsilon: 1e-6, Seed: 31, DebugAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	base := "http://" + c.DebugAddr()
+	if c.DebugAddr() == "" {
+		t.Fatal("DebugAddr empty with DebugAddr configured")
+	}
+
+	// Before the run: every instrument is already registered, so the
+	// exposition page shows the full (all-zero) name set.
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	text := string(body)
+	for _, want := range []string{"wire_sent", "wire_delta_shipped", "cluster_probes", "# TYPE"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, text)
+		}
+	}
+
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+
+	type runOut struct {
+		res ClusterResult
+		err error
+	}
+	resCh := make(chan runOut, 1)
+	go func() {
+		res, err := c.Run(60 * time.Second)
+		resCh <- runOut{res, err}
+	}()
+
+	// During the run: the trace fills with ship/fold events. Poll
+	// until some arrive or the run finishes (the quiescent trace must
+	// then still be readable through Trace directly).
+	sawEvents := 0
+	for done := false; !done && sawEvents == 0; {
+		select {
+		case out := <-resCh:
+			if out.err != nil {
+				t.Fatal(out.err)
+			}
+			done = true
+			resCh <- out
+		default:
+			resp, err := http.Get(base + "/trace?n=5")
+			if err != nil {
+				continue // listener already closed by Run's teardown
+			}
+			var doc struct {
+				Len    int   `json:"len"`
+				Events []any `json:"events"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&doc)
+			resp.Body.Close()
+			if err != nil {
+				t.Fatalf("/trace JSON: %v", err)
+			}
+			sawEvents = len(doc.Events)
+		}
+	}
+
+	out := <-resCh
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if sawEvents == 0 && c.Trace().Len() == 0 {
+		t.Fatal("no convergence events recorded by a full run")
+	}
+	assertRanksMatch(t, g, out.res.Ranks, 1e-3)
+}
+
+// TestDebugListenerSurvivesKillRestart hammers /metrics and /trace
+// from several goroutines while peers crash and restart underneath —
+// the scrape path reads the same registries Kill checkpoints and
+// Restart restores, so this doubles as race coverage for the snapshot
+// merge (run under -race in ci). Close must then reap the listener
+// goroutine (the leak check recognises telemetry.(*DebugServer)).
+func TestDebugListenerSurvivesKillRestart(t *testing.T) {
+	defer assertNoGoroutineLeaks(t)()
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(500, 77))
+	c, err := NewCluster(g, ClusterConfig{Peers: 5, Epsilon: 1e-6, Seed: 77, DebugAddr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	base := "http://" + c.DebugAddr()
+
+	type runOut struct {
+		res ClusterResult
+		err error
+	}
+	resCh := make(chan runOut, 1)
+	go func() {
+		res, err := c.Run(120 * time.Second)
+		resCh <- runOut{res, err}
+	}()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, path := range []string{"/metrics", "/trace?n=32"} {
+					resp, err := http.Get(base + path)
+					if err == nil {
+						io.Copy(io.Discard, resp.Body)
+						resp.Body.Close()
+					}
+				}
+			}
+		}()
+	}
+
+	for _, victim := range []int{1, 3} {
+		time.Sleep(10 * time.Millisecond)
+		if err := c.Kill(victim); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(10 * time.Millisecond)
+		if err := c.Restart(victim); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	out := <-resCh
+	close(stop)
+	wg.Wait()
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	assertRanksMatch(t, g, out.res.Ranks, 1e-3)
+	assertRegistryConservation(t, c.TelemetrySnapshot(), out.res.Ranks)
+
+	// Closing the cluster takes the listener with it.
+	c.Close()
+	if _, err := http.Get(base + "/metrics"); err == nil {
+		t.Fatal("debug listener still serving after Close")
+	}
+	// TelemetryText stays valid after Close — the post-hoc dump path.
+	if txt := c.TelemetryText(); !strings.Contains(txt, "wire_delta_folded") {
+		t.Fatalf("TelemetryText after Close missing instruments:\n%s", txt)
+	}
+}

@@ -4,15 +4,14 @@ import (
 	"bytes"
 	"fmt"
 	"io"
-	"math"
 	"net"
 	"net/http"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"dpr/internal/p2p"
 	"dpr/internal/rng"
+	"dpr/internal/telemetry"
 )
 
 // batchSeqContentType marks a POST body carrying a sequenced batch
@@ -56,16 +55,13 @@ type HTTPPeer struct {
 	// processLoop.
 	lastSeq map[p2p.PeerID]uint64
 
-	sent      atomic.Uint64
-	processed atomic.Uint64
-
-	retries      atomic.Uint64 // POST attempts past a request's first try
-	coalesced    atomic.Uint64 // updates absorbed by sender-side coalescing
-	dupDropped   atomic.Uint64 // duplicate posts suppressed
-	forwarded    atomic.Uint64 // misrouted updates re-shipped to the owner
-	misdropped   atomic.Uint64 // updates with no resolvable owner
-	deltaOutBits atomic.Uint64
-	deltaInBits  atomic.Uint64
+	// m holds the peer's registry-backed instruments (the HTTP peer
+	// uses the subset that applies: no reconnect/redelivery tracking,
+	// since HTTP posts are per-request). reg is their registry, trace
+	// the optional convergence-event ring.
+	m     peerMetrics
+	reg   *telemetry.Registry
+	trace *telemetry.Trace
 }
 
 // postQueue serializes POSTs to one destination. Pending updates live
@@ -98,10 +94,14 @@ func NewHTTPPeer(cfg PeerConfig) (*HTTPPeer, error) {
 	if client == nil {
 		client = &http.Client{Timeout: 30 * time.Second}
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
+	m := newPeerMetrics(cfg.Registry)
 	p := &HTTPPeer{
 		cfg:     cfg,
 		retry:   cfg.Retry.withDefaults(),
-		rk:      newRanker(cfg),
+		rk:      newRanker(cfg, m.rankMass),
 		ln:      ln,
 		client:  client,
 		senders: make(map[p2p.PeerID]*postQueue),
@@ -109,6 +109,9 @@ func NewHTTPPeer(cfg PeerConfig) (*HTTPPeer, error) {
 		inbox:   make(chan inItem, 1024),
 		quit:    make(chan struct{}),
 		lastSeq: make(map[p2p.PeerID]uint64),
+		m:       m,
+		reg:     cfg.Registry,
+		trace:   cfg.Trace,
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/pagerank/updates", p.handleUpdates)
@@ -131,21 +134,23 @@ func (p *HTTPPeer) SetPeers(urls []string) { p.peers = urls }
 
 // Counters reports (sent, processed).
 func (p *HTTPPeer) Counters() (uint64, uint64) {
-	return p.sent.Load(), p.processed.Load()
+	return p.m.sent.Load(), p.m.processed.Load()
 }
 
-// Stats reports the peer's fault-tolerance counters.
-func (p *HTTPPeer) Stats() PeerStats {
-	return PeerStats{
-		Sent:         p.sent.Load(),
-		Processed:    p.processed.Load(),
-		Retries:      p.retries.Load(),
-		Coalesced:    p.coalesced.Load(),
-		DupDropped:   p.dupDropped.Load(),
-		Forwarded:    p.forwarded.Load(),
-		Misdropped:   p.misdropped.Load(),
-		DeltaShipped: math.Float64frombits(p.deltaOutBits.Load()),
-		DeltaFolded:  math.Float64frombits(p.deltaInBits.Load()),
+// Stats reports the peer's fault-tolerance counters, read from the
+// telemetry registry. Reconnects and redeliveries stay zero: HTTP
+// posts are per-request, so there is no connection to re-establish.
+func (p *HTTPPeer) Stats() PeerStats { return p.m.stats() }
+
+// Registry exposes the registry holding this peer's instruments.
+func (p *HTTPPeer) Registry() *telemetry.Registry { return p.reg }
+
+// event records a convergence-trace event when a trace is attached.
+//
+//dpr:hotpath
+func (p *HTTPPeer) event(typ telemetry.EventType, value float64, aux int64) {
+	if p.trace != nil {
+		p.trace.Record(typ, int32(p.cfg.ID), -1, value, aux)
 	}
 }
 
@@ -236,7 +241,7 @@ func (p *HTTPPeer) processLoop() {
 			for _, it := range items {
 				if it.seqed {
 					if it.seq <= p.lastSeq[it.from] {
-						p.dupDropped.Add(1)
+						p.m.dupDropped.Add(1)
 						continue // retried post whose first copy arrived
 					}
 					p.lastSeq[it.from] = it.seq
@@ -256,8 +261,9 @@ func (p *HTTPPeer) processLoop() {
 				for _, u := range fwd {
 					folded -= u.Delta
 				}
-				addFloat(&p.deltaInBits, folded)
-				p.processed.Add(uint64(len(batch)))
+				p.m.deltaFolded.Add(folded)
+				p.m.processed.Add(uint64(len(batch)))
+				p.event(telemetry.EvFold, folded, int64(len(batch)))
 				batch = self
 			}
 		}
@@ -267,16 +273,22 @@ func (p *HTTPPeer) processLoop() {
 // ship transmits batches, returning the self-directed ones.
 func (p *HTTPPeer) ship(out map[p2p.PeerID][]p2p.Update) []p2p.Update {
 	var self []p2p.Update
+	shipped, n := 0.0, 0
 	for dest, us := range out {
-		p.sent.Add(uint64(len(us)))
+		p.m.sent.Add(uint64(len(us)))
 		for _, u := range us {
-			addFloat(&p.deltaOutBits, u.Delta)
+			shipped += u.Delta
 		}
+		n += len(us)
 		if dest == p.cfg.ID {
 			self = append(self, us...)
 			continue
 		}
 		p.post(dest, us)
+	}
+	if n > 0 {
+		p.m.deltaShipped.Add(shipped)
+		p.event(telemetry.EvShip, shipped, int64(n))
 	}
 	return self
 }
@@ -292,15 +304,15 @@ func (p *HTTPPeer) forward(fwd []p2p.Update) []p2p.Update {
 		switch {
 		case owner == p.cfg.ID && p.rk.owns(u.Doc):
 			self = append(self, u)
-			p.sent.Add(1)
+			p.m.sent.Add(1)
 		case owner == p.cfg.ID || owner == p2p.NoPeer:
-			p.misdropped.Add(1)
+			p.m.misdropped.Add(1)
 		default:
-			p.sent.Add(1)
+			p.m.sent.Add(1)
 			p.post(owner, []p2p.Update{u})
 		}
 	}
-	p.forwarded.Add(uint64(len(fwd)))
+	p.m.forwarded.Add(uint64(len(fwd)))
 	return self
 }
 
@@ -317,8 +329,8 @@ func (p *HTTPPeer) post(dest p2p.PeerID, us []p2p.Update) {
 	}
 	p.rqMu.Unlock()
 	if merged > 0 {
-		p.coalesced.Add(uint64(merged))
-		p.processed.Add(uint64(merged))
+		p.m.coalesced.Add(uint64(merged))
+		p.m.processed.Add(uint64(merged))
 	}
 	p.sendMu.Lock()
 	q, ok := p.senders[dest]
@@ -365,7 +377,7 @@ func (p *HTTPPeer) postLoop(dest p2p.PeerID, q *postQueue) {
 				if url == "" {
 					// Unknown destination: account the updates as
 					// consumed so the termination probe still fires.
-					p.processed.Add(uint64(len(us)))
+					p.m.processed.Add(uint64(len(us)))
 					continue
 				}
 				seq := q.nextSeq
@@ -378,7 +390,7 @@ func (p *HTTPPeer) postLoop(dest p2p.PeerID, q *postQueue) {
 				if !delivered {
 					// Permanent rejection: account the updates as
 					// consumed so the termination probe still fires.
-					p.processed.Add(uint64(len(us)))
+					p.m.processed.Add(uint64(len(us)))
 				}
 			}
 		}
@@ -405,7 +417,7 @@ func (p *HTTPPeer) postWithRetry(q *postQueue, url string, body []byte) (deliver
 			}
 		}
 		fails++
-		p.retries.Add(1)
+		p.m.retries.Add(1)
 		select {
 		case <-p.quit:
 			return false, true

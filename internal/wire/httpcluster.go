@@ -9,6 +9,7 @@ import (
 	"dpr/internal/graph"
 	"dpr/internal/p2p"
 	"dpr/internal/rng"
+	"dpr/internal/telemetry"
 )
 
 // HTTPCluster orchestrates a full computation over HTTP peers, the
@@ -17,6 +18,12 @@ type HTTPCluster struct {
 	peers  []*HTTPPeer
 	g      *graph.Graph
 	client *http.Client
+
+	// Telemetry: one registry per peer, a shared convergence trace,
+	// and the opt-in debug listener (ClusterConfig.DebugAddr).
+	regs  []*telemetry.Registry
+	trace *telemetry.Trace
+	dbg   *telemetry.DebugServer
 }
 
 // httpObserverRetries bounds the retry loop around the cluster's own
@@ -39,17 +46,23 @@ func NewHTTPCluster(g *graph.Graph, cfg ClusterConfig) (*HTTPCluster, error) {
 		docs[pid] = append(docs[pid], graph.NodeID(d))
 	}
 	c := &HTTPCluster{g: g, client: &http.Client{Timeout: 10 * time.Second}}
+	c.trace = telemetry.NewTrace(cfg.TraceCap)
+	c.trace.SetClock(func() int64 { return time.Now().UnixNano() })
 	urls := make([]string, cfg.Peers)
 	for i := 0; i < cfg.Peers; i++ {
+		reg := telemetry.NewRegistry()
+		c.regs = append(c.regs, reg)
 		peer, err := NewHTTPPeer(PeerConfig{
-			ID:      p2p.PeerID(i),
-			Graph:   g,
-			DocPeer: docPeer,
-			Docs:    docs[i],
-			Damping: cfg.Damping,
-			Epsilon: cfg.Epsilon,
-			Retry:   cfg.Retry,
-			Client:  cfg.Client,
+			ID:       p2p.PeerID(i),
+			Graph:    g,
+			DocPeer:  docPeer,
+			Docs:     docs[i],
+			Damping:  cfg.Damping,
+			Epsilon:  cfg.Epsilon,
+			Retry:    cfg.Retry,
+			Client:   cfg.Client,
+			Registry: reg,
+			Trace:    c.trace,
 		})
 		if err != nil {
 			c.Close()
@@ -61,7 +74,33 @@ func NewHTTPCluster(g *graph.Graph, cfg ClusterConfig) (*HTTPCluster, error) {
 	for _, p := range c.peers {
 		p.SetPeers(urls)
 	}
+	if cfg.DebugAddr != "" {
+		dbg, err := telemetry.ServeDebug(cfg.DebugAddr, c.TelemetrySnapshot, c.trace)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.dbg = dbg
+	}
 	return c, nil
+}
+
+// TelemetrySnapshot merges every peer's registry into one snapshot.
+func (c *HTTPCluster) TelemetrySnapshot() telemetry.Snapshot {
+	var snap telemetry.Snapshot
+	for _, r := range c.regs {
+		snap = snap.Merge(r.Snapshot())
+	}
+	return snap
+}
+
+// DebugAddr reports the debug listener's bound address ("" when
+// disabled).
+func (c *HTTPCluster) DebugAddr() string {
+	if c.dbg == nil {
+		return ""
+	}
+	return c.dbg.Addr()
 }
 
 // Run starts the peers, waits for quiescence (two stable equal
@@ -172,8 +211,12 @@ func (c *HTTPCluster) collect(url string, out []float64) error {
 	return err
 }
 
-// Close stops every peer.
+// Close stops the debug listener (if any) and every peer.
 func (c *HTTPCluster) Close() {
+	if c.dbg != nil {
+		c.dbg.Close()
+		c.dbg = nil
+	}
 	for _, p := range c.peers {
 		if p != nil {
 			p.Close()

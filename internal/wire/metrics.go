@@ -1,0 +1,81 @@
+package wire
+
+import "dpr/internal/telemetry"
+
+// peerMetrics bundles one peer's registry-backed instruments. They
+// replace the hand-rolled atomic tallies the peers used to carry: the
+// public PeerStats shape is unchanged, but every read now goes through
+// the telemetry registry, so /metrics, the conservation tests, and the
+// end-of-run result structs all see the same numbers.
+type peerMetrics struct {
+	sent         *telemetry.Counter // update messages shipped to other peers
+	processed    *telemetry.Counter // update messages consumed (folded or coalesced)
+	retries      *telemetry.Counter // frame transmissions past a frame's first attempt
+	reconnects   *telemetry.Counter // successful re-dials after a connection loss
+	redeliveries *telemetry.Counter // frames acknowledged after more than one attempt
+	coalesced    *telemetry.Counter // updates absorbed by sender-side delta coalescing
+	dupDropped   *telemetry.Counter // duplicate frames suppressed by seq dedup
+	forwarded    *telemetry.Counter // misrouted updates re-shipped to the current owner
+	misdropped   *telemetry.Counter // updates with no resolvable owner (must stay 0)
+
+	// The conservation pair: delta mass originated versus delta mass
+	// folded. At quiescence the two must be equal (dprlint's
+	// counterflow rule keeps every mutation two-sided).
+	deltaShipped *telemetry.FloatCounter
+	deltaFolded  *telemetry.FloatCounter
+
+	// rankMass tracks the total rank currently held by this peer's
+	// ranker rows; merged across peers it is the cluster's total mass.
+	rankMass *telemetry.Gauge
+}
+
+func newPeerMetrics(reg *telemetry.Registry) peerMetrics {
+	return peerMetrics{
+		sent:         reg.Counter("wire_sent"),
+		processed:    reg.Counter("wire_processed"),
+		retries:      reg.Counter("wire_retries"),
+		reconnects:   reg.Counter("wire_reconnects"),
+		redeliveries: reg.Counter("wire_redeliveries"),
+		coalesced:    reg.Counter("wire_coalesced"),
+		dupDropped:   reg.Counter("wire_dup_dropped"),
+		forwarded:    reg.Counter("wire_forwarded"),
+		misdropped:   reg.Counter("wire_misdropped"),
+		deltaShipped: reg.FloatCounter("wire_delta_shipped"),
+		deltaFolded:  reg.FloatCounter("wire_delta_folded"),
+		rankMass:     reg.Gauge("wire_rank_mass"),
+	}
+}
+
+// stats reads the full counter set.
+func (m *peerMetrics) stats() PeerStats {
+	return PeerStats{
+		Sent:         m.sent.Load(),
+		Processed:    m.processed.Load(),
+		Retries:      m.retries.Load(),
+		Reconnects:   m.reconnects.Load(),
+		Redeliveries: m.redeliveries.Load(),
+		Coalesced:    m.coalesced.Load(),
+		DupDropped:   m.dupDropped.Load(),
+		Forwarded:    m.forwarded.Load(),
+		Misdropped:   m.misdropped.Load(),
+		DeltaShipped: m.deltaShipped.Load(),
+		DeltaFolded:  m.deltaFolded.Load(),
+	}
+}
+
+// restore overwrites every counter from a checkpoint snapshot. Used
+// only on the quiescent restore path; the Stores are idempotent, so
+// restoring into a registry retained across a crash is safe.
+func (m *peerMetrics) restore(s *PeerSnapshot) {
+	m.sent.Store(s.Sent)
+	m.processed.Store(s.Processed)
+	m.retries.Store(s.Retries)
+	m.reconnects.Store(s.Reconnects)
+	m.redeliveries.Store(s.Redeliveries)
+	m.coalesced.Store(s.Coalesced)
+	m.dupDropped.Store(s.DupDropped)
+	m.forwarded.Store(s.Forwarded)
+	m.misdropped.Store(s.Misdropped)
+	m.deltaShipped.Store(s.DeltaShipped)
+	m.deltaFolded.Store(s.DeltaFolded)
+}

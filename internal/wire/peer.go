@@ -3,16 +3,15 @@ package wire
 import (
 	"bytes"
 	"fmt"
-	"math"
 	"net"
 	"net/http"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"dpr/internal/graph"
 	"dpr/internal/p2p"
 	"dpr/internal/rng"
+	"dpr/internal/telemetry"
 )
 
 // RetryPolicy shapes the reconnect/redelivery backoff of the fault-
@@ -82,6 +81,16 @@ type PeerConfig struct {
 
 	// Client is used by HTTP peers only; nil means a default client.
 	Client *http.Client
+
+	// Registry receives the peer's instruments (wire_sent,
+	// wire_delta_shipped, ...); nil means a private registry, which
+	// Peer.Registry exposes. Cluster frontends pass one registry per
+	// peer slot and merge them into a cluster-wide snapshot.
+	Registry *telemetry.Registry
+
+	// Trace, when non-nil, receives convergence events (ship, fold,
+	// retry, reconnect) from this peer.
+	Trace *telemetry.Trace
 }
 
 // stream identifies one exactly-once delivery sequence: the sender and
@@ -146,18 +155,13 @@ type Peer struct {
 
 	restored bool // resumed from a snapshot: skip the initial push
 
-	sent      atomic.Uint64 // update messages shipped to other peers
-	processed atomic.Uint64 // update messages consumed (folded or coalesced)
-
-	retries      atomic.Uint64 // frame transmissions past a frame's first attempt
-	reconnects   atomic.Uint64 // successful re-dials after a connection loss
-	redeliveries atomic.Uint64 // frames acknowledged after more than one attempt
-	coalesced    atomic.Uint64 // updates absorbed by sender-side delta coalescing
-	dupDropped   atomic.Uint64 // duplicate frames suppressed by seq dedup
-	forwarded    atomic.Uint64 // misrouted updates re-shipped to the current owner
-	misdropped   atomic.Uint64 // updates with no resolvable owner (must stay 0)
-	deltaOutBits atomic.Uint64 // float64 bits: delta mass originated (self included)
-	deltaInBits  atomic.Uint64 // float64 bits: delta mass folded
+	// m holds the peer's registry-backed instruments; reg is the
+	// registry they live in and trace the (optional) convergence-event
+	// ring. PeerStats and the termination probe read through m, so the
+	// registry is the single source of truth for every tally.
+	m     peerMetrics
+	reg   *telemetry.Registry
+	trace *telemetry.Trace
 }
 
 // inItem is one inbox entry: a batch of updates plus, for sequenced
@@ -190,17 +194,6 @@ type shedState struct {
 	err             error
 }
 
-// addFloat accumulates v into a float64 stored as atomic bits.
-func addFloat(bits *atomic.Uint64, v float64) {
-	for {
-		old := bits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if bits.CompareAndSwap(old, next) {
-			return
-		}
-	}
-}
-
 // PeerStats is a point-in-time view of one peer's counters.
 type PeerStats struct {
 	Sent, Processed                   uint64
@@ -225,15 +218,19 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 	if cfg.Transport == nil {
 		cfg.Transport = TCPDialer()
 	}
+	if cfg.Registry == nil {
+		cfg.Registry = telemetry.NewRegistry()
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
 	}
+	m := newPeerMetrics(cfg.Registry)
 	p := &Peer{
 		cfg:     cfg,
 		tr:      cfg.Transport,
 		retry:   cfg.Retry.withDefaults(),
-		rk:      newRanker(cfg),
+		rk:      newRanker(cfg, m.rankMass),
 		ln:      ln,
 		addr:    ln.Addr().String(),
 		senders: make(map[stream]*sender),
@@ -242,6 +239,9 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		inbox:   make(chan inItem, 1024),
 		quit:    make(chan struct{}),
 		lastSeq: make(map[stream]uint64),
+		m:       m,
+		reg:     cfg.Registry,
+		trace:   cfg.Trace,
 	}
 	p.wg.Add(1)
 	go p.acceptLoop()
@@ -349,23 +349,22 @@ func (p *Peer) Kill() *PeerSnapshot {
 
 // Counters reports (sent, processed) for termination probing.
 func (p *Peer) Counters() (uint64, uint64) {
-	return p.sent.Load(), p.processed.Load()
+	return p.m.sent.Load(), p.m.processed.Load()
 }
 
-// Stats reports the peer's full counter set.
-func (p *Peer) Stats() PeerStats {
-	return PeerStats{
-		Sent:         p.sent.Load(),
-		Processed:    p.processed.Load(),
-		Retries:      p.retries.Load(),
-		Reconnects:   p.reconnects.Load(),
-		Redeliveries: p.redeliveries.Load(),
-		Coalesced:    p.coalesced.Load(),
-		DupDropped:   p.dupDropped.Load(),
-		Forwarded:    p.forwarded.Load(),
-		Misdropped:   p.misdropped.Load(),
-		DeltaShipped: math.Float64frombits(p.deltaOutBits.Load()),
-		DeltaFolded:  math.Float64frombits(p.deltaInBits.Load()),
+// Stats reports the peer's full counter set, read from the telemetry
+// registry.
+func (p *Peer) Stats() PeerStats { return p.m.stats() }
+
+// Registry exposes the registry holding this peer's instruments.
+func (p *Peer) Registry() *telemetry.Registry { return p.reg }
+
+// event records a convergence-trace event when a trace is attached.
+//
+//dpr:hotpath
+func (p *Peer) event(typ telemetry.EventType, value float64, aux int64) {
+	if p.trace != nil {
+		p.trace.Record(typ, int32(p.cfg.ID), -1, value, aux)
 	}
 }
 
@@ -531,7 +530,7 @@ func (p *Peer) consume(items []inItem) {
 		if it.seqed {
 			key := stream{src: it.from, dest: it.origDest}
 			if it.seq <= p.lastSeq[key] {
-				p.dupDropped.Add(1)
+				p.m.dupDropped.Add(1)
 				if it.ack != nil {
 					it.ack() // re-ack so the sender can discard the frame
 				}
@@ -571,8 +570,9 @@ func (p *Peer) handle(batch []p2p.Update) []p2p.Update {
 	for _, u := range fwd {
 		folded -= u.Delta
 	}
-	addFloat(&p.deltaInBits, folded)
-	p.processed.Add(uint64(len(batch)))
+	p.m.deltaFolded.Add(folded)
+	p.m.processed.Add(uint64(len(batch)))
+	p.event(telemetry.EvFold, folded, int64(len(batch)))
 	return self
 }
 
@@ -584,18 +584,24 @@ func (p *Peer) handle(batch []p2p.Update) []p2p.Update {
 // forwarded mass was counted at its origin.
 func (p *Peer) ship(out map[p2p.PeerID][]p2p.Update, originated bool) []p2p.Update {
 	var self []p2p.Update
+	shipped, n := 0.0, 0
 	for dest, us := range out {
-		p.sent.Add(uint64(len(us)))
+		p.m.sent.Add(uint64(len(us)))
 		if originated {
 			for _, u := range us {
-				addFloat(&p.deltaOutBits, u.Delta)
+				shipped += u.Delta
 			}
+			n += len(us)
 		}
 		if dest == p.cfg.ID {
 			self = append(self, us...)
 			continue
 		}
 		p.queueRemote(dest, us)
+	}
+	if originated && n > 0 {
+		p.m.deltaShipped.Add(shipped)
+		p.event(telemetry.EvShip, shipped, int64(n))
 	}
 	return self
 }
@@ -613,14 +619,14 @@ func (p *Peer) forward(fwd []p2p.Update) []p2p.Update {
 		switch {
 		case owner == p.cfg.ID && p.rk.owns(u.Doc):
 			self = append(self, u) // adopted between fold and forward
-			p.sent.Add(1)
+			p.m.sent.Add(1)
 		case owner == p.cfg.ID || owner == p2p.NoPeer:
-			p.misdropped.Add(1) // no resolvable owner; surfaced in stats
+			p.m.misdropped.Add(1) // no resolvable owner; surfaced in stats
 		default:
 			out[owner] = append(out[owner], u)
 		}
 	}
-	p.forwarded.Add(uint64(len(fwd)))
+	p.m.forwarded.Add(uint64(len(fwd)))
 	return append(self, p.ship(out, false)...)
 }
 
@@ -640,8 +646,8 @@ func (p *Peer) queueRemote(dest p2p.PeerID, us []p2p.Update) {
 	}
 	p.rqMu.Unlock()
 	if merged > 0 {
-		p.coalesced.Add(uint64(merged))
-		p.processed.Add(uint64(merged))
+		p.m.coalesced.Add(uint64(merged))
+		p.m.processed.Add(uint64(merged))
 	}
 	p.sender(stream{src: p.cfg.ID, dest: dest}).wakeUp()
 }
@@ -712,8 +718,8 @@ func (p *Peer) rerouteQueued() {
 	dests := p.rq.Dests()
 	p.rqMu.Unlock()
 	if merged > 0 {
-		p.coalesced.Add(uint64(merged))
-		p.processed.Add(uint64(merged))
+		p.m.coalesced.Add(uint64(merged))
+		p.m.processed.Add(uint64(merged))
 	}
 	// Ensure every destination holding rerouted updates has a live
 	// sender — the new owner may never have been dialed before.
@@ -896,10 +902,13 @@ func (s *sender) loop() {
 			}
 			s.mu.Lock()
 			fr.attempts++
-			if fr.attempts > 1 {
-				s.p.retries.Add(1)
-			}
+			retry := fr.attempts > 1
+			seq := fr.seq
 			s.mu.Unlock()
+			if retry {
+				s.p.m.retries.Add(1)
+				s.p.event(telemetry.EvRetry, float64(seq), int64(s.strm.dest))
+			}
 			conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 			_, err := conn.Write(fr.bytes)
 			conn.SetWriteDeadline(time.Time{})
@@ -991,8 +1000,9 @@ func (s *sender) ensureConn(fails *int) net.Conn {
 			continue
 		}
 		s.mu.Lock()
-		if s.everConn {
-			s.p.reconnects.Add(1)
+		recon := s.everConn
+		if recon {
+			s.p.m.reconnects.Add(1)
 		}
 		s.everConn = true
 		s.conn = c
@@ -1001,6 +1011,9 @@ func (s *sender) ensureConn(fails *int) net.Conn {
 			s.sendSeq = s.unacked[0].seq
 		}
 		s.mu.Unlock()
+		if recon {
+			s.p.event(telemetry.EvReconnect, 0, int64(s.strm.dest))
+		}
 		s.p.wg.Add(1)
 		go s.readAcks(c)
 		return c
@@ -1076,7 +1089,7 @@ func (s *sender) ack(seq uint64) {
 	i := 0
 	for i < len(s.unacked) && s.unacked[i].seq <= seq {
 		if s.unacked[i].attempts > 1 {
-			s.p.redeliveries.Add(1)
+			s.p.m.redeliveries.Add(1)
 		}
 		i++
 	}

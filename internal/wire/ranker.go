@@ -6,6 +6,7 @@ import (
 
 	"dpr/internal/graph"
 	"dpr/internal/p2p"
+	"dpr/internal/telemetry"
 )
 
 // ranker is the transport-independent per-peer computation: the
@@ -23,6 +24,11 @@ type ranker struct {
 	damping float64
 	epsilon float64
 
+	// mass mirrors sum(rank) into the telemetry registry: Set on
+	// (re)initialisation, Add on every fold/adopt/shed. Per-peer
+	// gauges merge into the cluster's total rank mass.
+	mass *telemetry.Gauge
+
 	mu      sync.Mutex
 	docPeer []p2p.PeerID // private copy; mutated by setOwner/adopt/shed
 	docs    []graph.NodeID
@@ -32,13 +38,14 @@ type ranker struct {
 	last    []float64
 }
 
-func newRanker(cfg PeerConfig) *ranker {
+func newRanker(cfg PeerConfig, mass *telemetry.Gauge) *ranker {
 	r := &ranker{
 		id:      cfg.ID,
 		g:       cfg.Graph,
 		docPeer: append([]p2p.PeerID(nil), cfg.DocPeer...),
 		damping: cfg.Damping,
 		epsilon: cfg.Epsilon,
+		mass:    mass,
 		docs:    append([]graph.NodeID(nil), cfg.Docs...),
 		index:   make(map[graph.NodeID]int32, len(cfg.Docs)),
 		rank:    make([]float64, len(cfg.Docs)),
@@ -49,7 +56,20 @@ func newRanker(cfg PeerConfig) *ranker {
 		r.index[d] = int32(i)
 		r.rank[i] = 1 - cfg.Damping
 	}
+	r.mass.Set(float64(len(cfg.Docs)) * (1 - cfg.Damping))
 	return r
+}
+
+// resetMass recomputes the mass gauge from the current rows; used
+// after a checkpoint restore overwrites the ranker arrays wholesale.
+func (r *ranker) resetMass() {
+	r.mu.Lock()
+	total := 0.0
+	for _, v := range r.rank {
+		total += v
+	}
+	r.mu.Unlock()
+	r.mass.Set(total)
 }
 
 // initialOut builds the initial-push batches, keyed by destination.
@@ -82,10 +102,12 @@ func (r *ranker) fold(batch []p2p.Update) (out map[p2p.PeerID][]p2p.Update, fwd 
 		touched[i] = u.Doc
 	}
 	out = make(map[p2p.PeerID][]p2p.Update)
+	massDelta := 0.0
 	for i, d := range touched {
 		old := r.rank[i]
 		fresh := (1 - r.damping) + r.acc[i]
 		r.rank[i] = fresh
+		massDelta += fresh - old
 		denom := fresh
 		if denom < 0 {
 			denom = -denom
@@ -100,6 +122,9 @@ func (r *ranker) fold(batch []p2p.Update) (out map[p2p.PeerID][]p2p.Update, fwd 
 		if diff/denom > r.epsilon {
 			r.collectLocked(i, d, out)
 		}
+	}
+	if massDelta != 0 {
+		r.mass.Add(massDelta)
 	}
 	return out, fwd
 }
@@ -170,6 +195,7 @@ func (r *ranker) setOwner(docs []graph.NodeID, owner p2p.PeerID) {
 func (r *ranker) adopt(docs []graph.NodeID, rank, acc, last []float64) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	adopted := 0.0
 	for i, d := range docs {
 		if _, dup := r.index[d]; dup {
 			continue // already ours (e.g. replayed handoff); keep our state
@@ -179,9 +205,13 @@ func (r *ranker) adopt(docs []graph.NodeID, rank, acc, last []float64) {
 		r.rank = append(r.rank, rank[i])
 		r.acc = append(r.acc, acc[i])
 		r.last = append(r.last, last[i])
+		adopted += rank[i]
 		if int(d) < len(r.docPeer) {
 			r.docPeer[d] = r.id
 		}
+	}
+	if adopted != 0 {
+		r.mass.Add(adopted)
 	}
 }
 
@@ -224,6 +254,13 @@ func (r *ranker) shed(docs []graph.NodeID, newOwner p2p.PeerID) (rank, acc, last
 		if int(d) < len(r.docPeer) {
 			r.docPeer[d] = newOwner
 		}
+	}
+	extracted := 0.0
+	for _, v := range rank {
+		extracted += v
+	}
+	if extracted != 0 {
+		r.mass.Add(-extracted)
 	}
 	return rank, acc, last, nil
 }

@@ -52,6 +52,7 @@ func (o Options) clusterConfig() wire.ClusterConfig {
 		Retry:        wire.RetryPolicy{Base: o.RetryBase, Max: o.RetryMax},
 		Heartbeat:    o.Heartbeat,
 		SuspectAfter: o.SuspectAfter,
+		DebugAddr:    o.DebugAddr,
 	}
 }
 
@@ -156,6 +157,17 @@ func (tc *TCPCluster) NumPeers() int { return tc.c.NumPeers() }
 
 // NumLive returns the number of peers currently in the membership.
 func (tc *TCPCluster) NumLive() int { return tc.c.NumLive() }
+
+// DebugAddr returns the bound address of the cluster's debug listener
+// ("" when Options.DebugAddr was empty). The listener serves /metrics,
+// /trace and /debug/pprof while the cluster is alive.
+func (tc *TCPCluster) DebugAddr() string { return tc.c.DebugAddr() }
+
+// TelemetryText renders the cluster's merged telemetry registry in the
+// plain-text exposition format served at /metrics. It stays valid
+// after Run has shut the cluster down, so a caller can dump the final
+// counters post-hoc.
+func (tc *TCPCluster) TelemetryText() string { return tc.c.TelemetryText() }
 
 // Close stops every peer.
 func (tc *TCPCluster) Close() { tc.c.Close() }
