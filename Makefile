@@ -1,7 +1,7 @@
 # Distributed Pagerank for P2P Systems — build/test/bench driver.
 GO ?= go
 
-.PHONY: all build vet lint test race chaos chaos-membership fuzz bench bench-pipeline ci
+.PHONY: all build vet lint test race chaos chaos-membership fuzz fuzz-csr bench bench-pipeline bench-check ci
 
 all: build
 
@@ -42,6 +42,11 @@ chaos-membership:
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeCheckpoint -fuzztime 30s ./internal/wire
 
+# Fuzz the compressed-graph (DPRZ) decoder: arbitrary bytes must error
+# or decode to a self-consistent graph, never panic.
+fuzz-csr:
+	$(GO) test -run '^$$' -fuzz FuzzDecodeCSR -fuzztime 30s ./internal/csr
+
 bench:
 	$(GO) test -run XXX -bench . -benchmem ./...
 
@@ -52,9 +57,13 @@ bench-pipeline:
 # Bench-regression gate: reruns the workers=1 pipeline benchmark and
 # fails on >25% drift from results/BENCH_passpipeline.json, then
 # checks the telemetry-instrumented variant stays within its <3%
-# overhead budget (results/BENCH_telemetry.json records a run).
+# overhead budget (results/BENCH_telemetry.json records a run). The
+# BigGraph gate reruns the 100k-doc workload on both adjacency
+# substrates against results/BENCH_bigraph.json: compressed payload
+# must hold <= 1.5 bytes/edge, ranks must stay bit-identical to the
+# plain representation, throughput within 25% of baseline.
 bench-check:
-	DPR_BENCH_CHECK=1 $(GO) test -run TestBenchRegressionGate -count=1 -v .
+	DPR_BENCH_CHECK=1 $(GO) test -run 'TestBenchRegressionGate|TestBigGraphRegressionGate' -count=1 -v .
 
 # Full gate: what a CI job should run.
 ci:

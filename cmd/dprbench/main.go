@@ -7,9 +7,18 @@
 //	dprbench -table quality               # section 4.3 text claims
 //	dprbench -table webscale              # section 4.6.2 estimates
 //	dprbench -table solvers               # centralized-solver ablation
+//
+// The BigGraph scaling experiment bypasses the tables: generate one
+// power-law graph at an arbitrary size, place it, and converge the
+// distributed computation through the chosen adjacency substrate:
+//
+//	dprbench -docs 10000000 -compressed                      # CSR in heap
+//	dprbench -docs 10000000 -compressed -graphfile g.dprz    # out-of-core mmap
+//	dprbench -docs 100000 -json results/BENCH_bigraph.json   # record the run
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -30,7 +39,20 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file`")
 	memprofile := flag.String("memprofile", "", "write a heap profile to `file` on exit")
 	telemetryFlag := flag.Bool("telemetry", false, "record pass telemetry (residual decay, docs/sec) and dump the registry on exit")
+	docs := flag.Int("docs", 0, "run the BigGraph scaling experiment at this document count instead of the tables")
+	compressedFlag := flag.Bool("compressed", false, "BigGraph: use the compressed delta-varint CSR substrate")
+	workers := flag.Int("workers", 0, "BigGraph: pass-engine workers (0 serial, -1 GOMAXPROCS)")
+	graphFile := flag.String("graphfile", "", "BigGraph: write the compressed graph to this DPRZ file and solve from a read-only mapping of it")
+	jsonOut := flag.String("json", "", "BigGraph: merge the run into this JSON file, keyed by docs+substrate")
 	flag.Parse()
+
+	if *docs > 0 {
+		if err := runBigGraph(*docs, *workers, *seed, *compressedFlag, *graphFile, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "dprbench: biggraph: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	// Profiling hooks so hot-path regressions are diagnosable without
 	// editing code: dprbench -table 1 -cpuprofile cpu.pprof, then
@@ -244,4 +266,77 @@ func main() {
 	dumpTelemetry()
 	stopProfiles()
 	writeHeap()
+}
+
+// bigBenchFile is the shape of results/BENCH_bigraph.json: a run per
+// (docs, substrate) key, merged across invocations so one file
+// accumulates the whole scaling story.
+type bigBenchFile struct {
+	Benchmark string                                `json:"benchmark"`
+	Hardware  map[string]any                        `json:"hardware"`
+	Runs      map[string]experiments.BigGraphResult `json:"runs"`
+}
+
+// runBigGraph executes one BigGraph run, prints a summary, and merges
+// the result into the -json file when given.
+func runBigGraph(docs, workers int, seed uint64, compressed bool, graphFile, jsonOut string) error {
+	cfg := experiments.BigGraphConfig{
+		Docs:       docs,
+		Workers:    workers,
+		Seed:       seed,
+		Compressed: compressed,
+		GraphFile:  graphFile,
+		Clock:      func() int64 { return time.Now().UnixNano() },
+	}
+	res, err := experiments.BigGraph(cfg)
+	if err != nil {
+		return err
+	}
+	substrate := "plain"
+	switch {
+	case res.MmapBacked:
+		substrate = "csr_mmap"
+	case compressed:
+		substrate = "csr"
+	}
+	fmt.Printf("biggraph %s: %d docs, %d edges\n", substrate, res.Docs, res.Edges)
+	fmt.Printf("  generate: %.2fs (%.1fM edges/sec)\n",
+		float64(res.GenNanos)*1e-9, res.GenEdgesPerSec/1e6)
+	fmt.Printf("  space:    %.3f payload bytes/edge, %.3f with metadata (plain: 4.000)\n",
+		res.BytesPerEdge, res.TotalBytesPerEdge)
+	fmt.Printf("  solve:    %d passes in %.2fs (%.1fM updates/sec)\n",
+		res.Passes, float64(res.SolveNanos)*1e-9, res.SolveUpdatesPerSec/1e6)
+	fmt.Printf("  rankhash: %016x\n", res.RankHash)
+
+	if jsonOut == "" {
+		return nil
+	}
+	file := bigBenchFile{
+		Benchmark: "BigGraph scaling (cmd/dprbench -docs N [-compressed] [-graphfile F])",
+		Runs:      make(map[string]experiments.BigGraphResult),
+	}
+	if raw, err := os.ReadFile(jsonOut); err == nil {
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("parsing existing %s: %w", jsonOut, err)
+		}
+	}
+	file.Hardware = map[string]any{
+		"cpus":       runtime.NumCPU(),
+		"gomaxprocs": runtime.GOMAXPROCS(0),
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+	}
+	if file.Runs == nil {
+		file.Runs = make(map[string]experiments.BigGraphResult)
+	}
+	file.Runs[fmt.Sprintf("%d_%s", docs, substrate)] = res
+	out, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("  recorded: %s (key %d_%s)\n", jsonOut, docs, substrate)
+	return nil
 }

@@ -147,10 +147,14 @@ func (e *AsyncEngine) settleCredit(n int) {
 func (e *AsyncEngine) peerLoop(self p2p.PeerID, quit <-chan struct{}, wg *sync.WaitGroup) {
 	defer wg.Done()
 	out := make(map[p2p.PeerID][]p2p.Update)
+	// Each peer goroutine reads adjacency through its own cursor;
+	// compressed representations decode into per-cursor buffers, so
+	// sharing one across goroutines would race.
+	cur := graph.CursorFor(e.g)
 
 	// Initial push (the "At time = 0" block of Figure 1).
 	for _, d := range e.net.Docs(self) {
-		e.pushAsync(self, d, out)
+		e.pushAsync(self, cur, d, out)
 	}
 	e.flush(self, out)
 	e.settleCredit(1) // the seed unit for this peer's initial work
@@ -174,7 +178,7 @@ func (e *AsyncEngine) peerLoop(self p2p.PeerID, quit <-chan struct{}, wg *sync.W
 			for d := range dirtyDocs {
 				old, new := e.st.recompute(d)
 				if e.st.exceeds(old, new) {
-					e.pushAsync(self, d, out)
+					e.pushAsync(self, cur, d, out)
 				}
 			}
 			e.flush(self, out)
@@ -187,8 +191,8 @@ func (e *AsyncEngine) peerLoop(self p2p.PeerID, quit <-chan struct{}, wg *sync.W
 // outboxes. Same-peer updates loop back through the peer's own mailbox
 // so all processing shares one path; they are counted as intra-peer
 // (free) messages.
-func (e *AsyncEngine) pushAsync(self p2p.PeerID, d graph.NodeID, out map[p2p.PeerID][]p2p.Update) {
-	links := e.g.OutLinks(d)
+func (e *AsyncEngine) pushAsync(self p2p.PeerID, cur graph.LinkCursor, d graph.NodeID, out map[p2p.PeerID][]p2p.Update) {
+	links := cur.OutLinks(d)
 	if len(links) == 0 {
 		e.st.markPushed(d)
 		return

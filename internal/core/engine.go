@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"dpr/internal/graph"
 	"dpr/internal/p2p"
@@ -42,6 +43,11 @@ type PassEngine struct {
 	net   *p2p.Network
 	churn *p2p.Churn
 	retry *p2p.RetryQueue
+
+	// cur is the serial paths' adjacency read cursor (push, maybeInit,
+	// FlushPending). Chunk workers carry their own in chunkScratch; this
+	// one is only touched from the engine's calling goroutine.
+	cur graph.LinkCursor
 
 	incoming    []float64 // deltas awaiting the next pass
 	dirty       []bool
@@ -106,6 +112,7 @@ func NewPassEngine(g graph.Linker, net *p2p.Network, churn *p2p.Churn, opt Optio
 	n := g.NumNodes()
 	e := &PassEngine{
 		st:          newState(g, opt),
+		cur:         graph.CursorFor(g),
 		net:         net,
 		churn:       churn,
 		retry:       p2p.NewRetryQueue(),
@@ -206,7 +213,7 @@ func (e *PassEngine) pendingDocs() int {
 
 // push propagates document d's unsent rank change to its out-links.
 func (e *PassEngine) push(d graph.NodeID) {
-	links := e.st.g.OutLinks(d)
+	links := e.cur.OutLinks(d)
 	if len(links) == 0 {
 		e.st.markPushed(d)
 		return
@@ -249,12 +256,33 @@ func (e *PassEngine) RunPass() PassStats {
 	// generated below (initial pushes and propagation) are delivered
 	// at the pass boundary, i.e. processed next pass. Redelivered
 	// retry traffic above was sent in an earlier pass, so it is
-	// visible now. The list is the shard-major concatenation of the
-	// per-shard dirty lists, rebuilt into a pass-reused buffer.
+	// visible now. The list is rebuilt in ascending document order
+	// into a pass-reused buffer: chunk workers then sweep adjacency in
+	// document order, so block-decoding cursors (internal/csr)
+	// amortize one decode across every dirty document in a block
+	// instead of re-decoding per seek, and the plain representation
+	// gets sequential access too. Dense passes (the common early ones)
+	// read the order straight off the dirty flags with one sequential
+	// scan; sparse passes sort the per-shard lists, whose shard-major
+	// concatenation is the same ascending order. Both are
+	// deterministic and worker-count independent, so the determinism
+	// contract is unaffected.
 	work := e.pipe.work[:0]
-	for s := range e.dirtyShard {
-		work = append(work, e.dirtyShard[s]...)
-		e.dirtyShard[s] = e.dirtyShard[s][:0]
+	if e.pendingDocs() >= len(e.dirty)/16 {
+		for d, isDirty := range e.dirty {
+			if isDirty {
+				work = append(work, graph.NodeID(d))
+			}
+		}
+		for s := range e.dirtyShard {
+			e.dirtyShard[s] = e.dirtyShard[s][:0]
+		}
+	} else {
+		for s := range e.dirtyShard {
+			slices.Sort(e.dirtyShard[s])
+			work = append(work, e.dirtyShard[s]...)
+			e.dirtyShard[s] = e.dirtyShard[s][:0]
+		}
 	}
 	e.pipe.work = work
 

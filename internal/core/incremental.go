@@ -102,6 +102,7 @@ func MeasureInsertPropagation(g graph.Linker, start graph.NodeID, initial, dampi
 	}
 	res := PropagationResult{}
 	covered := make(map[graph.NodeID]struct{})
+	cur := graph.CursorFor(g)
 	// current holds per-document increments at this hop depth.
 	current := map[graph.NodeID]float64{start: initial}
 	depth := 0
@@ -113,7 +114,7 @@ func MeasureInsertPropagation(g graph.Linker, start graph.NodeID, initial, dampi
 			if math.Abs(inc) <= eps {
 				continue // below threshold: no further messages
 			}
-			links := g.OutLinks(d)
+			links := cur.OutLinks(d)
 			if len(links) == 0 {
 				continue
 			}

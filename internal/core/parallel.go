@@ -110,9 +110,15 @@ func (o *chunkOutbox) reset() {
 // chunk's bucket, valid while the stamped epoch matches. One packed
 // word means one random cache touch per edge instead of two, and
 // bumping epoch resets the whole index in O(1) between chunks.
+//
+// cur is the worker's private adjacency read cursor: compressed
+// representations (internal/csr) decode blocks into a per-cursor
+// buffer, so each chunk worker streams its own decode-ahead state
+// instead of allocating a fresh slice per OutLinks call.
 type chunkScratch struct {
 	mark  []uint64
 	epoch uint32
+	cur   graph.LinkCursor
 }
 
 func (sc *chunkScratch) nextEpoch() {
@@ -267,7 +273,7 @@ func (e *PassEngine) computeChunk(chunk []graph.NodeID, out *chunkOutbox, sc *ch
 //
 //dpr:hotpath
 func (e *PassEngine) coalescePush(d graph.NodeID, out *chunkOutbox, sc *chunkScratch) {
-	links := e.st.g.OutLinks(d)
+	links := sc.cur.OutLinks(d)
 	if len(links) == 0 {
 		e.st.markPushed(d)
 		return
@@ -383,6 +389,9 @@ func (e *PassEngine) scratchFor(w int) *chunkScratch {
 		e.pipe.scratch = append(e.pipe.scratch, &chunkScratch{})
 	}
 	sc := e.pipe.scratch[w]
+	if sc.cur == nil {
+		sc.cur = graph.CursorFor(e.st.g)
+	}
 	if n := len(e.incoming); len(sc.mark) < n {
 		sc.mark = make([]uint64, n)
 		sc.epoch = 0

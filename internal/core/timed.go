@@ -33,6 +33,10 @@ type TimedEngine struct {
 	net *p2p.Network
 	opt TimedOptions
 
+	// cur is the adjacency read cursor; the event loop is single-
+	// threaded, so one cursor serves every simulated peer.
+	cur graph.LinkCursor
+
 	sim     simnet.Sim
 	uplinks []*simnet.Uplink
 	peers   []timedPeer
@@ -137,7 +141,7 @@ func NewTimedEngine(g graph.Linker, net *p2p.Network, opt TimedOptions) (*TimedE
 			return nil, fmt.Errorf("core: document %d is not placed on any peer", d)
 		}
 	}
-	e := &TimedEngine{st: newState(g, opt.Options), net: net, opt: opt}
+	e := &TimedEngine{st: newState(g, opt.Options), cur: graph.CursorFor(g), net: net, opt: opt}
 	e.uplinks = make([]*simnet.Uplink, net.NumPeers())
 	e.peers = make([]timedPeer, net.NumPeers())
 	for i := range e.uplinks {
@@ -236,7 +240,7 @@ func (e *TimedEngine) processTick(self p2p.PeerID) {
 
 // collect batches document d's pending delta per destination peer.
 func (e *TimedEngine) collect(self p2p.PeerID, d graph.NodeID, out map[p2p.PeerID][]p2p.Update) {
-	links := e.st.g.OutLinks(d)
+	links := e.cur.OutLinks(d)
 	if len(links) == 0 {
 		e.st.markPushed(d)
 		return

@@ -1,0 +1,337 @@
+// Package csr implements the compressed graph substrate: a
+// source-relative, nibble-varint-encoded compressed-sparse-row
+// representation of the document-link graph, small enough that
+// paper-scale and beyond (10M-100M documents) fits comfortably in —
+// or, file-backed, mostly out of — RAM.
+//
+// Layout. Nodes are grouped into fixed blocks of 64. Per node the
+// payload holds its sorted target list split around the node's own id:
+// first a count k of targets below the source, then the k distances
+// walking down from the source (closest first), then the remaining
+// distances walking up. Distances are encoded minus one (consecutive
+// targets are distinct) as nibble varints — 3 data bits plus a
+// continuation bit per half-byte — so the neighborhood links that
+// dominate generated graphs cost one or two nibbles each, while rare
+// long-range links spend five or six. Degrees live outside the payload
+// in a uint16-per-node array (an escape value spills the rare >= 65535
+// degrees to a sorted side table), and a block-skip index stores the
+// payload nibble offset of every block's first node. A cursor seek
+// therefore costs one index lookup plus at most one 64-node block
+// decode, and sequential sweeps — the pass pipeline's shard-major work
+// lists — decode each block once.
+//
+// The representation implements graph.Linker and graph.CursorLinker,
+// so every engine runs on it unchanged, and decode emits each target
+// list in ascending id order — the package-wide adjacency invariant —
+// which keeps ranks bit-identical with the uncompressed
+// representation. Hot loops obtain per-worker Cursors that stream
+// adjacency blocks through a reused buffer with zero steady-state
+// allocations.
+//
+// The same sections serialize to a file (magic "DPRZ") whose payload
+// is memory-mapped on Linux, so a graph bigger than RAM pages in on
+// demand instead of residing on the heap.
+package csr
+
+import (
+	"fmt"
+	"slices"
+
+	"dpr/internal/graph"
+)
+
+const (
+	// blockShift sets the skip-index granularity: 64 nodes per block
+	// balances index overhead (one offset per block, ~0.13 bytes/node)
+	// against worst-case random-seek decode work.
+	blockShift = 6
+	blockNodes = 1 << blockShift
+	blockMask  = blockNodes - 1
+
+	// degEscape in the uint16 degree array redirects to the bigDeg
+	// side table.
+	degEscape = 0xFFFF
+)
+
+func numBlocks(n int) int { return (n + blockNodes - 1) >> blockShift }
+
+// bigDegEntry records one node whose out-degree overflows uint16.
+type bigDegEntry struct {
+	node int32
+	deg  int32
+}
+
+// Graph is an immutable compressed document graph. It satisfies
+// graph.Linker (and graph.CursorLinker), so engines accept it wherever
+// they accept the uncompressed representation.
+type Graph struct {
+	n        int
+	m        int64
+	deg      []uint16      // per-node out-degree, degEscape spills to bigDeg
+	bigDeg   []bigDegEntry // sorted by node id
+	blockOff []int64       // numBlocks+1 payload nibble offsets
+	payload  []byte        // nibble stream, low nibble of each byte first
+	closer   func() error  // unmaps a file-backed payload; nil in-memory
+}
+
+// NumNodes returns the number of documents.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of links.
+func (g *Graph) NumEdges() int64 { return g.m }
+
+// OutDegree returns the number of out-links of v in O(1).
+func (g *Graph) OutDegree(v graph.NodeID) int {
+	if d := g.deg[v]; d != degEscape {
+		return int(d)
+	}
+	i, ok := slices.BinarySearchFunc(g.bigDeg, int32(v), func(e bigDegEntry, node int32) int {
+		return int(e.node - node)
+	})
+	if !ok {
+		panic(fmt.Sprintf("csr: degree escape for node %d without side-table entry", v))
+	}
+	return int(g.bigDeg[i].deg)
+}
+
+// readNibVar decodes one nibble varint at nibble index p of data,
+// returning the value and the advanced index.
+func readNibVar(data []byte, p int64) (uint64, int64) {
+	var x uint64
+	var shift uint
+	for {
+		nb := data[p>>1] >> (uint(p&1) << 2) & 0xF
+		p++
+		x |= uint64(nb&7) << shift
+		if nb < 8 {
+			return x, p
+		}
+		shift += 3
+	}
+}
+
+// skipNibVars advances past count varints starting at nibble index p.
+func skipNibVars(data []byte, p int64, count int) int64 {
+	for ; count > 0; count-- {
+		for data[p>>1]>>(uint(p&1)<<2)&0x8 != 0 {
+			p++
+		}
+		p++
+	}
+	return p
+}
+
+// decodeInto decodes node v's target list starting at nibble index p
+// into dst (len = OutDegree(v)), returning the advanced index. Output
+// is ascending: the below-source distances fill dst backwards from the
+// split point, the above-source distances forwards.
+func (g *Graph) decodeInto(v graph.NodeID, p int64, dst []graph.NodeID) int64 {
+	if len(dst) == 0 {
+		return p
+	}
+	data := g.payload
+	k, p := readNibVar(data, p)
+	t := v
+	for j := k; j > 0; j-- {
+		var x uint64
+		x, p = readNibVar(data, p)
+		t -= graph.NodeID(x) + 1
+		dst[j-1] = t
+	}
+	t = v
+	for j := int(k); j < len(dst); j++ {
+		var x uint64
+		x, p = readNibVar(data, p)
+		t += graph.NodeID(x) + 1
+		dst[j] = t
+	}
+	return p
+}
+
+// OutLinks returns the out-links of v in ascending id order. This is
+// the generic (allocating) Linker path: it decodes node v into a fresh
+// slice on every call so it stays safe for concurrent readers. Hot
+// loops should use a per-worker Cursor instead.
+func (g *Graph) OutLinks(v graph.NodeID) []graph.NodeID {
+	d := g.OutDegree(v)
+	if d == 0 {
+		return nil
+	}
+	out := make([]graph.NodeID, d)
+	b := int(v) >> blockShift
+	p := g.blockOff[b]
+	for u := b << blockShift; u < int(v); u++ {
+		if du := g.OutDegree(graph.NodeID(u)); du > 0 {
+			p = skipNibVars(g.payload, p, du+1) // count varint + gaps
+		}
+	}
+	g.decodeInto(v, p, out)
+	return out
+}
+
+// Close releases a file-backed graph's mapping. It is a no-op for
+// in-memory graphs and safe to call more than once.
+func (g *Graph) Close() error {
+	if g.closer == nil {
+		return nil
+	}
+	c := g.closer
+	g.closer = nil
+	// Drop the mapped section so a use-after-close faults loudly via a
+	// nil slice instead of touching unmapped pages.
+	g.payload = nil
+	return c()
+}
+
+// PayloadBytes returns the size of the nibble-varint adjacency stream
+// — the compressed counterpart of the uncompressed representation's
+// 4-byte-per-edge outAdj array.
+func (g *Graph) PayloadBytes() int64 { return int64(len(g.payload)) }
+
+// IndexBytes returns the size of the per-node metadata: the degree
+// array, the big-degree side table and the block-skip index (the
+// counterpart of the uncompressed outStart array, which is likewise
+// excluded from the classic bytes-per-edge accounting).
+func (g *Graph) IndexBytes() int64 {
+	return int64(2*len(g.deg) + 8*len(g.bigDeg) + 8*len(g.blockOff))
+}
+
+// BytesPerEdge returns adjacency payload bytes per edge.
+func (g *Graph) BytesPerEdge() float64 {
+	if g.m == 0 {
+		return 0
+	}
+	return float64(g.PayloadBytes()) / float64(g.m)
+}
+
+// TotalBytesPerEdge returns (payload + metadata) bytes per edge.
+func (g *Graph) TotalBytesPerEdge() float64 {
+	if g.m == 0 {
+		return 0
+	}
+	return float64(g.PayloadBytes()+g.IndexBytes()) / float64(g.m)
+}
+
+// NewCursor returns a fresh decode cursor. Each concurrent reader
+// needs its own.
+func (g *Graph) NewCursor() graph.LinkCursor { return &Cursor{g: g, block: -1} }
+
+var (
+	_ graph.Linker       = (*Graph)(nil)
+	_ graph.CursorLinker = (*Graph)(nil)
+)
+
+// Cursor is a sequential decode handle: it caches the most recently
+// decoded block, so a sweep in (quasi-)ascending node order — the pass
+// pipeline's shard-major work lists — decodes each block exactly once
+// and serves the nodes inside it as O(1) slice views. Seeking costs one
+// block-skip index lookup plus one 64-node block decode. Not safe for
+// concurrent use; the slice returned by OutLinks is valid until the
+// next OutLinks call.
+type Cursor struct {
+	g     *Graph
+	block int            // currently decoded block, -1 when empty
+	buf   []graph.NodeID // decoded targets of the current block
+	ends  [blockNodes + 1]int32
+}
+
+// OutLinks returns the out-links of v in ascending id order, decoding
+// v's block if it is not the one already cached.
+//
+//dpr:hotpath
+func (c *Cursor) OutLinks(v graph.NodeID) []graph.NodeID {
+	b := int(v) >> blockShift
+	if b != c.block {
+		c.loadBlock(b)
+	}
+	i := int(v) & blockMask
+	return c.buf[c.ends[i]:c.ends[i+1]]
+}
+
+// loadBlock decodes every node of block b into the cursor's reused
+// buffer. Steady-state it allocates nothing: the buffer grows (via the
+// cold grow helper) to the heaviest block seen and is reused after.
+// The varint loops are manually unrolled into the function — a
+// per-nibble call would dominate the decode cost.
+//
+//dpr:hotpath
+func (c *Cursor) loadBlock(b int) {
+	g := c.g
+	base := b << blockShift
+	hi := base + blockNodes
+	if hi > g.n {
+		hi = g.n
+	}
+	tot := 0
+	for v := base; v < hi; v++ {
+		tot += g.OutDegree(graph.NodeID(v))
+	}
+	if cap(c.buf) < tot {
+		c.grow(tot)
+	}
+	buf := c.buf[:tot]
+	data := g.payload
+	p := g.blockOff[b]
+	w := int32(0)
+	for i, v := 0, base; v < hi; i, v = i+1, v+1 {
+		d := int32(g.OutDegree(graph.NodeID(v)))
+		if d == 0 {
+			c.ends[i+1] = w
+			continue
+		}
+		segStart := w
+		var k uint64
+		var shift uint
+		for {
+			nb := data[p>>1] >> (uint(p&1) << 2) & 0xF
+			p++
+			k |= uint64(nb&7) << shift
+			if nb < 8 {
+				break
+			}
+			shift += 3
+		}
+		t := graph.NodeID(v)
+		for j := int32(k); j > 0; j-- {
+			var x uint64
+			shift = 0
+			for {
+				nb := data[p>>1] >> (uint(p&1) << 2) & 0xF
+				p++
+				x |= uint64(nb&7) << shift
+				if nb < 8 {
+					break
+				}
+				shift += 3
+			}
+			t -= graph.NodeID(x) + 1
+			buf[segStart+j-1] = t
+		}
+		t = graph.NodeID(v)
+		for j := int32(k); j < d; j++ {
+			var x uint64
+			shift = 0
+			for {
+				nb := data[p>>1] >> (uint(p&1) << 2) & 0xF
+				p++
+				x |= uint64(nb&7) << shift
+				if nb < 8 {
+					break
+				}
+				shift += 3
+			}
+			t += graph.NodeID(x) + 1
+			buf[segStart+j] = t
+		}
+		w = segStart + d
+		c.ends[i+1] = w
+	}
+	c.buf = buf
+	c.block = b
+}
+
+// grow is loadBlock's cold path: replace the decode buffer with one
+// that fits tot targets.
+func (c *Cursor) grow(tot int) {
+	c.buf = make([]graph.NodeID, 0, tot)
+}

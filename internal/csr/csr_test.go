@@ -1,0 +1,322 @@
+package csr
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"slices"
+	"testing"
+	"testing/quick"
+
+	"dpr/internal/graph"
+)
+
+// sameAdjacency reports whether two linkers expose identical per-node
+// target lists through the generic OutLinks path (nil and empty lists
+// compare equal).
+func sameAdjacency(a, b graph.Linker) bool {
+	if a.NumNodes() != b.NumNodes() {
+		return false
+	}
+	for v := 0; v < a.NumNodes(); v++ {
+		if !slices.Equal(a.OutLinks(graph.NodeID(v)), b.OutLinks(graph.NodeID(v))) {
+			return false
+		}
+	}
+	return true
+}
+
+// requireSame asserts two linkers expose identical structure through
+// both the generic path and a cursor sweep.
+func requireSame(t *testing.T, want graph.Linker, got *Graph) {
+	t.Helper()
+	if got.NumNodes() != want.NumNodes() {
+		t.Fatalf("NumNodes = %d, want %d", got.NumNodes(), want.NumNodes())
+	}
+	var wantEdges int64
+	cur := got.NewCursor()
+	for v := 0; v < want.NumNodes(); v++ {
+		id := graph.NodeID(v)
+		wl := want.OutLinks(id)
+		wantEdges += int64(len(wl))
+		if d := got.OutDegree(id); d != len(wl) {
+			t.Fatalf("node %d: OutDegree = %d, want %d", v, d, len(wl))
+		}
+		if gl := got.OutLinks(id); !slices.Equal(gl, wl) {
+			t.Fatalf("node %d: OutLinks = %v, want %v", v, gl, wl)
+		}
+		if cl := cur.OutLinks(id); !slices.Equal(cl, wl) {
+			t.Fatalf("node %d: cursor OutLinks = %v, want %v", v, cl, wl)
+		}
+	}
+	if got.NumEdges() != wantEdges {
+		t.Fatalf("NumEdges = %d, want %d", got.NumEdges(), wantEdges)
+	}
+}
+
+func TestFromLinkerRoundtrip(t *testing.T) {
+	src := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(5000, 42))
+	cg, err := FromLinker(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSame(t, src, cg)
+}
+
+func TestGenerateMatchesUncompressed(t *testing.T) {
+	cfg := graph.DefaultPowerLawConfig(20000, 7)
+	plain, plainStats, err := graph.GeneratePowerLawStats(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, stats, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats != plainStats {
+		t.Fatalf("GenStats diverge: compressed %+v, uncompressed %+v", stats, plainStats)
+	}
+	requireSame(t, plain, cg)
+}
+
+func TestGenStatsBounds(t *testing.T) {
+	cfg := graph.DefaultPowerLawConfig(20000, 7)
+	g, stats, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Nodes != cfg.Nodes {
+		t.Fatalf("stats.Nodes = %d, want %d", stats.Nodes, cfg.Nodes)
+	}
+	if stats.Edges != g.NumEdges() {
+		t.Fatalf("stats.Edges = %d, graph has %d", stats.Edges, g.NumEdges())
+	}
+	if stats.Edges+stats.DroppedEdges != stats.WantEdges {
+		t.Fatalf("edge accounting broken: %d emitted + %d dropped != %d wanted",
+			stats.Edges, stats.DroppedEdges, stats.WantEdges)
+	}
+	if stats.MaxOutDegree > 1000 {
+		t.Fatalf("MaxOutDegree %d exceeds default cap", stats.MaxOutDegree)
+	}
+	// At 20k nodes and max degree 1000 the sampler has plenty of head
+	// room: saturation should be zero-to-negligible.
+	if frac := float64(stats.DroppedEdges) / float64(stats.WantEdges); frac > 0.001 {
+		t.Fatalf("dropped %.2f%% of edges, generator saturating", 100*frac)
+	}
+	if stats.Saturated() != (stats.SaturatedNodes > 0) {
+		t.Fatal("Saturated() disagrees with SaturatedNodes")
+	}
+}
+
+// TestCompressionRatio pins the acceptance target: the 100k power-law
+// workload must compress to at most 1.5 payload bytes per edge against
+// the uncompressed representation's fixed 4.
+func TestCompressionRatio(t *testing.T) {
+	g, _, err := Generate(graph.DefaultPowerLawConfig(100000, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bpe := g.BytesPerEdge(); bpe > 1.5 {
+		t.Fatalf("payload = %.3f bytes/edge, want <= 1.5", bpe)
+	}
+	if tbpe := g.TotalBytesPerEdge(); tbpe > 3.0 {
+		t.Fatalf("payload+metadata = %.3f bytes/edge, want well under uncompressed 4", tbpe)
+	}
+}
+
+func TestEncoderRejectsBadInput(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		v       graph.NodeID
+		targets []graph.NodeID
+	}{
+		{"out of order node", 1, nil},
+		{"unsorted targets", 0, []graph.NodeID{3, 2}},
+		{"duplicate targets", 0, []graph.NodeID{2, 2}},
+		{"self loop", 0, []graph.NodeID{0}},
+		{"out of range target", 0, []graph.NodeID{99}},
+	} {
+		enc := NewEncoder(4)
+		if err := enc.Add(tc.v, tc.targets); err == nil {
+			t.Errorf("%s: Add accepted %v for node %d", tc.name, tc.targets, tc.v)
+		}
+	}
+	enc := NewEncoder(4)
+	if err := enc.Add(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.Finish(); err == nil {
+		t.Error("Finish accepted an encoder with missing nodes")
+	}
+}
+
+func TestBigDegreeEscape(t *testing.T) {
+	// Node 0 links to every other node: degree n-1 >= 65535 exercises
+	// the uint16 escape and side table.
+	const n = degEscape + 2
+	enc := NewEncoder(n)
+	targets := make([]graph.NodeID, n-1)
+	for i := range targets {
+		targets[i] = graph.NodeID(i + 1)
+	}
+	if err := enc.Add(0, targets); err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < n; v++ {
+		if err := enc.Add(graph.NodeID(v), []graph.NodeID{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g, err := enc.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := g.OutDegree(0); d != n-1 {
+		t.Fatalf("OutDegree(0) = %d, want %d", d, n-1)
+	}
+	if links := g.OutLinks(0); !slices.Equal(links, targets) {
+		t.Fatal("OutLinks(0) corrupted through the degree escape")
+	}
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "big.dprz")
+	if err := g.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	requireSame(t, g, loaded)
+}
+
+func TestFileRoundtrip(t *testing.T) {
+	src := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(3000, 11))
+	cg, err := FromLinker(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.dprz")
+	if err := cg.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	mapped, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSame(t, src, mapped)
+	if err := mapped.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mapped.Close(); err != nil {
+		t.Fatal("second Close not a no-op:", err)
+	}
+
+	heap, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSame(t, src, heap)
+}
+
+func TestDecodeBytesRejectsCorruption(t *testing.T) {
+	src := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(500, 3))
+	cg, err := FromLinker(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.dprz")
+	if err := cg.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBytes(good); err != nil {
+		t.Fatal("pristine image rejected:", err)
+	}
+	if _, err := DecodeBytes(good[:len(good)-1]); err == nil {
+		t.Error("truncated image accepted")
+	}
+	if _, err := DecodeBytes(nil); err == nil {
+		t.Error("empty image accepted")
+	}
+	// Flip every byte one at a time through the header and metadata,
+	// and a sample of payload bytes: decode must error or roundtrip,
+	// never panic (the fuzz target extends this to arbitrary inputs).
+	for i := 0; i < len(good); i += 1 + i/16 {
+		mut := slices.Clone(good)
+		mut[i] ^= 0xFF
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("DecodeBytes panicked on flipped byte %d: %v", i, r)
+				}
+			}()
+			DecodeBytes(mut)
+		}()
+	}
+}
+
+// TestQuickRoundtrip drives random adjacency structures through
+// encode/decode and demands exact reconstruction.
+func TestQuickRoundtrip(t *testing.T) {
+	f := func(seed int64, rawN uint16) bool {
+		n := int(rawN)%200 + 2
+		r := rand.New(rand.NewSource(seed))
+		b := graph.NewBuilder(n)
+		for e := 3 * n; e > 0; e-- {
+			from := graph.NodeID(r.Intn(n))
+			to := graph.NodeID(r.Intn(n))
+			if from != to {
+				b.AddEdge(from, to)
+			}
+		}
+		src := b.Build()
+		cg, err := FromLinker(src)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if !sameAdjacency(src, cg) {
+			return false
+		}
+		// And through the file image.
+		path := filepath.Join(t.TempDir(), "q.dprz")
+		if err := cg.WriteFile(path); err != nil {
+			t.Log(err)
+			return false
+		}
+		loaded, err := LoadFile(path)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return sameAdjacency(src, loaded)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCursorSeeks exercises out-of-order access: every pattern of
+// block-local and cross-block seeks must agree with the generic path.
+func TestCursorSeeks(t *testing.T) {
+	src := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(1000, 5))
+	cg, err := FromLinker(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := cg.NewCursor()
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		v := graph.NodeID(r.Intn(1000))
+		if !slices.Equal(cur.OutLinks(v), src.OutLinks(v)) {
+			t.Fatalf("cursor diverges at node %d after %d seeks", v, i)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+package csr
+
+import (
+	"fmt"
+	"slices"
+	"sort"
+
+	"dpr/internal/graph"
+)
+
+// Encoder assembles a compressed Graph one node at a time, in node id
+// order, which is exactly the shape graph.StreamPowerLaw emits — so a
+// 10M+ document graph encodes as it generates, without a materialized
+// edge list in between.
+type Encoder struct {
+	n        int
+	next     int // id the next Add must supply
+	m        int64
+	nib      int64 // nibbles written so far
+	deg      []uint16
+	bigDeg   []bigDegEntry
+	blockOff []int64
+	payload  []byte
+}
+
+// NewEncoder returns an encoder for a graph with n nodes. Call Add for
+// each node 0..n-1 in order, then Finish.
+func NewEncoder(n int) *Encoder {
+	if n < 0 {
+		panic("csr: NewEncoder with negative n")
+	}
+	return &Encoder{
+		n:        n,
+		deg:      make([]uint16, n),
+		blockOff: make([]int64, numBlocks(n)+1),
+	}
+}
+
+// putVar appends x as a nibble varint: 3 data bits per nibble, low
+// group first, high bit of the nibble set while more groups follow.
+func (e *Encoder) putVar(x uint64) {
+	for {
+		nb := byte(x & 7)
+		x >>= 3
+		if x != 0 {
+			nb |= 8
+		}
+		if e.nib&1 == 0 {
+			e.payload = append(e.payload, nb)
+		} else {
+			e.payload[len(e.payload)-1] |= nb << 4
+		}
+		e.nib++
+		if x == 0 {
+			return
+		}
+	}
+}
+
+// Add appends node v's target list. Nodes must arrive in ascending id
+// order without gaps (absent nodes have an empty list — pass nil).
+// Targets must be strictly ascending, in range, and exclude v itself;
+// violations return an error rather than corrupting the stream. The
+// targets slice is not retained.
+func (e *Encoder) Add(v graph.NodeID, targets []graph.NodeID) error {
+	if int(v) != e.next {
+		return fmt.Errorf("csr: Add(%d) out of order, want node %d", v, e.next)
+	}
+	if int(v)&blockMask == 0 {
+		e.blockOff[int(v)>>blockShift] = e.nib
+	}
+	e.next++
+	d := len(targets)
+	if d >= degEscape {
+		e.deg[v] = degEscape
+		e.bigDeg = append(e.bigDeg, bigDegEntry{node: int32(v), deg: int32(d)})
+	} else {
+		e.deg[v] = uint16(d)
+	}
+	if d == 0 {
+		return nil
+	}
+	e.m += int64(d)
+	prev := graph.NodeID(-1)
+	for _, t := range targets {
+		if t <= prev {
+			return fmt.Errorf("csr: node %d targets not strictly ascending (%d after %d)", v, t, prev)
+		}
+		if t == v {
+			return fmt.Errorf("csr: node %d has a self-loop", v)
+		}
+		if t < 0 || int(t) >= e.n {
+			return fmt.Errorf("csr: node %d links to out-of-range %d", v, t)
+		}
+		prev = t
+	}
+	// Split at the source id and emit: below-count, distances walking
+	// down from v, then distances walking up.
+	split := sort.Search(d, func(i int) bool { return targets[i] > v })
+	e.putVar(uint64(split))
+	p := v
+	for j := split - 1; j >= 0; j-- {
+		e.putVar(uint64(p-targets[j]) - 1)
+		p = targets[j]
+	}
+	p = v
+	for j := split; j < d; j++ {
+		e.putVar(uint64(targets[j]-p) - 1)
+		p = targets[j]
+	}
+	return nil
+}
+
+// Finish seals the encoder and returns the in-memory compressed graph.
+// The encoder must not be reused afterwards.
+func (e *Encoder) Finish() (*Graph, error) {
+	if e.next != e.n {
+		return nil, fmt.Errorf("csr: Finish after %d of %d nodes", e.next, e.n)
+	}
+	e.blockOff[numBlocks(e.n)] = e.nib
+	g := &Graph{
+		n:        e.n,
+		m:        e.m,
+		deg:      e.deg,
+		bigDeg:   e.bigDeg,
+		blockOff: e.blockOff,
+		payload:  e.payload,
+	}
+	e.deg, e.bigDeg, e.blockOff, e.payload = nil, nil, nil, nil
+	return g, nil
+}
+
+// Generate synthesizes a power-law graph directly into compressed
+// form. The working set during generation is the generator's model
+// state plus the growing payload — never an uncompressed edge list —
+// which is what makes 10M+ document graphs practical. Same cfg (and
+// seed) as graph.GeneratePowerLaw produces the identical graph.
+func Generate(cfg graph.PowerLawConfig) (*Graph, graph.GenStats, error) {
+	enc := NewEncoder(cfg.Nodes)
+	stats, err := graph.StreamPowerLaw(cfg, enc.Add)
+	if err != nil {
+		return nil, stats, err
+	}
+	g, err := enc.Finish()
+	return g, stats, err
+}
+
+// FromLinker compresses an existing graph. Lists arriving unsorted or
+// carrying duplicates/self-loops are normalized first, so any Linker
+// is accepted; graphs from this repo's constructors already satisfy
+// the invariant and round-trip unchanged.
+func FromLinker(src graph.Linker) (*Graph, error) {
+	n := src.NumNodes()
+	enc := NewEncoder(n)
+	var scratch []graph.NodeID
+	for v := 0; v < n; v++ {
+		links := src.OutLinks(graph.NodeID(v))
+		scratch = append(scratch[:0], links...)
+		slices.Sort(scratch)
+		w := 0
+		prev := graph.NodeID(-1)
+		for _, t := range scratch {
+			if t == prev || int(t) == v {
+				continue
+			}
+			prev = t
+			scratch[w] = t
+			w++
+		}
+		if err := enc.Add(graph.NodeID(v), scratch[:w]); err != nil {
+			return nil, err
+		}
+	}
+	return enc.Finish()
+}

@@ -1,0 +1,305 @@
+package csr
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+
+	"dpr/internal/graph"
+)
+
+// File format "DPRZ" version 1, little endian throughout:
+//
+//	magic      "DPRZ"                      4 bytes
+//	version    u32                         currently 1
+//	nodes      u64
+//	edges      u64
+//	blockShift u64                         must match this build's constant
+//	bigDegs    u64                         side-table entry count
+//	payloadLen u64                         payload bytes
+//	deg        nodes x u16
+//	bigDeg     bigDegs x (u32 node, u32 deg), ascending node
+//	blockOff   (numBlocks+1) x u64         nibble offsets; last = total nibbles
+//	payload    payloadLen bytes of nibble varints
+//
+// The payload is the last section so a memory-mapped open can hand the
+// decoder a zero-copy view of the bulk of the file while the small
+// metadata sections are copied to the heap.
+const (
+	fileMagic   = "DPRZ"
+	fileVersion = 1
+	headerSize  = 4 + 4 + 5*8
+)
+
+// WriteFile serializes the graph to path in DPRZ format.
+func (g *Graph) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var hdr [headerSize]byte
+	copy(hdr[:4], fileMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], fileVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(g.n))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(g.m))
+	binary.LittleEndian.PutUint64(hdr[24:], blockShift)
+	binary.LittleEndian.PutUint64(hdr[32:], uint64(len(g.bigDeg)))
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(len(g.payload)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	var scratch [8]byte
+	for _, d := range g.deg {
+		binary.LittleEndian.PutUint16(scratch[:2], d)
+		if _, err := bw.Write(scratch[:2]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	for _, e := range g.bigDeg {
+		binary.LittleEndian.PutUint32(scratch[:4], uint32(e.node))
+		binary.LittleEndian.PutUint32(scratch[4:8], uint32(e.deg))
+		if _, err := bw.Write(scratch[:8]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	for _, off := range g.blockOff {
+		binary.LittleEndian.PutUint64(scratch[:8], uint64(off))
+		if _, err := bw.Write(scratch[:8]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if _, err := bw.Write(g.payload); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// OpenFile opens a DPRZ file backed by a read-only memory map where
+// the platform supports it (linux), falling back to reading the file
+// into memory elsewhere. The returned graph's payload aliases the
+// mapping: Close it when done, and not before readers finish.
+func OpenFile(path string) (*Graph, error) {
+	data, closer, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := DecodeBytes(data)
+	if err != nil {
+		closer()
+		return nil, fmt.Errorf("csr: %s: %w", path, err)
+	}
+	g.closer = closer
+	return g, nil
+}
+
+// LoadFile reads a DPRZ file fully into memory, never mapping it.
+func LoadFile(path string) (*Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := DecodeBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("csr: %s: %w", path, err)
+	}
+	return g, nil
+}
+
+// DecodeBytes parses a DPRZ image. The metadata sections are copied to
+// the heap; the payload section aliases data. Every section is
+// validated — including a full decode pass over the payload — so the
+// cursor hot path can run without bounds anxiety on trusted data, and
+// corrupt or adversarial input yields an error, never a panic.
+func DecodeBytes(data []byte) (*Graph, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("truncated header (%d bytes)", len(data))
+	}
+	if string(data[:4]) != fileMagic {
+		return nil, fmt.Errorf("bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != fileVersion {
+		return nil, fmt.Errorf("unsupported version %d", v)
+	}
+	n := binary.LittleEndian.Uint64(data[8:])
+	m := binary.LittleEndian.Uint64(data[16:])
+	shift := binary.LittleEndian.Uint64(data[24:])
+	nBig := binary.LittleEndian.Uint64(data[32:])
+	payloadLen := binary.LittleEndian.Uint64(data[40:])
+	if shift != blockShift {
+		return nil, fmt.Errorf("block shift %d, this build expects %d", shift, blockShift)
+	}
+	const maxNodes = 1 << 31
+	if n > maxNodes || m > 64*maxNodes || nBig > n {
+		return nil, fmt.Errorf("implausible sizes n=%d m=%d bigDegs=%d", n, m, nBig)
+	}
+	nb := numBlocks(int(n))
+	need := uint64(headerSize) + 2*n + 8*nBig + 8*uint64(nb+1) + payloadLen
+	if uint64(len(data)) != need {
+		return nil, fmt.Errorf("file is %d bytes, header implies %d", len(data), need)
+	}
+
+	g := &Graph{n: int(n), m: int64(m)}
+	p := data[headerSize:]
+	g.deg = make([]uint16, n)
+	for i := range g.deg {
+		g.deg[i] = binary.LittleEndian.Uint16(p[2*i:])
+	}
+	p = p[2*n:]
+	g.bigDeg = make([]bigDegEntry, nBig)
+	for i := range g.bigDeg {
+		node := binary.LittleEndian.Uint32(p[8*i:])
+		deg := binary.LittleEndian.Uint32(p[8*i+4:])
+		if node >= uint32(n) || deg < degEscape || deg > uint32(n) {
+			return nil, fmt.Errorf("big-degree entry %d invalid (node=%d deg=%d)", i, node, deg)
+		}
+		if i > 0 && node <= uint32(g.bigDeg[i-1].node) {
+			return nil, fmt.Errorf("big-degree side table not ascending at entry %d", i)
+		}
+		g.bigDeg[i] = bigDegEntry{node: int32(node), deg: int32(deg)}
+	}
+	p = p[8*nBig:]
+	nibTotal := 2 * payloadLen
+	g.blockOff = make([]int64, nb+1)
+	for i := range g.blockOff {
+		off := binary.LittleEndian.Uint64(p[8*i:])
+		if off > nibTotal {
+			return nil, fmt.Errorf("block offset %d = %d nibbles beyond payload %d", i, off, nibTotal)
+		}
+		if i > 0 && int64(off) < g.blockOff[i-1] {
+			return nil, fmt.Errorf("block offsets not monotone at %d", i)
+		}
+		g.blockOff[i] = int64(off)
+	}
+	p = p[8*(nb+1):]
+	g.payload = p[:payloadLen:payloadLen]
+
+	// The declared nibble count must fill the payload to within the
+	// final padding half-byte.
+	nibEnd := g.blockOff[nb]
+	if (uint64(nibEnd)+1)/2 != payloadLen {
+		return nil, fmt.Errorf("payload is %d bytes but nibble end marker says %d nibbles", payloadLen, nibEnd)
+	}
+	if nibEnd&1 == 1 && g.payload[payloadLen-1]>>4 != 0 {
+		return nil, fmt.Errorf("nonzero padding nibble at end of payload")
+	}
+
+	// Every degEscape marker must resolve, and only marked nodes may
+	// appear in the side table.
+	marked := 0
+	for v, d := range g.deg {
+		if d != degEscape {
+			continue
+		}
+		if marked >= len(g.bigDeg) || int(g.bigDeg[marked].node) != v {
+			return nil, fmt.Errorf("node %d marks a big degree with no side-table entry", v)
+		}
+		marked++
+	}
+	if marked != len(g.bigDeg) {
+		return nil, fmt.Errorf("side table has %d entries beyond the marked nodes", len(g.bigDeg)-marked)
+	}
+
+	if err := g.validatePayload(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// validatePayload decodes the entire nibble stream once, checking that
+// every block starts where the skip index says, every varint
+// terminates inside the payload, every decoded target is in range
+// (ascending output and non-self follow from the split encoding), and
+// the total edge count matches the header.
+func (g *Graph) validatePayload() error {
+	data := g.payload
+	end := g.blockOff[numBlocks(g.n)]
+	p := int64(0)
+	var edges int64
+	// readVar is the bounds-checked sibling of the trusting hot-path
+	// decoder: it refuses to run past the declared nibble end or to
+	// assemble a gap that could overflow the id arithmetic.
+	readVar := func() (uint64, error) {
+		var x uint64
+		var shift uint
+		for {
+			if p >= end {
+				return 0, fmt.Errorf("varint runs past payload end at nibble %d", p)
+			}
+			nb := data[p>>1] >> (uint(p&1) << 2) & 0xF
+			p++
+			if shift > 60 {
+				return 0, fmt.Errorf("varint wider than 64 bits at nibble %d", p)
+			}
+			x |= uint64(nb&7) << shift
+			if nb < 8 {
+				return x, nil
+			}
+			shift += 3
+		}
+	}
+	for v := 0; v < g.n; v++ {
+		if v&blockMask == 0 {
+			if want := g.blockOff[v>>blockShift]; p != want {
+				return fmt.Errorf("block %d starts at nibble %d, skip index says %d", v>>blockShift, p, want)
+			}
+		}
+		d := g.OutDegree(graph.NodeID(v))
+		if d == 0 {
+			continue
+		}
+		k, err := readVar()
+		if err != nil {
+			return fmt.Errorf("node %d: %w", v, err)
+		}
+		if k > uint64(d) {
+			return fmt.Errorf("node %d: below-source count %d exceeds degree %d", v, k, d)
+		}
+		t := int64(v)
+		for j := uint64(0); j < k; j++ {
+			x, err := readVar()
+			if err != nil {
+				return fmt.Errorf("node %d: %w", v, err)
+			}
+			if x >= uint64(g.n) {
+				return fmt.Errorf("node %d: down distance %d exceeds node count", v, x)
+			}
+			t -= int64(x) + 1
+			if t < 0 {
+				return fmt.Errorf("node %d: target below 0", v)
+			}
+		}
+		t = int64(v)
+		for j := int(k); j < d; j++ {
+			x, err := readVar()
+			if err != nil {
+				return fmt.Errorf("node %d: %w", v, err)
+			}
+			if x >= uint64(g.n) {
+				return fmt.Errorf("node %d: up distance %d exceeds node count", v, x)
+			}
+			t += int64(x) + 1
+			if t >= int64(g.n) {
+				return fmt.Errorf("node %d: target beyond node count", v)
+			}
+		}
+		edges += int64(d)
+	}
+	if p != end {
+		return fmt.Errorf("payload has %d undeclared trailing nibbles", end-p)
+	}
+	if edges != g.m {
+		return fmt.Errorf("payload holds %d edges, header says %d", edges, g.m)
+	}
+	return nil
+}

@@ -1,0 +1,15 @@
+//go:build !linux
+
+package csr
+
+import "os"
+
+// mapFile reads path fully into memory on platforms without the mmap
+// fast path; the closer is then a no-op.
+func mapFile(path string) (data []byte, closer func() error, err error) {
+	data, err = os.ReadFile(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return data, func() error { return nil }, nil
+}

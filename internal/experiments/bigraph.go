@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"dpr/internal/core"
+	"dpr/internal/csr"
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+	"dpr/internal/rng"
+)
+
+// BigGraphConfig drives the scaling experiment: generate a power-law
+// document graph at a chosen size, place it on peers, and converge the
+// distributed computation — through either the plain in-memory
+// adjacency or the compressed CSR substrate, optionally served from a
+// memory-mapped file. It is the repro path behind the "10M documents
+// on one box" claim and the substrate's regression bench.
+type BigGraphConfig struct {
+	Docs    int     // document count (>= 2)
+	Peers   int     // peers to place on; 0 means 500 (the paper's count)
+	Workers int     // pass-engine workers; 0 means serial
+	Seed    uint64  // generator + placement seed
+	Epsilon float64 // convergence threshold; 0 means core.DefaultEpsilon
+
+	// Compressed selects the delta-varint CSR substrate; otherwise the
+	// plain 4-bytes-per-edge in-memory graph is used.
+	Compressed bool
+
+	// GraphFile, with Compressed, writes the generated graph to this
+	// DPRZ file and serves the solve from a read-only mapping of it
+	// (out-of-core mode). Empty keeps the payload on the heap.
+	GraphFile string
+
+	// Clock returns nanosecond timestamps for throughput measurement.
+	// It is injected (cmd/dprbench passes time.Now().UnixNano) because
+	// this package is scoped deterministic: drivers themselves never
+	// read wall-clock time. Nil disables timing (all rates zero).
+	Clock func() int64
+}
+
+// BigGraphResult reports one BigGraph run.
+type BigGraphResult struct {
+	Docs       int    `json:"docs"`
+	Edges      int64  `json:"edges"`
+	Compressed bool   `json:"compressed"`
+	MmapBacked bool   `json:"mmap_backed"`
+	Workers    int    `json:"workers"`
+	Seed       uint64 `json:"seed"`
+
+	// Space: adjacency payload bytes per edge (4.0 for the plain
+	// representation) and the compressed substrate's total including
+	// the degree/skip-index metadata.
+	BytesPerEdge      float64 `json:"bytes_per_edge"`
+	TotalBytesPerEdge float64 `json:"total_bytes_per_edge"`
+
+	// Generation: wall time and realized edge throughput.
+	GenNanos       int64   `json:"gen_nanos"`
+	GenEdgesPerSec float64 `json:"gen_edges_per_sec"`
+	Saturated      bool    `json:"saturated"`
+
+	// Solve: passes to convergence and update (edge-push) throughput.
+	Passes             int     `json:"passes"`
+	SolveNanos         int64   `json:"solve_nanos"`
+	SolveUpdatesPerSec float64 `json:"solve_updates_per_sec"`
+	Converged          bool    `json:"converged"`
+
+	// RankHash is the FNV-1a hash of every rank's IEEE-754 bits in
+	// document order: two runs agree on this iff their ranks are
+	// bit-identical, which is how the substrate swap is checked without
+	// shipping full vectors around.
+	RankHash uint64 `json:"rank_hash"`
+}
+
+// BigGraph generates, places and solves one graph per the config.
+func BigGraph(cfg BigGraphConfig) (BigGraphResult, error) {
+	if cfg.Docs < 2 {
+		return BigGraphResult{}, fmt.Errorf("experiments: BigGraph needs >= 2 docs, got %d", cfg.Docs)
+	}
+	peers := cfg.Peers
+	if peers == 0 {
+		peers = 500
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = func() int64 { return 0 }
+	}
+	res := BigGraphResult{
+		Docs:       cfg.Docs,
+		Compressed: cfg.Compressed,
+		Workers:    cfg.Workers,
+		Seed:       cfg.Seed,
+	}
+
+	gcfg := graph.DefaultPowerLawConfig(cfg.Docs, cfg.Seed)
+	var (
+		g     graph.Linker
+		stats graph.GenStats
+		err   error
+	)
+	t0 := clock()
+	if cfg.Compressed {
+		var cg *csr.Graph
+		cg, stats, err = csr.Generate(gcfg)
+		if err != nil {
+			return res, err
+		}
+		if cfg.GraphFile != "" {
+			if err := cg.WriteFile(cfg.GraphFile); err != nil {
+				return res, err
+			}
+			cg, err = csr.OpenFile(cfg.GraphFile)
+			if err != nil {
+				return res, err
+			}
+			defer cg.Close()
+			res.MmapBacked = true
+		}
+		res.BytesPerEdge = cg.BytesPerEdge()
+		res.TotalBytesPerEdge = cg.TotalBytesPerEdge()
+		g = cg
+	} else {
+		if cfg.GraphFile != "" {
+			return res, fmt.Errorf("experiments: GraphFile requires Compressed")
+		}
+		g, stats, err = graph.GeneratePowerLawStats(gcfg)
+		if err != nil {
+			return res, err
+		}
+		res.BytesPerEdge = 4.0
+		res.TotalBytesPerEdge = 4.0
+	}
+	genNanos := clock() - t0
+	res.Edges = stats.Edges
+	res.Saturated = stats.Saturated()
+	res.GenNanos = genNanos
+	if genNanos > 0 {
+		res.GenEdgesPerSec = float64(stats.Edges) / (float64(genNanos) * 1e-9)
+	}
+
+	net := p2p.NewNetwork(peers)
+	net.AssignRandom(g, rng.New(cfg.Seed^0xa5a5))
+	e, err := core.NewPassEngine(g, net, nil, core.Options{
+		Epsilon: cfg.Epsilon,
+		Workers: cfg.Workers,
+		MaxPass: 100000,
+	})
+	if err != nil {
+		return res, err
+	}
+	t1 := clock()
+	run := e.Run()
+	solveNanos := clock() - t1
+	res.Passes = run.Passes
+	res.Converged = run.Converged
+	res.SolveNanos = solveNanos
+	if updates := run.Counters.IntraPeerMsgs + run.Counters.InterPeerMsgs; solveNanos > 0 {
+		res.SolveUpdatesPerSec = float64(updates) / (float64(solveNanos) * 1e-9)
+	}
+	res.RankHash = RankHash(run.Ranks)
+	if !run.Converged {
+		return res, fmt.Errorf("experiments: %d-doc BigGraph run did not converge in %d passes",
+			cfg.Docs, run.Passes)
+	}
+	return res, nil
+}
+
+// RankHash folds a rank vector's exact IEEE-754 bits into an FNV-1a
+// hash. Equal hashes across substrate/worker configurations attest
+// bit-identical results.
+func RankHash(ranks []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, r := range ranks {
+		bits := math.Float64bits(r)
+		for i := 0; i < 8; i++ {
+			h ^= bits & 0xFF
+			h *= prime64
+			bits >>= 8
+		}
+	}
+	return h
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestBigGraphSubstrateBitIdentity runs the scaling driver across all
+// three substrate modes — plain, compressed in-heap, compressed from a
+// memory-mapped file — and demands the same rank hash and pass count
+// from each.
+func TestBigGraphSubstrateBitIdentity(t *testing.T) {
+	base := BigGraphConfig{Docs: 20000, Peers: 50, Seed: 3}
+
+	plain, err := BigGraph(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.RankHash == 0 || plain.Edges == 0 || !plain.Converged {
+		t.Fatalf("implausible plain result: %+v", plain)
+	}
+
+	comp := base
+	comp.Compressed = true
+	compRes, err := BigGraph(comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mmap := comp
+	mmap.Workers = 4
+	mmap.GraphFile = filepath.Join(t.TempDir(), "big.dprz")
+	mmapRes, err := BigGraph(mmap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mmapRes.MmapBacked {
+		t.Fatal("GraphFile run did not report mmap backing")
+	}
+
+	for _, got := range []BigGraphResult{compRes, mmapRes} {
+		if got.RankHash != plain.RankHash {
+			t.Fatalf("rank hash diverged: %x vs plain %x (%+v)", got.RankHash, plain.RankHash, got)
+		}
+		if got.Passes != plain.Passes || got.Edges != plain.Edges {
+			t.Fatalf("structure diverged: %+v vs %+v", got, plain)
+		}
+	}
+	if compRes.BytesPerEdge >= 4 || compRes.BytesPerEdge <= 0 {
+		t.Fatalf("compressed payload %.3f bytes/edge not under uncompressed 4", compRes.BytesPerEdge)
+	}
+}
+
+func TestBigGraphValidation(t *testing.T) {
+	if _, err := BigGraph(BigGraphConfig{Docs: 1}); err == nil {
+		t.Error("accepted 1-doc config")
+	}
+	if _, err := BigGraph(BigGraphConfig{Docs: 100, GraphFile: "x.dprz"}); err == nil {
+		t.Error("accepted GraphFile without Compressed")
+	}
+}
+
+func TestRankHashSensitivity(t *testing.T) {
+	a := RankHash([]float64{1, 2, 3})
+	if a != RankHash([]float64{1, 2, 3}) {
+		t.Fatal("hash not deterministic")
+	}
+	if a == RankHash([]float64{1, 2, 3.0000000000000004}) {
+		t.Fatal("hash ignores a 1-ulp difference")
+	}
+	if a == RankHash([]float64{3, 2, 1}) {
+		t.Fatal("hash ignores order")
+	}
+}

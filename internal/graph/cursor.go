@@ -1,0 +1,44 @@
+package graph
+
+// LinkCursor is a sequential read handle over a graph's out-links. A
+// cursor is NOT safe for concurrent use; engines give each worker its
+// own. The slice returned by OutLinks is only valid until the next
+// OutLinks call on the same cursor (a decoding representation reuses
+// its buffer between calls).
+//
+// For the plain in-memory Graph a cursor is the graph itself — slices
+// alias stable storage and stay valid forever — but callers must code
+// against the weaker contract so compressed representations can slot
+// in unchanged.
+type LinkCursor interface {
+	OutLinks(v NodeID) []NodeID
+}
+
+// CursorLinker is a Linker that can mint per-worker read cursors.
+// Representations whose OutLinks must decode (internal/csr) implement
+// it so hot loops stream adjacency without a per-call allocation.
+type CursorLinker interface {
+	Linker
+	NewCursor() LinkCursor
+}
+
+// NewCursor returns the graph itself: uncompressed adjacency needs no
+// decode state, and the shared receiver is safe because OutLinks only
+// reads immutable storage.
+func (g *Graph) NewCursor() LinkCursor { return g }
+
+var _ CursorLinker = (*Graph)(nil)
+
+// linkerCursor adapts any Linker to the cursor interface for
+// representations without decode state.
+type linkerCursor struct{ Linker }
+
+// CursorFor returns a read cursor for g: the representation's own
+// cursor when it implements CursorLinker, otherwise a trivial adapter
+// over OutLinks.
+func CursorFor(g Linker) LinkCursor {
+	if cl, ok := g.(CursorLinker); ok {
+		return cl.NewCursor()
+	}
+	return linkerCursor{g}
+}

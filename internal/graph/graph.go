@@ -8,7 +8,12 @@
 // document in the P2P system. Edges are document links (out-links).
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+)
 
 // NodeID identifies a document in a Graph.
 type NodeID = int32
@@ -16,12 +21,21 @@ type NodeID = int32
 // Graph is an immutable directed graph in compressed sparse row form.
 // The forward (out-link) adjacency is always present; the transposed
 // (in-link) adjacency is built on demand by Transpose and cached.
+//
+// Every constructor in this package produces per-node target lists in
+// ascending id order. The sorted-adjacency invariant is what lets the
+// compressed representation (internal/csr) delta-gap encode the same
+// lists and still replay them in the identical order, keeping ranks
+// bit-identical across representations.
 type Graph struct {
 	n        int
 	outStart []int64 // length n+1; outAdj[outStart[v]:outStart[v+1]] are v's out-links
 	outAdj   []NodeID
 	inStart  []int64 // nil until Transpose is called
 	inAdj    []NodeID
+
+	transposeOnce sync.Once
+	transposed    atomic.Bool
 }
 
 // NumNodes returns the number of documents.
@@ -35,14 +49,16 @@ func (g *Graph) OutDegree(v NodeID) int {
 	return int(g.outStart[v+1] - g.outStart[v])
 }
 
-// OutLinks returns the out-links of v. The returned slice aliases the
-// graph's internal storage and must not be modified.
+// OutLinks returns the out-links of v in ascending id order. The
+// returned slice aliases the graph's internal storage and must not be
+// modified.
 func (g *Graph) OutLinks(v NodeID) []NodeID {
 	return g.outAdj[g.outStart[v]:g.outStart[v+1]]
 }
 
 // HasTranspose reports whether the in-link adjacency has been built.
-func (g *Graph) HasTranspose() bool { return g.inStart != nil }
+// Safe to call concurrently with Transpose.
+func (g *Graph) HasTranspose() bool { return g.transposed.Load() }
 
 // InDegree returns the number of in-links of v. It builds the transpose
 // on first use.
@@ -59,13 +75,17 @@ func (g *Graph) InLinks(v NodeID) []NodeID {
 	return g.inAdj[g.inStart[v]:g.inStart[v+1]]
 }
 
-// Transpose materializes the in-link adjacency. It is idempotent and
-// costs O(N+E) the first time. It is NOT safe to call concurrently with
-// itself; call it once before sharing the graph across goroutines.
+// Transpose materializes the in-link adjacency. It is idempotent,
+// costs O(N+E) the first time, and is safe for concurrent first use:
+// racing callers all block until one of them has built the adjacency.
 func (g *Graph) Transpose() {
-	if g.inStart != nil {
-		return
-	}
+	g.transposeOnce.Do(func() {
+		g.buildTranspose()
+		g.transposed.Store(true)
+	})
+}
+
+func (g *Graph) buildTranspose() {
 	inStart := make([]int64, g.n+1)
 	for _, t := range g.outAdj {
 		inStart[t+1]++
@@ -152,9 +172,12 @@ func (b *Builder) AddEdge(from, to NodeID) {
 func (b *Builder) NumPendingEdges() int { return len(b.edges) }
 
 // Build finalizes the graph. The builder can be reused afterwards; its
-// edge list is reset.
+// edge list is reset. Each node's targets come out sorted ascending
+// (the package-wide adjacency invariant); duplicates are dropped by
+// sorting each node's range and skipping equal neighbours, so building
+// never allocates per-node dedup maps.
 func (b *Builder) Build() *Graph {
-	// Counting sort by source, then dedup targets per source.
+	// Counting sort by source, then sort-dedup targets per source.
 	counts := make([]int64, b.n+1)
 	for _, e := range b.edges {
 		counts[e.from+1]++
@@ -171,15 +194,16 @@ func (b *Builder) Build() *Graph {
 	}
 	outStart := make([]int64, b.n+1)
 	outAdj := make([]NodeID, 0, len(sorted))
-	seen := make(map[NodeID]struct{})
 	for v := 0; v < b.n; v++ {
 		lo, hi := counts[v], counts[v+1]
-		clear(seen)
-		for _, t := range sorted[lo:hi] {
-			if _, dup := seen[t]; dup {
+		targets := sorted[lo:hi]
+		slices.Sort(targets)
+		prev := NodeID(-1)
+		for _, t := range targets {
+			if t == prev {
 				continue
 			}
-			seen[t] = struct{}{}
+			prev = t
 			outAdj = append(outAdj, t)
 		}
 		outStart[v+1] = int64(len(outAdj))

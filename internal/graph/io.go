@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 )
@@ -81,6 +82,11 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 			return nil, fmt.Errorf("graph: reading adjacency: %w", err)
 		}
 		g.outAdj[i] = NodeID(binary.LittleEndian.Uint32(buf))
+	}
+	// Files written before the sorted-adjacency invariant may carry
+	// draw-order lists; normalize so every loaded graph upholds it.
+	for v := 0; v < g.n; v++ {
+		slices.Sort(g.outAdj[g.outStart[v]:g.outStart[v+1]])
 	}
 	if err := g.Validate(); err != nil {
 		return nil, err

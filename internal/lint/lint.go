@@ -91,7 +91,7 @@ func DefaultConfig(module string) Config {
 		DeterministicPkgs: []string{
 			p("internal/rng"), p("internal/graph"), p("internal/core"),
 			p("internal/chaotic"), p("internal/simnet"), p("internal/experiments"),
-			p("internal/telemetry"),
+			p("internal/telemetry"), p("internal/csr"),
 		},
 		DeadlinePkgs: []string{p("internal/wire")},
 		LockPkgs:     []string{p("internal/wire"), p("internal/p2p")},

@@ -1,14 +1,18 @@
 package lint
 
 import (
+	"bufio"
+	"bytes"
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -168,7 +172,14 @@ func (l *Loader) parseDir(dir, importPath string) (*loadEntry, error) {
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+		src, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		if !buildTagsMatch(name, src) {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), src,
 			parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
@@ -179,6 +190,66 @@ func (l *Loader) parseDir(dir, importPath string) (*loadEntry, error) {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
 	return &loadEntry{pkg: p}, nil
+}
+
+// buildTagsMatch reports whether a file is part of the build on the
+// host platform, honoring both the GOOS/GOARCH filename convention
+// (foo_linux.go) and //go:build constraint lines. Without this filter,
+// platform-variant files (mmap_linux.go / mmap_other.go) would both be
+// loaded into one package and fail type-checking with redeclarations.
+func buildTagsMatch(name string, src []byte) bool {
+	base := strings.TrimSuffix(name, ".go")
+	if i := strings.LastIndex(base, "_"); i >= 0 {
+		if suffix := base[i+1:]; knownPlatformTag(suffix) && !hostTag(suffix) {
+			return false
+		}
+	}
+	sc := bufio.NewScanner(bytes.NewReader(src))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if constraint.IsGoBuild(line) {
+			expr, err := constraint.Parse(line)
+			if err != nil {
+				return true // malformed constraint: let the parser report it
+			}
+			return expr.Eval(hostTag)
+		}
+		// Constraints must precede the package clause; stop at the
+		// first line that is neither blank nor a comment.
+		if line != "" && !strings.HasPrefix(line, "//") && !strings.HasPrefix(line, "/*") {
+			break
+		}
+	}
+	return true
+}
+
+// hostTag evaluates one build tag for the linting host.
+func hostTag(tag string) bool {
+	return tag == runtime.GOOS || tag == runtime.GOARCH || tag == "gc" ||
+		tag == "unix" && isUnixGOOS(runtime.GOOS) ||
+		strings.HasPrefix(tag, "go1.")
+}
+
+// knownPlatformTag reports whether a filename suffix selects a
+// platform (only those suffixes imply an implicit constraint).
+func knownPlatformTag(s string) bool {
+	switch s {
+	case "linux", "darwin", "windows", "freebsd", "netbsd", "openbsd", "solaris",
+		"aix", "dragonfly", "illumos", "ios", "js", "plan9", "wasip1", "android",
+		"amd64", "arm64", "arm", "386", "wasm", "ppc64", "ppc64le", "riscv64",
+		"s390x", "mips", "mipsle", "mips64", "mips64le", "loong64":
+		return true
+	}
+	return false
+}
+
+func isUnixGOOS(goos string) bool {
+	switch goos {
+	case "linux", "darwin", "freebsd", "netbsd", "openbsd", "solaris",
+		"aix", "dragonfly", "illumos", "ios", "android":
+		return true
+	}
+	return false
 }
 
 // Import implements types.Importer over the loader's package set,

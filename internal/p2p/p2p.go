@@ -62,7 +62,7 @@ func (n *Network) NumOnline() int {
 // AssignRandom places every document of g on a uniformly random peer,
 // the paper's placement policy ("each document in the graph is then
 // randomly assigned to a peer").
-func (n *Network) AssignRandom(g *graph.Graph, r *rng.Rand) {
+func (n *Network) AssignRandom(g graph.Linker, r *rng.Rand) {
 	n.docPeer = make([]PeerID, g.NumNodes())
 	n.docs = make([][]graph.NodeID, n.numPeers)
 	for d := 0; d < g.NumNodes(); d++ {
@@ -126,10 +126,11 @@ func (n *Network) SamePeer(a, b graph.NodeID) bool {
 
 // CrossPeerLinks counts document links that cross peer boundaries,
 // the L_ij term of the execution-time model (Equation 4).
-func (n *Network) CrossPeerLinks(g *graph.Graph) int64 {
+func (n *Network) CrossPeerLinks(g graph.Linker) int64 {
 	var cross int64
+	cur := graph.CursorFor(g)
 	for d := 0; d < g.NumNodes(); d++ {
-		for _, t := range g.OutLinks(graph.NodeID(d)) {
+		for _, t := range cur.OutLinks(graph.NodeID(d)) {
 			if !n.SamePeer(graph.NodeID(d), t) {
 				cross++
 			}

@@ -18,9 +18,14 @@ type ExtrapolationConfig struct {
 }
 
 // PowerAitken runs power iteration with periodic Aitken delta-squared
-// extrapolation. The extrapolated vector is only accepted when it is
-// finite and non-negative component-wise; otherwise the plain iterate
-// is kept (standard safeguard).
+// extrapolation. Two safeguards keep the acceleration from hurting:
+// component-wise, extrapolated values are kept only when finite and
+// non-negative; and the extrapolated vector as a whole is adopted only
+// if a trial power pass from it yields a smaller residual than the
+// plain iterate's — graphs whose iterates are not yet in the smooth
+// geometric regime (a documented failure mode of delta-squared) then
+// simply continue un-accelerated. The trial pass is counted in
+// Iterations whether or not it is accepted.
 func PowerAitken(g *graph.Graph, cfg ExtrapolationConfig) (Result, error) {
 	c := cfg.Config.withDefaults()
 	if err := c.validate(); err != nil {
@@ -42,6 +47,7 @@ func PowerAitken(g *graph.Graph, cfg ExtrapolationConfig) (Result, error) {
 	next := make([]float64, n)
 	prev1 := make([]float64, n) // x_{k-1}
 	prev2 := make([]float64, n) // x_{k-2}
+	extr := make([]float64, n)  // extrapolation candidate
 	for i := range cur {
 		cur[i] = 1
 	}
@@ -60,8 +66,29 @@ func PowerAitken(g *graph.Graph, cfg ExtrapolationConfig) (Result, error) {
 			res.Converged = true
 			break
 		}
-		if iter >= 3 && iter%every == 0 {
-			aitken(cur, prev1, prev2)
+		if iter >= 3 && iter%every == 0 && iter < c.MaxIters {
+			copy(extr, cur)
+			aitken(extr, prev1, prev2)
+			pushPass(g, c.Damping, base, extr, next)
+			iter++
+			res.Iterations = iter
+			r := maxRelChange(extr, next)
+			if r < res.Residual {
+				// The accelerated iterate contracts faster: adopt it
+				// along with the trial pass, keeping the three-term
+				// history consistent.
+				res.Residual = r
+				copy(prev2, prev1)
+				copy(prev1, extr)
+				cur, next = next, cur
+			}
+			if c.TrackHistory {
+				res.History = append(res.History, res.Residual)
+			}
+			if res.Residual < c.Tol {
+				res.Converged = true
+				break
+			}
 		}
 	}
 	res.Ranks = cur
