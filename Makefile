@@ -1,7 +1,7 @@
 # Distributed Pagerank for P2P Systems — build/test/bench driver.
 GO ?= go
 
-.PHONY: all build vet lint test race chaos chaos-membership fuzz fuzz-csr bench bench-pipeline bench-check ci
+.PHONY: all build vet lint test race chaos chaos-membership chaos-partition fuzz fuzz-csr bench bench-pipeline bench-check ci
 
 all: build
 
@@ -38,6 +38,13 @@ chaos:
 chaos-membership:
 	$(GO) test -race -count=1 -run 'Membership|Leave|Join|FailureDetector' ./internal/wire
 
+# Partition-tolerance gate: the 4/2 split-brain scenario (quorum
+# eviction on the majority side, refused eviction on the minority,
+# anti-entropy heal), the one-way-cut refusal, and the epoch-fencing
+# reject/requeue paths, under -race.
+chaos-partition:
+	$(GO) test -race -count=1 -run 'Partition|Epoch' ./internal/wire
+
 # Short fuzz burst over the checkpoint decoder (truncated/corrupt input).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeCheckpoint -fuzztime 30s ./internal/wire
@@ -71,4 +78,5 @@ ci:
 		&& $(GO) test -race -shuffle=on ./... \
 		&& $(GO) test -race ./internal/wire ./internal/p2p ./internal/telemetry \
 		&& $(GO) test -race -count=1 -run Chaos ./internal/wire \
-		&& $(GO) test -race -count=1 -run 'Membership|Leave|Join|FailureDetector' ./internal/wire
+		&& $(GO) test -race -count=1 -run 'Membership|Leave|Join|FailureDetector' ./internal/wire \
+		&& $(GO) test -race -count=1 -run 'Partition|Epoch' ./internal/wire

@@ -104,17 +104,23 @@ type Options struct {
 	RetryBase time.Duration
 	RetryMax  time.Duration
 
-	// Heartbeat enables the TCP cluster's failure detector: every
-	// Heartbeat interval each peer is pinged, and a peer that misses
-	// SuspectAfter consecutive probes is declared dead and permanently
-	// removed — its documents migrate to the ring successor and the
-	// computation continues without operator intervention. Zero (the
-	// default) disables automatic failure detection; crashed peers
-	// then wait for an explicit Restart or Leave.
+	// Heartbeat enables the TCP cluster's partition-tolerant failure
+	// detection: every live peer pings the others each Heartbeat
+	// interval and gossips which peers it currently suspects. A peer is
+	// only evicted once a majority of live peers concurs — a crashed
+	// peer's documents then migrate to its ring successor, while a
+	// live-but-partitioned peer is fenced and reconciled back out when
+	// the partition heals, so a minority network segment can never
+	// split-brain-evict the majority. Zero (the default) disables
+	// automatic failure detection; crashed peers then wait for an
+	// explicit Restart or Leave.
 	Heartbeat time.Duration
 
 	// SuspectAfter is the number of consecutive missed heartbeats
-	// before a peer is evicted. Zero picks the default of 3.
+	// before one peer SUSPECTS another. Since the quorum-eviction
+	// change a single vantage's suspicion no longer evicts by itself;
+	// it is that peer's vote, and eviction waits for a live-peer
+	// majority to agree. Zero picks the default of 3.
 	SuspectAfter int
 
 	// DebugAddr, when non-empty, starts an HTTP debug listener on the

@@ -17,6 +17,9 @@ func goldenRegistry() *Registry {
 	r := NewRegistry()
 	r.Counter("wire_sent").Add(12)
 	r.Counter("cluster_probes").Add(3)
+	r.Counter("wire_evictions_quorum").Add(1)
+	r.Counter("wire_evictions_refused").Add(2)
+	r.Counter("wire_epoch_rejected").Add(1)
 	r.FloatCounter("wire_delta_shipped").Add(1.25)
 	r.Gauge("wire_rank_mass").Set(150.5)
 	h := r.Histogram("pass_residual", []float64{0.001, 0.01, 0.1})
@@ -33,6 +36,9 @@ func goldenTrace() *Trace {
 	tr.Record(EvPassStart, -1, 1, 0, 42)
 	tr.Record(EvShip, 0, -1, 1.25, 3)
 	tr.Record(EvFold, 1, -1, 1.25, 3)
+	tr.Record(EvSuspect, 2, -1, 0, 4)
+	tr.Record(EvEvictRefused, 4, -1, 2, 0)
+	tr.Record(EvEpochReject, 1, -1, 7, 3)
 	tr.Record(EvPassEnd, -1, 1, 0.05, 0)
 	return tr
 }
@@ -94,7 +100,7 @@ func TestTraceJSONSchema(t *testing.T) {
 		}
 	}
 	events, ok := doc["events"].([]any)
-	if !ok || len(events) != 4 {
+	if !ok || len(events) != 7 {
 		t.Fatalf("events = %v", doc["events"])
 	}
 	first, ok := events[0].(map[string]any)

@@ -27,22 +27,30 @@ const (
 	EvEvict
 	EvAdopt
 	EvShed
+	EvSuspect      // a detector vantage crossed the local suspicion threshold
+	EvEvictRefused // a suspicion reached no eviction quorum this round
+	EvHeal         // a fenced slot was reached again and reconciled
+	EvEpochReject  // a receiver nacked a frame carrying a stale ownership epoch
 )
 
 var eventNames = [...]string{
-	EvPassStart: "pass_start",
-	EvPassEnd:   "pass_end",
-	EvShip:      "ship",
-	EvFold:      "fold",
-	EvRetry:     "retry",
-	EvReconnect: "reconnect",
-	EvJoin:      "join",
-	EvLeave:     "leave",
-	EvKill:      "kill",
-	EvRestart:   "restart",
-	EvEvict:     "evict",
-	EvAdopt:     "adopt",
-	EvShed:      "shed",
+	EvPassStart:    "pass_start",
+	EvPassEnd:      "pass_end",
+	EvShip:         "ship",
+	EvFold:         "fold",
+	EvRetry:        "retry",
+	EvReconnect:    "reconnect",
+	EvJoin:         "join",
+	EvLeave:        "leave",
+	EvKill:         "kill",
+	EvRestart:      "restart",
+	EvEvict:        "evict",
+	EvAdopt:        "adopt",
+	EvShed:         "shed",
+	EvSuspect:      "suspect",
+	EvEvictRefused: "evict_refused",
+	EvHeal:         "heal",
+	EvEpochReject:  "epoch_reject",
 }
 
 // String returns the stable wire name of the event type, used in the

@@ -31,10 +31,25 @@ import (
 // unacknowledged frames under their original stream identity, so
 // redirected retransmissions are recognized wherever they land. The
 // same framing doubles as the handoff wire format (Handoff).
+//
+// Version 3 adds the ownership-epoch vector (one fencing epoch per
+// ring slot) and the epoch-rejected counter, so a restored peer
+// re-frames its unacknowledged batches under epochs at least as fresh
+// as the ones it crashed with — a receiver that moved on can nack the
+// stale retransmissions instead of silently double-folding them.
+//
+// Version 4 adds the epoch-rejected sequence list: seqs this peer
+// nacked at the epoch fence whose updates therefore never folded.
+// lastSeq can legitimately pass such a seq (a later refreshed-epoch
+// frame folds first), so whoever inherits the dedup table — the ring
+// successor, or the peer itself after a restart — must also inherit
+// this exemption list, or a retransmission of the rejected frame
+// would be swallowed as a duplicate and its updates lost. Version 3
+// snapshots (no such list) still decode.
 
 const (
 	peerSnapMagic   = "DPRW"
-	peerSnapVersion = 2
+	peerSnapVersion = 4
 )
 
 // PeerSnapshot is a crashed peer's durable state.
@@ -49,14 +64,24 @@ type PeerSnapshot struct {
 	// stream (source peer, original destination).
 	LastSeq []SeqEntry
 
+	// Rejected lists epoch-rejected sequence numbers: never folded,
+	// exempt from duplicate suppression even when below the stream's
+	// LastSeq entry.
+	Rejected []SeqEntry
+
 	// Outbound is the store-and-retry state per delivery stream.
 	Outbound []OutboundState
+
+	// Epochs is the ownership-epoch vector, indexed by ring slot: the
+	// highest fencing epoch this peer had observed per key range.
+	Epochs []uint64
 
 	// Counters, carried across the restart.
 	Sent, Processed                   uint64
 	Retries, Reconnects, Redeliveries uint64
 	Coalesced, DupDropped             uint64
 	Forwarded, Misdropped             uint64
+	EpochRejected                     uint64
 	DeltaShipped, DeltaFolded         float64
 }
 
@@ -99,7 +124,9 @@ type Handoff struct {
 	Docs            []graph.NodeID
 	Rank, Acc, Last []float64
 	LastSeq         map[stream]uint64
+	Rejected        []SeqEntry // epoch-rejected seqs, exempt from dedup
 	Outbound        []OutboundState
+	Epochs          []uint64 // departed peer's ownership-epoch vector
 
 	done chan struct{} // closed by the adopting peer's processing loop
 }
@@ -114,10 +141,12 @@ func HandoffFromSnapshot(s *PeerSnapshot) *Handoff {
 		Acc:     append([]float64(nil), s.Acc...),
 		Last:    append([]float64(nil), s.Last...),
 		LastSeq: make(map[stream]uint64, len(s.LastSeq)),
+		Epochs:  append([]uint64(nil), s.Epochs...),
 	}
 	for _, e := range s.LastSeq {
 		h.LastSeq[stream{src: e.Src, dest: e.Dest}] = e.Seq
 	}
+	h.Rejected = append([]SeqEntry(nil), s.Rejected...)
 	for _, ob := range s.Outbound {
 		h.Outbound = append(h.Outbound, OutboundState{
 			Src: ob.Src, Dest: ob.Dest, NextSeq: ob.NextSeq,
@@ -133,22 +162,24 @@ func HandoffFromSnapshot(s *PeerSnapshot) *Handoff {
 func (p *Peer) snapshot() *PeerSnapshot {
 	docs, _ := p.rk.snapshotRanks()
 	s := &PeerSnapshot{
-		ID:           p.cfg.ID,
-		Docs:         docs,
-		Rank:         append([]float64(nil), p.rk.rank...),
-		Acc:          append([]float64(nil), p.rk.acc...),
-		Last:         append([]float64(nil), p.rk.last...),
-		Sent:         p.m.sent.Load(),
-		Processed:    p.m.processed.Load(),
-		Retries:      p.m.retries.Load(),
-		Reconnects:   p.m.reconnects.Load(),
-		Redeliveries: p.m.redeliveries.Load(),
-		Coalesced:    p.m.coalesced.Load(),
-		DupDropped:   p.m.dupDropped.Load(),
-		Forwarded:    p.m.forwarded.Load(),
-		Misdropped:   p.m.misdropped.Load(),
-		DeltaShipped: p.m.deltaShipped.Load(),
-		DeltaFolded:  p.m.deltaFolded.Load(),
+		ID:            p.cfg.ID,
+		Docs:          docs,
+		Rank:          append([]float64(nil), p.rk.rank...),
+		Acc:           append([]float64(nil), p.rk.acc...),
+		Last:          append([]float64(nil), p.rk.last...),
+		Epochs:        p.view().Epochs,
+		EpochRejected: p.m.epochRejected.Load(),
+		Sent:          p.m.sent.Load(),
+		Processed:     p.m.processed.Load(),
+		Retries:       p.m.retries.Load(),
+		Reconnects:    p.m.reconnects.Load(),
+		Redeliveries:  p.m.redeliveries.Load(),
+		Coalesced:     p.m.coalesced.Load(),
+		DupDropped:    p.m.dupDropped.Load(),
+		Forwarded:     p.m.forwarded.Load(),
+		Misdropped:    p.m.misdropped.Load(),
+		DeltaShipped:  p.m.deltaShipped.Load(),
+		DeltaFolded:   p.m.deltaFolded.Load(),
 	}
 	for st, seq := range p.lastSeq {
 		s.LastSeq = append(s.LastSeq, SeqEntry{Src: st.src, Dest: st.dest, Seq: seq})
@@ -158,6 +189,26 @@ func (p *Peer) snapshot() *PeerSnapshot {
 			return int(a.Src - b.Src)
 		}
 		return int(a.Dest - b.Dest)
+	})
+	for st, seqs := range p.rejected {
+		for seq := range seqs {
+			s.Rejected = append(s.Rejected, SeqEntry{Src: st.src, Dest: st.dest, Seq: seq})
+		}
+	}
+	slices.SortFunc(s.Rejected, func(a, b SeqEntry) int {
+		if a.Src != b.Src {
+			return int(a.Src - b.Src)
+		}
+		if a.Dest != b.Dest {
+			return int(a.Dest - b.Dest)
+		}
+		switch {
+		case a.Seq < b.Seq:
+			return -1
+		case a.Seq > b.Seq:
+			return 1
+		}
+		return 0
 	})
 	strms := make([]stream, 0, len(p.senders))
 	for st := range p.senders {
@@ -199,13 +250,22 @@ func (p *Peer) snapshot() *PeerSnapshot {
 }
 
 // decodeFrameBytes parses a full stream-batch frame as built by
-// nextFrame or installAdoptedSender.
+// nextFrame or installAdoptedSender. Both the epoch-stamped frame and
+// the legacy stream frame decode; the epoch itself is dropped — the
+// restorer re-stamps with its own current epoch.
 func decodeFrameBytes(b []byte) (src, dest p2p.PeerID, seq uint64, us []p2p.Update, err error) {
 	typ, payload, err := readFrameBytes(b)
-	if err != nil || typ != frameBatchStrm {
+	if err != nil {
 		return 0, 0, 0, nil, fmt.Errorf("wire: not a stream batch frame")
 	}
-	return decodeBatchStrm(payload)
+	switch typ {
+	case frameBatchStrm:
+		return decodeBatchStrm(payload)
+	case frameBatchEpoch:
+		src, dest, seq, _, us, err = decodeBatchEpoch(payload)
+		return src, dest, seq, us, err
+	}
+	return 0, 0, 0, nil, fmt.Errorf("wire: not a stream batch frame")
 }
 
 func readFrameBytes(b []byte) (byte, []byte, error) {
@@ -248,6 +308,19 @@ func RestorePeer(cfg PeerConfig, snap *PeerSnapshot) (*Peer, error) {
 	for _, e := range snap.LastSeq {
 		p.lastSeq[stream{src: e.Src, dest: e.Dest}] = e.Seq
 	}
+	for _, e := range snap.Rejected {
+		st := stream{src: e.Src, dest: e.Dest}
+		if p.rejected[st] == nil {
+			p.rejected[st] = make(map[uint64]struct{})
+		}
+		p.rejected[st][e.Seq] = struct{}{}
+	}
+	// Elementwise-max merge: the config's epoch vector (the cluster's
+	// current view) and the snapshot's (what the peer saw before the
+	// crash) can each be ahead on different slots.
+	for i, e := range snap.Epochs {
+		p.adoptEpoch(p2p.PeerID(i), e)
+	}
 	p.m.restore(snap)
 	p.rk.resetMass()
 	for _, ob := range snap.Outbound {
@@ -259,7 +332,9 @@ func RestorePeer(cfg PeerConfig, snap *PeerSnapshot) (*Peer, error) {
 		s.nextSeq = ob.NextSeq
 		for _, uf := range ob.Unacked {
 			fr := &frameRec{seq: uf.Seq, updates: len(uf.Updates)}
-			fr.bytes = frameBytes(frameBatchStrm, encodeBatchStrm(st.src, st.dest, uf.Seq, uf.Updates))
+			// Same stream identity and seq (dedup survives the crash),
+			// re-stamped with the restorer's freshest epoch for the range.
+			fr.bytes = frameBytes(frameBatchEpoch, encodeBatchEpoch(st.src, st.dest, uf.Seq, p.epochOf(st.dest), uf.Updates))
 			s.unacked = append(s.unacked, fr)
 		}
 		if len(s.unacked) > 0 {
@@ -325,6 +400,15 @@ func MergeSnapshot(dst, src *PeerSnapshot) {
 		}
 		dst.LastSeq = append(dst.LastSeq, e)
 	}
+	rej := make(map[SeqEntry]struct{}, len(dst.Rejected))
+	for _, e := range dst.Rejected {
+		rej[e] = struct{}{}
+	}
+	for _, e := range src.Rejected {
+		if _, dup := rej[e]; !dup {
+			dst.Rejected = append(dst.Rejected, e)
+		}
+	}
 	streams := make(map[stream]struct{}, len(dst.Outbound))
 	for _, ob := range dst.Outbound {
 		streams[stream{src: ob.Src, dest: ob.Dest}] = struct{}{}
@@ -334,6 +418,16 @@ func MergeSnapshot(dst, src *PeerSnapshot) {
 			continue // cannot happen: streams migrate to exactly one successor
 		}
 		dst.Outbound = append(dst.Outbound, ob)
+	}
+	// Ownership epochs merge elementwise-max: fencing only ever raises
+	// an epoch, so the higher observation is the fresher one.
+	if len(src.Epochs) > len(dst.Epochs) {
+		dst.Epochs = append(dst.Epochs, make([]uint64, len(src.Epochs)-len(dst.Epochs))...)
+	}
+	for i, e := range src.Epochs {
+		if e > dst.Epochs[i] {
+			dst.Epochs[i] = e
+		}
 	}
 }
 
@@ -392,13 +486,19 @@ func EncodeSnapshot(s *PeerSnapshot, w io.Writer) error {
 	}
 	hdr := []uint64{
 		peerSnapVersion, uint64(uint32(s.ID)), uint64(len(s.Docs)),
-		uint64(len(s.LastSeq)), uint64(len(s.Outbound)),
+		uint64(len(s.LastSeq)), uint64(len(s.Outbound)), uint64(len(s.Epochs)),
 		s.Sent, s.Processed, s.Retries, s.Reconnects, s.Redeliveries,
-		s.Coalesced, s.DupDropped, s.Forwarded, s.Misdropped,
+		s.Coalesced, s.DupDropped, s.Forwarded, s.Misdropped, s.EpochRejected,
 		math.Float64bits(s.DeltaShipped), math.Float64bits(s.DeltaFolded),
+		uint64(len(s.Rejected)), // v4: epoch-rejected seq records follow the outbound section
 	}
 	for _, v := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, e := range s.Epochs {
+		if err := binary.Write(bw, binary.LittleEndian, e); err != nil {
 			return err
 		}
 	}
@@ -441,6 +541,14 @@ func EncodeSnapshot(s *PeerSnapshot, w io.Writer) error {
 		}
 		if err := writeUpdates(bw, ob.Pending); err != nil {
 			return err
+		}
+	}
+	for _, e := range s.Rejected {
+		rec := []uint64{uint64(uint32(e.Src)), uint64(uint32(e.Dest)), e.Seq}
+		for _, v := range rec {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
 		}
 	}
 	return bw.Flush()
@@ -519,17 +627,26 @@ func DecodeSnapshot(r io.Reader) (*PeerSnapshot, error) {
 	if string(magic) != peerSnapMagic {
 		return nil, fmt.Errorf("wire: bad snapshot magic %q", magic)
 	}
-	var version, id, ndocs, nseq, nout uint64
+	var version, id, ndocs, nseq, nout, nepochs uint64
 	var sent, processed, retries, reconnects, redeliveries, coalesced, dup uint64
-	var fwd, misd uint64
+	var fwd, misd, epochRej uint64
 	var shippedBits, foldedBits uint64
-	if err := readU64(br, &version, &id, &ndocs, &nseq, &nout,
+	if err := readU64(br, &version, &id, &ndocs, &nseq, &nout, &nepochs,
 		&sent, &processed, &retries, &reconnects, &redeliveries,
-		&coalesced, &dup, &fwd, &misd, &shippedBits, &foldedBits); err != nil {
+		&coalesced, &dup, &fwd, &misd, &epochRej, &shippedBits, &foldedBits); err != nil {
 		return nil, fmt.Errorf("wire: reading snapshot header: %w", err)
 	}
-	if version != peerSnapVersion {
+	if version != peerSnapVersion && version != 3 {
 		return nil, fmt.Errorf("wire: unsupported snapshot version %d", version)
+	}
+	var nrej uint64
+	if version >= 4 {
+		if err := readU64(br, &nrej); err != nil {
+			return nil, fmt.Errorf("wire: reading snapshot header: %w", err)
+		}
+		if nrej > uint64(maxFrameBytes) {
+			return nil, fmt.Errorf("wire: snapshot header sizes out of range")
+		}
 	}
 	if id > uint64(^uint32(0)>>1) {
 		return nil, fmt.Errorf("wire: snapshot peer id %d out of range", id)
@@ -537,24 +654,38 @@ func DecodeSnapshot(r io.Reader) (*PeerSnapshot, error) {
 	if ndocs > uint64(maxFrameBytes) || nseq > uint64(maxFrameBytes) || nout > uint64(maxFrameBytes) {
 		return nil, fmt.Errorf("wire: snapshot header sizes out of range")
 	}
+	if nepochs > maxViewSlots {
+		return nil, fmt.Errorf("wire: snapshot epoch vector of %d slots exceeds limit", nepochs)
+	}
 	s := &PeerSnapshot{
-		ID:           p2p.PeerID(uint32(id)),
-		Docs:         make([]graph.NodeID, 0, capAlloc(ndocs)),
-		Rank:         make([]float64, 0, capAlloc(ndocs)),
-		Acc:          make([]float64, 0, capAlloc(ndocs)),
-		Last:         make([]float64, 0, capAlloc(ndocs)),
-		LastSeq:      make([]SeqEntry, 0, capAlloc(nseq)),
-		Sent:         sent,
-		Processed:    processed,
-		Retries:      retries,
-		Reconnects:   reconnects,
-		Redeliveries: redeliveries,
-		Coalesced:    coalesced,
-		DupDropped:   dup,
-		Forwarded:    fwd,
-		Misdropped:   misd,
-		DeltaShipped: math.Float64frombits(shippedBits),
-		DeltaFolded:  math.Float64frombits(foldedBits),
+		ID:            p2p.PeerID(uint32(id)),
+		Docs:          make([]graph.NodeID, 0, capAlloc(ndocs)),
+		Rank:          make([]float64, 0, capAlloc(ndocs)),
+		Acc:           make([]float64, 0, capAlloc(ndocs)),
+		Last:          make([]float64, 0, capAlloc(ndocs)),
+		LastSeq:       make([]SeqEntry, 0, capAlloc(nseq)),
+		Sent:          sent,
+		Processed:     processed,
+		Retries:       retries,
+		Reconnects:    reconnects,
+		Redeliveries:  redeliveries,
+		Coalesced:     coalesced,
+		DupDropped:    dup,
+		Forwarded:     fwd,
+		Misdropped:    misd,
+		EpochRejected: epochRej,
+		DeltaShipped:  math.Float64frombits(shippedBits),
+		DeltaFolded:   math.Float64frombits(foldedBits),
+	}
+	if nepochs > 0 {
+		s.Epochs = make([]uint64, 0, capAlloc(nepochs))
+		for i := uint64(0); i < nepochs; i++ {
+			var e uint64
+			if err := readU64(br, &e); err != nil {
+				return nil, fmt.Errorf("wire: reading snapshot epoch %d: %w", i, err)
+			}
+			s.Epochs = append(s.Epochs, e)
+		}
 	}
 	for i := uint64(0); i < ndocs; i++ {
 		var doc, rank, acc, last uint64
@@ -615,6 +746,18 @@ func DecodeSnapshot(r io.Reader) (*PeerSnapshot, error) {
 		}
 		ob.Pending = pend
 		s.Outbound = append(s.Outbound, ob)
+	}
+	for i := uint64(0); i < nrej; i++ {
+		var src, dest, seq uint64
+		if err := readU64(br, &src, &dest, &seq); err != nil {
+			return nil, fmt.Errorf("wire: reading snapshot rejected entry %d: %w", i, err)
+		}
+		if src > uint64(^uint32(0)>>1) || dest > uint64(^uint32(0)>>1) {
+			return nil, fmt.Errorf("wire: snapshot rejected entry peer id out of range")
+		}
+		s.Rejected = append(s.Rejected, SeqEntry{
+			Src: p2p.PeerID(uint32(src)), Dest: p2p.PeerID(uint32(dest)), Seq: seq,
+		})
 	}
 	if _, err := br.ReadByte(); err != io.EOF {
 		return nil, fmt.Errorf("wire: trailing bytes after snapshot")

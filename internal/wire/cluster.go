@@ -32,9 +32,14 @@ import (
 // peer's routing and address tables are repushed so in-flight and
 // parked updates chase the documents to their new owner. Join adds a
 // fresh peer that takes over its canonical key range from its
-// successor. A heartbeat failure detector (ClusterConfig.Heartbeat)
-// turns an unresponsive peer into an automatic Leave, so the cluster
-// converges through permanent failures without operator intervention.
+// successor. Failure detection is partition-tolerant: every live slot
+// runs its own heartbeat vantage (ClusterConfig.Heartbeat), suspicions
+// gossip on the ping/pong exchange, and an unresponsive peer is only
+// removed once a majority of live peers concurs — a minority side of a
+// network split refuses to evict the majority, parks its updates, and
+// reconciles through an anti-entropy view exchange when the partition
+// heals. Every ownership transfer bumps a per-range epoch so frames
+// stamped under a stale view are rejected instead of folded twice.
 type Cluster struct {
 	g   *graph.Graph
 	cfg ClusterConfig
@@ -51,7 +56,9 @@ type Cluster struct {
 	blobs     [][]byte        // serialized snapshot (exercises the codec)
 	addrs     []string
 	left      []bool       // slot departed permanently
+	fenced    []bool       // slot quorum-evicted but unreachable: state parked until heal
 	forwardTo []p2p.PeerID // left slot -> adopting successor slot
+	epochs    []uint64     // per-slot ownership epoch; bumps on every transfer
 	departed  PeerStats    // frozen counters of departed peers
 	started   bool
 
@@ -64,10 +71,18 @@ type Cluster struct {
 	trace *telemetry.Trace
 	dbg   *telemetry.DebugServer
 
-	mJoins    *telemetry.Counter
-	mLeaves   *telemetry.Counter
-	mMigrated *telemetry.Counter
-	mProbes   *telemetry.Counter
+	mJoins        *telemetry.Counter
+	mLeaves       *telemetry.Counter
+	mMigrated     *telemetry.Counter
+	mProbes       *telemetry.Counter
+	mEvictQuorum  *telemetry.Counter
+	mEvictRefused *telemetry.Counter
+
+	// Per-slot failure-detector vantages, guarded separately from mu so
+	// the gossip callback on the peers' serve path never touches the
+	// cluster lock.
+	detMu sync.Mutex
+	dets  []*detector
 
 	fdQuit chan struct{}
 	fdStop sync.Once
@@ -81,14 +96,19 @@ type ClusterConfig struct {
 	Epsilon float64 // 0 means 1e-3
 	Seed    uint64
 
-	// Heartbeat enables the failure detector: every Heartbeat the
-	// cluster pings each non-departed slot over the transport, and a
-	// slot that misses SuspectAfter consecutive pings is permanently
-	// removed (Leave) with full state handoff. 0 disables detection.
+	// Heartbeat enables the failure detectors: every live slot pings
+	// the other slots each Heartbeat through the cluster transport
+	// (under its own peer identity, so scripted partitions cut probes
+	// too) and gossips its suspicion set on the exchange. A suspected
+	// slot is evicted only when a majority of live peers concurs; a
+	// crashed suspect departs with full state handoff, a live-but-
+	// unreachable one is fenced until the partition heals. 0 disables
+	// detection.
 	Heartbeat time.Duration
 
-	// SuspectAfter is the consecutive-miss threshold before a slot is
-	// declared dead; 0 means 3.
+	// SuspectAfter is the consecutive-miss threshold before a single
+	// vantage SUSPECTS a slot (it no longer triggers eviction by
+	// itself — that takes a quorum of concurring vantages); 0 means 3.
 	SuspectAfter int
 
 	// Transport dials every peer-to-peer connection; nil means the
@@ -137,7 +157,9 @@ func NewCluster(g *graph.Graph, cfg ClusterConfig) (*Cluster, error) {
 		snaps:     make([]*PeerSnapshot, cfg.Peers),
 		blobs:     make([][]byte, cfg.Peers),
 		left:      make([]bool, cfg.Peers),
+		fenced:    make([]bool, cfg.Peers),
 		forwardTo: make([]p2p.PeerID, cfg.Peers),
+		epochs:    make([]uint64, cfg.Peers),
 		reg:       telemetry.NewRegistry(),
 		trace:     telemetry.NewTrace(cfg.TraceCap),
 		fdQuit:    make(chan struct{}),
@@ -147,6 +169,8 @@ func NewCluster(g *graph.Graph, cfg ClusterConfig) (*Cluster, error) {
 	c.mLeaves = c.reg.Counter("cluster_leaves")
 	c.mMigrated = c.reg.Counter("cluster_docs_migrated")
 	c.mProbes = c.reg.Counter("cluster_probes")
+	c.mEvictQuorum = c.reg.Counter("wire_evictions_quorum")
+	c.mEvictRefused = c.reg.Counter("wire_evictions_refused")
 	for i := 0; i < cfg.Peers; i++ {
 		c.regs = append(c.regs, telemetry.NewRegistry())
 	}
@@ -206,7 +230,46 @@ func (c *Cluster) peerConfig(i int) PeerConfig {
 		Retry:     c.cfg.Retry,
 		Registry:  c.regs[i],
 		Trace:     c.trace,
+		Epochs:    append([]uint64(nil), c.epochs...),
+		Gossip:    c.gossipFor(i),
 	}
+}
+
+// gossipFor wires a peer slot's ping/pong gossip exchange to the
+// slot's detector vantage (a no-op hook until the detector starts).
+func (c *Cluster) gossipFor(slot int) func(p2p.PeerID, []p2p.PeerID) []p2p.PeerID {
+	return func(from p2p.PeerID, sus []p2p.PeerID) []p2p.PeerID {
+		c.detMu.Lock()
+		var d *detector
+		if slot < len(c.dets) {
+			d = c.dets[slot]
+		}
+		c.detMu.Unlock()
+		if d == nil {
+			return nil
+		}
+		if from >= 0 {
+			d.recordView(int(from), sus)
+		}
+		return d.suspects()
+	}
+}
+
+// startDetectorLocked launches slot i's failure-detector vantage.
+// Callers hold c.mu; no-op when the heartbeat is disabled.
+func (c *Cluster) startDetectorLocked(i int) {
+	if c.cfg.Heartbeat <= 0 {
+		return
+	}
+	d := &detector{c: c, slot: i, miss: make(map[int]int), views: make(map[int]detView)}
+	c.detMu.Lock()
+	for len(c.dets) <= i {
+		c.dets = append(c.dets, nil)
+	}
+	c.dets[i] = d
+	c.detMu.Unlock()
+	c.fdWg.Add(1)
+	go d.loop()
 }
 
 // ClusterResult reports a finished TCP computation.
@@ -226,11 +289,16 @@ type ClusterResult struct {
 	DeltaFolded  float64 // total delta mass folded (== shipped when none lost)
 
 	// Membership accounting.
-	Joins     uint64 // peers added while running
-	Leaves    uint64 // peers permanently removed (manual or detected)
-	Migrated  uint64 // documents whose ownership moved between peers
-	Forwarded uint64 // updates re-shipped after racing a migration
+	Joins      uint64 // peers added while running
+	Leaves     uint64 // peers permanently removed (manual or detected)
+	Migrated   uint64 // documents whose ownership moved between peers
+	Forwarded  uint64 // updates re-shipped after racing a migration
 	Misdropped uint64 // updates dropped with no resolvable owner (0 = none)
+
+	// Partition-tolerance accounting.
+	EvictionsQuorum  uint64 // evictions confirmed by a live-peer majority
+	EvictionsRefused uint64 // suspicions parked for lack of a quorum
+	EpochRejected    uint64 // frames nacked for carrying a stale ownership epoch
 }
 
 // Kill crashes peer i: its goroutines stop, its connections reset,
@@ -263,6 +331,13 @@ func (c *Cluster) Kill(i int) error {
 	c.snaps[i] = snap
 	c.blobs[i] = buf.Bytes()
 	c.trace.Record(telemetry.EvKill, int32(i), -1, 0, int64(len(snap.Docs)))
+	if c.fenced[i] {
+		// The quorum already evicted this slot; it was only being kept
+		// around for a reconciling heal. Now that it crashed there is
+		// nothing to wait for — complete the departure from the
+		// checkpoint.
+		return c.leaveLocked(i)
+	}
 	return nil
 }
 
@@ -374,6 +449,9 @@ func (c *Cluster) leaveLocked(i int) error {
 	// accumulators (the successor does not inherit them; it re-counts
 	// the parked updates as it folds or forwards them).
 	c.departed = addStats(c.departed, snapStats(snap))
+	// The slot holds no rows anymore: zero its rank-mass gauge or the
+	// merged cluster gauge would double-count the migrated mass.
+	c.regs[i].Gauge("wire_rank_mass").Set(0)
 	for _, d := range snap.Docs {
 		c.docPeer[d] = p2p.PeerID(j)
 	}
@@ -382,7 +460,13 @@ func (c *Cluster) leaveLocked(i int) error {
 	c.snaps[i] = nil
 	c.blobs[i] = nil
 	c.left[i] = true
+	c.fenced[i] = false
 	c.forwardTo[i] = p2p.PeerID(j)
+	// Ownership epochs fence the transfer: the departed range's epoch
+	// and the successor's both bump, so frames stamped under the old
+	// view are rejected rather than folded into stale owners.
+	c.epochs[i]++
+	c.epochs[j]++
 	c.mLeaves.Add(1)
 	c.mMigrated.Add(uint64(len(snap.Docs)))
 	c.trace.Record(telemetry.EvLeave, int32(i), -1, 0, int64(j))
@@ -423,7 +507,12 @@ func (c *Cluster) Join() (int, error) {
 	c.blobs = append(c.blobs, nil)
 	c.addrs = append(c.addrs, "")
 	c.left = append(c.left, false)
+	c.fenced = append(c.fenced, false)
 	c.forwardTo = append(c.forwardTo, p2p.NoPeer)
+	// A joining slot's range is born from a transfer, so its epoch
+	// starts at 1; the shedding owners bump below as their ranges
+	// shrink.
+	c.epochs = append(c.epochs, 1)
 	c.nodes = append(c.nodes, node)
 	c.docs = append(c.docs, nil)
 	c.regs = append(c.regs, telemetry.NewRegistry())
@@ -456,6 +545,7 @@ func (c *Cluster) Join() (int, error) {
 		if c.peers[owner] != nil {
 			c.docs[owner] = removeDocs(c.docs[owner], od)
 		}
+		c.epochs[owner]++
 	}
 	for _, d := range snap.Docs {
 		c.docPeer[d] = p2p.PeerID(i)
@@ -473,6 +563,7 @@ func (c *Cluster) Join() (int, error) {
 	c.pushOwnershipLocked(snap.Docs, p2p.PeerID(i))
 	if c.started {
 		p.Start()
+		c.startDetectorLocked(i)
 	}
 	return i, nil
 }
@@ -503,27 +594,105 @@ func (c *Cluster) effectiveAddrsLocked() []string {
 	return addrs
 }
 
-// pushAddrsLocked repushes the effective address table to every live
-// peer.
+// viewLocked assembles the membership view pushed to live peers: the
+// effective address table plus the epoch vector and the departed-slot
+// redirects, so every peer reroutes and epoch-stamps consistently.
+func (c *Cluster) viewLocked() View {
+	return View{
+		Addrs:  c.effectiveAddrsLocked(),
+		Epochs: append([]uint64(nil), c.epochs...),
+		Gone:   append([]bool(nil), c.left...),
+		Fwd:    append([]p2p.PeerID(nil), c.forwardTo...),
+	}
+}
+
+// pushAddrsLocked repushes the membership view to every live peer.
+// Fenced slots are skipped: they are on the wrong side of a partition,
+// and withholding the view is exactly what models that — they catch up
+// through the anti-entropy exchange when the partition heals.
 func (c *Cluster) pushAddrsLocked() {
-	addrs := c.effectiveAddrsLocked()
+	v := c.viewLocked()
 	for i, q := range c.peers {
-		if q != nil && !c.left[i] {
-			q.SetPeers(addrs)
+		if q != nil && !c.left[i] && !c.fenced[i] {
+			q.SetView(v)
 		}
 	}
 }
 
 // pushOwnershipLocked pushes a migration (docs now belong to owner)
-// plus the refreshed address table to every live peer, which reroutes
-// their parked updates.
+// plus the refreshed membership view to every live peer, which
+// reroutes their parked updates.
 func (c *Cluster) pushOwnershipLocked(docs []graph.NodeID, owner p2p.PeerID) {
-	addrs := c.effectiveAddrsLocked()
+	v := c.viewLocked()
 	for i, q := range c.peers {
-		if q != nil && !c.left[i] {
-			q.UpdateOwnership(docs, owner, addrs)
+		if q != nil && !c.left[i] && !c.fenced[i] {
+			q.UpdateOwnership(docs, owner, v)
 		}
 	}
+}
+
+// evictByQuorum executes a quorum-confirmed eviction proposed by the
+// detector vantage from. A crashed suspect departs immediately — its
+// checkpoint migrates exactly as with a manual Leave. A live-but-
+// unreachable suspect is fenced instead: its ownership epoch bumps so
+// the live side can reject its stale frames, but its state stays
+// parked in place until the partition heals and reconcileFenced
+// completes the departure — evicting a live peer's state while it can
+// still mutate it would fork ownership. Returns false when the
+// proposal has no effect (suspect already handled, proposer lost its
+// own authority, or the suspect is the last live peer).
+func (c *Cluster) evictByQuorum(s, from, votes, quorum int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s < 0 || s >= len(c.peers) || c.left[s] || c.fenced[s] {
+		return false
+	}
+	if from < 0 || from >= len(c.peers) || c.left[from] || c.fenced[from] {
+		return false // the proposer itself was evicted meanwhile
+	}
+	if c.ring.NumAlive() < 2 {
+		return false
+	}
+	c.mEvictQuorum.Add(1)
+	c.trace.Record(telemetry.EvEvict, int32(s), -1, float64(votes), int64(quorum))
+	if c.peers[s] == nil {
+		return c.leaveLocked(s) == nil
+	}
+	c.fenced[s] = true
+	c.epochs[s]++
+	c.pushAddrsLocked()
+	return true
+}
+
+// reconcileFenced completes a fenced slot's departure once a
+// quorum-connected vantage reaches it again: an anti-entropy view
+// exchange hands the healed peer the current membership view (ring
+// state plus epoch vector) so it reroutes its parked updates, then the
+// slot leaves normally — its rows, dedup tables and queues migrate to
+// its ring successor, which restores the single-owner invariant for
+// every document it held.
+func (c *Cluster) reconcileFenced(s, from int) {
+	c.mu.Lock()
+	if s < 0 || s >= len(c.peers) || c.left[s] || !c.fenced[s] || c.peers[s] == nil ||
+		from < 0 || from >= len(c.peers) || c.left[from] || c.fenced[from] || c.peers[from] == nil {
+		c.mu.Unlock()
+		return
+	}
+	q := c.peers[from]
+	c.mu.Unlock()
+	// The exchange dials outside the cluster lock; a failure means the
+	// heal was premature and the next detector round retries.
+	if err := q.ExchangeView(p2p.PeerID(s)); err != nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.left[s] || !c.fenced[s] {
+		return // another vantage reconciled first
+	}
+	c.trace.Record(telemetry.EvHeal, int32(s), -1, 0, int64(from))
+	c.fenced[s] = false
+	c.leaveLocked(s) // best effort; a failed leave re-fences nothing — the detector retries
 }
 
 // sortDocs orders a document slice ascending (insertion sort is fine:
@@ -558,7 +727,7 @@ func snapStats(s *PeerSnapshot) PeerStats {
 		Retries: s.Retries, Reconnects: s.Reconnects,
 		Redeliveries: s.Redeliveries, Coalesced: s.Coalesced,
 		DupDropped: s.DupDropped, Forwarded: s.Forwarded,
-		Misdropped:   s.Misdropped,
+		Misdropped: s.Misdropped, EpochRejected: s.EpochRejected,
 		DeltaShipped: s.DeltaShipped, DeltaFolded: s.DeltaFolded,
 	}
 }
@@ -574,6 +743,7 @@ func addStats(a, b PeerStats) PeerStats {
 	a.DupDropped += b.DupDropped
 	a.Forwarded += b.Forwarded
 	a.Misdropped += b.Misdropped
+	a.EpochRejected += b.EpochRejected
 	a.DeltaShipped += b.DeltaShipped
 	a.DeltaFolded += b.DeltaFolded
 	return a
@@ -594,12 +764,14 @@ func (c *Cluster) Run(timeout time.Duration) (ClusterResult, error) {
 			p.Start()
 		}
 	}
-	heartbeat := c.cfg.Heartbeat
-	c.mu.Unlock()
-	if heartbeat > 0 {
-		c.fdWg.Add(1)
-		go c.failureDetector(heartbeat)
+	if c.cfg.Heartbeat > 0 {
+		for i := range c.peers {
+			if !c.left[i] {
+				c.startDetectorLocked(i)
+			}
+		}
 	}
+	c.mu.Unlock()
 	res := ClusterResult{}
 	var prevSent, prevProcessed uint64 = ^uint64(0), ^uint64(0)
 	deadline := time.Now().Add(timeout)
@@ -632,58 +804,12 @@ func (c *Cluster) Run(timeout time.Duration) (ClusterResult, error) {
 	res.Joins = c.mJoins.Load()
 	res.Leaves = c.mLeaves.Load()
 	res.Migrated = c.mMigrated.Load()
+	res.EvictionsQuorum = c.mEvictQuorum.Load()
+	res.EvictionsRefused = c.mEvictRefused.Load()
+	res.EpochRejected = st.EpochRejected
 	res.Elapsed = time.Since(start)
 	c.Close()
 	return res, nil
-}
-
-// failureDetector pings every non-departed slot each interval and
-// permanently removes (Leave) any slot that misses SuspectAfter
-// consecutive pings. Observer traffic passes fault injectors
-// untouched, so injected drop/reset faults cannot produce false
-// positives — only a genuinely dead listener (or a hung peer) misses.
-func (c *Cluster) failureDetector(interval time.Duration) {
-	defer c.fdWg.Done()
-	ticker := time.NewTicker(interval)
-	defer ticker.Stop()
-	misses := make(map[int]int)
-	for {
-		select {
-		case <-c.fdQuit:
-			return
-		case <-ticker.C:
-		}
-		c.mu.Lock()
-		type target struct {
-			slot int
-			addr string
-		}
-		var targets []target
-		for i := range c.peers {
-			if !c.left[i] {
-				targets = append(targets, target{slot: i, addr: c.addrs[i]})
-			}
-		}
-		threshold := c.cfg.SuspectAfter
-		c.mu.Unlock()
-		for _, t := range targets {
-			if pingPeer(c.cfg.Transport, t.addr, interval) == nil {
-				delete(misses, t.slot)
-				continue
-			}
-			misses[t.slot]++
-			if misses[t.slot] < threshold {
-				continue
-			}
-			delete(misses, t.slot)
-			c.mu.Lock()
-			if !c.left[t.slot] && c.ring.NumAlive() >= 2 {
-				c.trace.Record(telemetry.EvEvict, int32(t.slot), -1, 0, int64(threshold))
-				c.leaveLocked(t.slot) // best effort; a failed leave retries next round
-			}
-			c.mu.Unlock()
-		}
-	}
 }
 
 // slotView is a consistent copy of the cluster's slot table.
@@ -831,31 +957,7 @@ func collectRanks(tr Transport, addr string, out []float64) error {
 	return err
 }
 
-// pingPeer performs one heartbeat round-trip under a deadline.
-func pingPeer(tr Transport, addr string, timeout time.Duration) error {
-	if timeout < 50*time.Millisecond {
-		timeout = 50 * time.Millisecond
-	}
-	conn, err := observerDial(tr, addr)
-	if err != nil {
-		return err
-	}
-	defer conn.Close()
-	conn.SetDeadline(time.Now().Add(timeout))
-	if err := writeFrame(conn, framePing, nil); err != nil {
-		return err
-	}
-	typ, _, err := readFrame(conn)
-	if err != nil {
-		return err
-	}
-	if typ != framePong {
-		return fmt.Errorf("wire: unexpected frame %c to ping", typ)
-	}
-	return nil
-}
-
-// Close stops the failure detector, the debug listener (if any) and
+// Close stops the failure detectors, the debug listener (if any) and
 // every peer.
 func (c *Cluster) Close() {
 	c.fdStop.Do(func() { close(c.fdQuit) })
@@ -920,13 +1022,14 @@ func (c *Cluster) NumPeers() int {
 	return len(c.peers)
 }
 
-// NumLive returns the number of live (running, non-departed) peers.
+// NumLive returns the number of live (running, non-departed,
+// non-fenced) peers.
 func (c *Cluster) NumLive() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := 0
 	for i, p := range c.peers {
-		if p != nil && !c.left[i] {
+		if p != nil && !c.left[i] && !c.fenced[i] {
 			n++
 		}
 	}

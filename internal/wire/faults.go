@@ -60,21 +60,17 @@ type FaultTransport struct {
 	mu    sync.Mutex
 	rng   *rng.Rand
 	cfg   FaultConfig
-	cut   map[pairKey]bool
-	conns map[pairKey]map[*faultConn]struct{}
+	cut   map[dirKey]bool
+	conns map[dirKey]map[*faultConn]struct{}
 
 	drops, resets, dups, delays, dialFails, refusals atomic.Uint64
 }
 
-// pairKey identifies an unordered peer pair.
-type pairKey struct{ lo, hi p2p.PeerID }
-
-func pairOf(a, b p2p.PeerID) pairKey {
-	if a > b {
-		a, b = b, a
-	}
-	return pairKey{a, b}
-}
+// dirKey identifies one direction of a peer pair: cuts are kept per
+// direction so a one-way partition (a can no longer reach b, while b
+// still reaches a) is expressible — the asymmetric link failure that
+// makes a's detector suspect b while nobody else concurs.
+type dirKey struct{ from, to p2p.PeerID }
 
 // NewFaultTransport wraps inner with the given fault schedule.
 func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
@@ -85,8 +81,8 @@ func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
 		inner: inner,
 		rng:   rng.New(cfg.Seed),
 		cfg:   cfg,
-		cut:   make(map[pairKey]bool),
-		conns: make(map[pairKey]map[*faultConn]struct{}),
+		cut:   make(map[dirKey]bool),
+		conns: make(map[dirKey]map[*faultConn]struct{}),
 	}
 }
 
@@ -100,12 +96,41 @@ func (t *FaultTransport) SetConfig(cfg FaultConfig) {
 // Partition cuts the pair (a, b) in both directions: established
 // connections are reset and new dials refused until Heal.
 func (t *FaultTransport) Partition(a, b p2p.PeerID) {
-	key := pairOf(a, b)
+	t.cutDirs(dirKey{a, b}, dirKey{b, a})
+}
+
+// PartitionOneWay cuts only the a -> b direction: a's dials to b are
+// refused and a's established connections to b are reset, while b
+// keeps dialing (and pinging) a normally. Because the fault injector
+// wraps only the dialing side's connection, the asymmetry is exact:
+// a suspects b, b does not suspect a.
+func (t *FaultTransport) PartitionOneWay(a, b p2p.PeerID) {
+	t.cutDirs(dirKey{a, b})
+}
+
+// Split partitions two peer groups from each other: every cross-group
+// direction is cut (intra-group traffic is untouched). It is the
+// majority/minority scenario in one call.
+func (t *FaultTransport) Split(a, b []p2p.PeerID) {
+	keys := make([]dirKey, 0, 2*len(a)*len(b))
+	for _, x := range a {
+		for _, y := range b {
+			keys = append(keys, dirKey{x, y}, dirKey{y, x})
+		}
+	}
+	t.cutDirs(keys...)
+}
+
+// cutDirs installs directional cuts and resets the affected
+// connections.
+func (t *FaultTransport) cutDirs(keys ...dirKey) {
 	t.mu.Lock()
-	t.cut[key] = true
 	var victims []*faultConn
-	for c := range t.conns[key] {
-		victims = append(victims, c)
+	for _, key := range keys {
+		t.cut[key] = true
+		for c := range t.conns[key] {
+			victims = append(victims, c)
+		}
 	}
 	t.mu.Unlock()
 	for _, c := range victims {
@@ -113,11 +138,19 @@ func (t *FaultTransport) Partition(a, b p2p.PeerID) {
 	}
 }
 
-// Heal removes the partition between a and b.
+// Heal removes the partition between a and b (both directions).
 func (t *FaultTransport) Heal(a, b p2p.PeerID) {
-	key := pairOf(a, b)
 	t.mu.Lock()
-	delete(t.cut, key)
+	delete(t.cut, dirKey{a, b})
+	delete(t.cut, dirKey{b, a})
+	t.mu.Unlock()
+}
+
+// HealAll removes every scripted cut (pair partitions, one-way cuts
+// and group splits alike).
+func (t *FaultTransport) HealAll() {
+	t.mu.Lock()
+	clear(t.cut)
 	t.mu.Unlock()
 }
 
@@ -135,7 +168,7 @@ func (t *FaultTransport) Dial(from, to p2p.PeerID, addr string) (net.Conn, error
 	if from == Observer || to == Observer {
 		return t.inner.Dial(from, to, addr)
 	}
-	key := pairOf(from, to)
+	key := dirKey{from, to}
 	t.mu.Lock()
 	if t.cut[key] {
 		t.mu.Unlock()
@@ -164,11 +197,15 @@ func (t *FaultTransport) Dial(from, to p2p.PeerID, addr string) (net.Conn, error
 	return fc, nil
 }
 
-// faultConn applies the write-side faults of its FaultTransport.
+// faultConn applies the write-side faults of its FaultTransport. The
+// key is the dialing direction: a directional cut installed after the
+// dial still resets this connection, but only from the cut side —
+// frames the server side writes back (acks, pongs) are not wrapped,
+// which is exactly the asymmetry a one-way partition models.
 type faultConn struct {
 	net.Conn
 	t    *FaultTransport
-	key  pairKey
+	key  dirKey
 	dead atomic.Bool
 }
 

@@ -8,9 +8,10 @@ import (
 	"dpr/internal/p2p"
 )
 
-// fuzzSeedSnapshot is a representative v2 snapshot exercising every
+// fuzzSeedSnapshot is a representative v3 snapshot exercising every
 // record kind: documents, stream-keyed dedup entries, own and adopted
-// outbound streams, unacked frames and pending updates.
+// outbound streams, unacked frames, pending updates and the
+// ownership-epoch vector.
 func fuzzSeedSnapshot() *PeerSnapshot {
 	return &PeerSnapshot{
 		ID:   1,
@@ -22,6 +23,10 @@ func fuzzSeedSnapshot() *PeerSnapshot {
 			{Src: 0, Dest: 1, Seq: 12},
 			{Src: 2, Dest: 4, Seq: 3},
 		},
+		Rejected: []SeqEntry{
+			{Src: 0, Dest: 1, Seq: 9},
+			{Src: 2, Dest: 4, Seq: 2},
+		},
 		Outbound: []OutboundState{
 			{
 				Src: 1, Dest: 0, NextSeq: 4,
@@ -31,9 +36,56 @@ func fuzzSeedSnapshot() *PeerSnapshot {
 			{Src: 4, Dest: 2, NextSeq: 2,
 				Unacked: []UnackedFrame{{Seq: 1, Updates: []p2p.Update{{Doc: 3, Delta: 1}}}}},
 		},
-		Sent: 42, Processed: 40, Forwarded: 2,
+		Epochs: []uint64{1, 0, 4, 0, 2},
+		Sent:   42, Processed: 40, Forwarded: 2, EpochRejected: 1,
 		DeltaShipped: 3.5, DeltaFolded: 3.25,
 	}
+}
+
+// FuzzDecodeFrames hammers the partition-tolerance frame codecs —
+// epoch-stamped batches, suspicion gossip, membership views and
+// stale-epoch nacks — with corrupted and adversarial payloads. None
+// may panic or over-allocate, and accepted input must round-trip
+// through its encoder.
+func FuzzDecodeFrames(f *testing.F) {
+	batch := encodeBatchEpoch(1, 2, 7, 3, []p2p.Update{{Doc: 4, Delta: 0.5}, {Doc: 9, Delta: -1}})
+	gossip := encodeGossip(3, []p2p.PeerID{0, 5})
+	view := encodeView(View{
+		Addrs:  []string{"a:1", "", "c:3"},
+		Epochs: []uint64{2, 0, 9},
+		Gone:   []bool{false, true, false},
+		Fwd:    []p2p.PeerID{p2p.NoPeer, 2, p2p.NoPeer},
+	})
+	nack := encodeNackEpoch(12, 5)
+	for _, seed := range [][]byte{batch, gossip, view, nack, nil, {0xff}} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if sender, origDest, seq, epoch, us, err := decodeBatchEpoch(data); err == nil {
+			again := encodeBatchEpoch(sender, origDest, seq, epoch, us)
+			if !bytes.Equal(data, again) {
+				t.Fatalf("batch-epoch round trip mismatch: %x != %x", data, again)
+			}
+		}
+		if from, sus, err := decodeGossip(data); err == nil {
+			again := encodeGossip(from, sus)
+			if !bytes.Equal(data, again) {
+				t.Fatalf("gossip round trip mismatch: %x != %x", data, again)
+			}
+		}
+		if v, err := decodeView(data); err == nil {
+			again := encodeView(v)
+			if !bytes.Equal(data, again) {
+				t.Fatalf("view round trip mismatch: %x != %x", data, again)
+			}
+		}
+		if seq, epoch, err := decodeNackEpoch(data); err == nil {
+			again := encodeNackEpoch(seq, epoch)
+			if !bytes.Equal(data, again) {
+				t.Fatalf("nack round trip mismatch: %x != %x", data, again)
+			}
+		}
+	})
 }
 
 // FuzzDecodeCheckpoint hammers the snapshot decoder with corrupted,

@@ -43,7 +43,7 @@ func assertNoGoroutineLeaks(t *testing.T) func() {
 			for _, g := range strings.Split(string(buf[:n]), "\n\n") {
 				for _, worker := range []string{
 					"wire.(*Peer)", "wire.(*sender)", "wire.(*HTTPPeer)", "wire.(*Cluster)",
-					"telemetry.(*DebugServer)",
+					"wire.(*detector)", "telemetry.(*DebugServer)",
 				} {
 					if strings.Contains(g, worker) {
 						leaked = append(leaked, g)

@@ -8,15 +8,16 @@ import "dpr/internal/telemetry"
 // the telemetry registry, so /metrics, the conservation tests, and the
 // end-of-run result structs all see the same numbers.
 type peerMetrics struct {
-	sent         *telemetry.Counter // update messages shipped to other peers
-	processed    *telemetry.Counter // update messages consumed (folded or coalesced)
-	retries      *telemetry.Counter // frame transmissions past a frame's first attempt
-	reconnects   *telemetry.Counter // successful re-dials after a connection loss
-	redeliveries *telemetry.Counter // frames acknowledged after more than one attempt
-	coalesced    *telemetry.Counter // updates absorbed by sender-side delta coalescing
-	dupDropped   *telemetry.Counter // duplicate frames suppressed by seq dedup
-	forwarded    *telemetry.Counter // misrouted updates re-shipped to the current owner
-	misdropped   *telemetry.Counter // updates with no resolvable owner (must stay 0)
+	sent          *telemetry.Counter // update messages shipped to other peers
+	processed     *telemetry.Counter // update messages consumed (folded or coalesced)
+	retries       *telemetry.Counter // frame transmissions past a frame's first attempt
+	reconnects    *telemetry.Counter // successful re-dials after a connection loss
+	redeliveries  *telemetry.Counter // frames acknowledged after more than one attempt
+	coalesced     *telemetry.Counter // updates absorbed by sender-side delta coalescing
+	dupDropped    *telemetry.Counter // duplicate frames suppressed by seq dedup
+	forwarded     *telemetry.Counter // misrouted updates re-shipped to the current owner
+	misdropped    *telemetry.Counter // updates with no resolvable owner (must stay 0)
+	epochRejected *telemetry.Counter // frames nacked for carrying a stale ownership epoch
 
 	// The conservation pair: delta mass originated versus delta mass
 	// folded. At quiescence the two must be equal (dprlint's
@@ -31,35 +32,37 @@ type peerMetrics struct {
 
 func newPeerMetrics(reg *telemetry.Registry) peerMetrics {
 	return peerMetrics{
-		sent:         reg.Counter("wire_sent"),
-		processed:    reg.Counter("wire_processed"),
-		retries:      reg.Counter("wire_retries"),
-		reconnects:   reg.Counter("wire_reconnects"),
-		redeliveries: reg.Counter("wire_redeliveries"),
-		coalesced:    reg.Counter("wire_coalesced"),
-		dupDropped:   reg.Counter("wire_dup_dropped"),
-		forwarded:    reg.Counter("wire_forwarded"),
-		misdropped:   reg.Counter("wire_misdropped"),
-		deltaShipped: reg.FloatCounter("wire_delta_shipped"),
-		deltaFolded:  reg.FloatCounter("wire_delta_folded"),
-		rankMass:     reg.Gauge("wire_rank_mass"),
+		sent:          reg.Counter("wire_sent"),
+		processed:     reg.Counter("wire_processed"),
+		retries:       reg.Counter("wire_retries"),
+		reconnects:    reg.Counter("wire_reconnects"),
+		redeliveries:  reg.Counter("wire_redeliveries"),
+		coalesced:     reg.Counter("wire_coalesced"),
+		dupDropped:    reg.Counter("wire_dup_dropped"),
+		forwarded:     reg.Counter("wire_forwarded"),
+		misdropped:    reg.Counter("wire_misdropped"),
+		epochRejected: reg.Counter("wire_epoch_rejected"),
+		deltaShipped:  reg.FloatCounter("wire_delta_shipped"),
+		deltaFolded:   reg.FloatCounter("wire_delta_folded"),
+		rankMass:      reg.Gauge("wire_rank_mass"),
 	}
 }
 
 // stats reads the full counter set.
 func (m *peerMetrics) stats() PeerStats {
 	return PeerStats{
-		Sent:         m.sent.Load(),
-		Processed:    m.processed.Load(),
-		Retries:      m.retries.Load(),
-		Reconnects:   m.reconnects.Load(),
-		Redeliveries: m.redeliveries.Load(),
-		Coalesced:    m.coalesced.Load(),
-		DupDropped:   m.dupDropped.Load(),
-		Forwarded:    m.forwarded.Load(),
-		Misdropped:   m.misdropped.Load(),
-		DeltaShipped: m.deltaShipped.Load(),
-		DeltaFolded:  m.deltaFolded.Load(),
+		Sent:          m.sent.Load(),
+		Processed:     m.processed.Load(),
+		Retries:       m.retries.Load(),
+		Reconnects:    m.reconnects.Load(),
+		Redeliveries:  m.redeliveries.Load(),
+		Coalesced:     m.coalesced.Load(),
+		DupDropped:    m.dupDropped.Load(),
+		Forwarded:     m.forwarded.Load(),
+		Misdropped:    m.misdropped.Load(),
+		EpochRejected: m.epochRejected.Load(),
+		DeltaShipped:  m.deltaShipped.Load(),
+		DeltaFolded:   m.deltaFolded.Load(),
 	}
 }
 
@@ -76,6 +79,7 @@ func (m *peerMetrics) restore(s *PeerSnapshot) {
 	m.dupDropped.Store(s.DupDropped)
 	m.forwarded.Store(s.Forwarded)
 	m.misdropped.Store(s.Misdropped)
+	m.epochRejected.Store(s.EpochRejected)
 	m.deltaShipped.Store(s.DeltaShipped)
 	m.deltaFolded.Store(s.DeltaFolded)
 }

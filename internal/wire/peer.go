@@ -91,6 +91,19 @@ type PeerConfig struct {
 	// Trace, when non-nil, receives convergence events (ship, fold,
 	// retry, reconnect) from this peer.
 	Trace *telemetry.Trace
+
+	// Epochs seeds the peer's per-slot ownership-epoch vector (indexed
+	// by PeerID). Nil starts every slot at epoch 0. The cluster passes
+	// its current vector so a restarted or joining peer stamps outbound
+	// frames with up-to-date epochs from its first frame on.
+	Epochs []uint64
+
+	// Gossip, when non-nil, is invoked for every suspicion-gossip ping
+	// this peer serves: it receives the pinging slot's suspicion set and
+	// returns this slot's own, which rides back on the pong. The cluster
+	// wires it to the slot's failure-detector vantage; a nil hook serves
+	// legacy empty pongs.
+	Gossip func(from p2p.PeerID, suspects []p2p.PeerID) []p2p.PeerID
 }
 
 // stream identifies one exactly-once delivery sequence: the sender and
@@ -126,11 +139,17 @@ type Peer struct {
 	ln    net.Listener
 	addr  string
 
-	// Peer address table; mutated when a crashed peer rejoins at a
-	// new address or a departed peer's slot is redirected to its
-	// successor, so reads always go through peerAddr.
+	// Membership view: the address table plus, per slot, the ownership
+	// epoch of the slot's key range, whether the slot departed, and the
+	// slot that adopted a departed slot's state. Mutated when a crashed
+	// peer rejoins at a new address, a departed peer's slot is
+	// redirected to its successor, or an anti-entropy digest merges a
+	// higher-epoch view; reads always go through peerAddr/epochOf/view.
 	peersMu sync.Mutex
 	peers   []string
+	epochs  []uint64
+	gone    []bool
+	fwd     []p2p.PeerID
 
 	// Outbound senders, created lazily, keyed by delivery stream,
 	// plus the shared retry queue holding not-yet-framed updates per
@@ -152,6 +171,18 @@ type Peer struct {
 	// sequence number per delivery stream. Owned by processLoop; read
 	// elsewhere only after the loops have stopped (Kill).
 	lastSeq map[stream]uint64
+
+	// rejected remembers epoch-rejected sequence numbers per stream.
+	// lastSeq can legitimately advance past a rejected frame (a later
+	// frame stamped with the refreshed epoch folds first), so without
+	// this memory a retransmission of the rejected frame — sent because
+	// the nack was lost with its connection — would be mistaken for a
+	// duplicate of a folded frame and acknowledged, silently discarding
+	// updates that never folded anywhere. Seqs listed here bypass
+	// duplicate suppression and go back through the epoch fence: still
+	// stale re-nacks, a re-stamped copy at the current epoch folds.
+	// Same ownership discipline as lastSeq.
+	rejected map[stream]map[uint64]struct{}
 
 	restored bool // resumed from a snapshot: skip the initial push
 
@@ -177,8 +208,15 @@ type inItem struct {
 	us       []p2p.Update
 	ack      func() // transmits the cumulative ack; nil for local items
 
-	adopt *Handoff  // nil unless this item carries a state handoff
-	shed  *shedReq  // nil unless this item requests a document shed
+	// Epoch fencing: hasEpoch marks frames that carry the sender's
+	// ownership epoch for origDest; nack transmits the per-frame
+	// stale-epoch rejection with this receiver's current epoch.
+	epoch    uint64
+	hasEpoch bool
+	nack     func(cur uint64)
+
+	adopt *Handoff // nil unless this item carries a state handoff
+	shed  *shedReq // nil unless this item requests a document shed
 }
 
 // shedReq asks the processing loop to extract ranker rows for a
@@ -200,6 +238,7 @@ type PeerStats struct {
 	Retries, Reconnects, Redeliveries uint64
 	Coalesced, DupDropped             uint64
 	Forwarded, Misdropped             uint64
+	EpochRejected                     uint64
 	DeltaShipped, DeltaFolded         float64
 }
 
@@ -227,21 +266,23 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 	}
 	m := newPeerMetrics(cfg.Registry)
 	p := &Peer{
-		cfg:     cfg,
-		tr:      cfg.Transport,
-		retry:   cfg.Retry.withDefaults(),
-		rk:      newRanker(cfg, m.rankMass),
-		ln:      ln,
-		addr:    ln.Addr().String(),
-		senders: make(map[stream]*sender),
-		rq:      p2p.NewRetryQueue(),
-		ins:     make(map[net.Conn]struct{}),
-		inbox:   make(chan inItem, 1024),
-		quit:    make(chan struct{}),
-		lastSeq: make(map[stream]uint64),
-		m:       m,
-		reg:     cfg.Registry,
-		trace:   cfg.Trace,
+		cfg:      cfg,
+		tr:       cfg.Transport,
+		retry:    cfg.Retry.withDefaults(),
+		rk:       newRanker(cfg, m.rankMass),
+		ln:       ln,
+		addr:     ln.Addr().String(),
+		senders:  make(map[stream]*sender),
+		rq:       p2p.NewRetryQueue(),
+		ins:      make(map[net.Conn]struct{}),
+		inbox:    make(chan inItem, 1024),
+		quit:     make(chan struct{}),
+		lastSeq:  make(map[stream]uint64),
+		rejected: make(map[stream]map[uint64]struct{}),
+		epochs:   append([]uint64(nil), cfg.Epochs...),
+		m:        m,
+		reg:      cfg.Registry,
+		trace:    cfg.Trace,
 	}
 	p.wg.Add(1)
 	go p.acceptLoop()
@@ -274,6 +315,166 @@ func (p *Peer) peerAddr(dest p2p.PeerID) string {
 		return ""
 	}
 	return p.peers[dest]
+}
+
+// SetView installs the full membership view: address table, ownership
+// epochs, departed flags and forwarding slots. Pushed by the cluster
+// on every membership change; SetPeers remains the address-only legacy
+// entry point.
+func (p *Peer) SetView(v View) {
+	p.peersMu.Lock()
+	p.peers = append([]string(nil), v.Addrs...)
+	p.epochs = append([]uint64(nil), v.Epochs...)
+	p.gone = append([]bool(nil), v.Gone...)
+	p.fwd = append([]p2p.PeerID(nil), v.Fwd...)
+	p.peersMu.Unlock()
+}
+
+// view snapshots the peer's current membership view.
+func (p *Peer) view() View {
+	p.peersMu.Lock()
+	defer p.peersMu.Unlock()
+	return View{
+		Addrs:  append([]string(nil), p.peers...),
+		Epochs: append([]uint64(nil), p.epochs...),
+		Gone:   append([]bool(nil), p.gone...),
+		Fwd:    append([]p2p.PeerID(nil), p.fwd...),
+	}
+}
+
+// growViewLocked extends the view slices to cover n slots. Caller
+// holds peersMu.
+func (p *Peer) growViewLocked(n int) {
+	for len(p.peers) < n {
+		p.peers = append(p.peers, "")
+	}
+	for len(p.epochs) < n {
+		p.epochs = append(p.epochs, 0)
+	}
+	for len(p.gone) < n {
+		p.gone = append(p.gone, false)
+	}
+	for len(p.fwd) < n {
+		p.fwd = append(p.fwd, p2p.NoPeer)
+	}
+}
+
+// epochOf reads this peer's epoch for a slot's key range (0 when the
+// slot is unknown).
+func (p *Peer) epochOf(slot p2p.PeerID) uint64 {
+	p.peersMu.Lock()
+	defer p.peersMu.Unlock()
+	if slot < 0 || int(slot) >= len(p.epochs) {
+		return 0
+	}
+	return p.epochs[slot]
+}
+
+// adoptEpoch raises this peer's epoch for a slot's key range. Called
+// when a frame or nack proves a higher epoch exists: the ownership
+// transfer that minted it strictly precedes the evidence, so adopting
+// the number (never lowering it) is always safe.
+func (p *Peer) adoptEpoch(slot p2p.PeerID, epoch uint64) {
+	if slot < 0 {
+		return
+	}
+	p.peersMu.Lock()
+	p.growViewLocked(int(slot) + 1)
+	if epoch > p.epochs[slot] {
+		p.epochs[slot] = epoch
+	}
+	p.peersMu.Unlock()
+}
+
+// mergeView folds an anti-entropy digest into this peer's view: per
+// slot the higher epoch wins, bringing its address, departed flag and
+// forwarding slot along. For slots the merge newly marks departed, the
+// routing table is rewritten to the forwarding chain's end and queued
+// updates are rerouted — this is how a healed minority peer's parked
+// updates chase documents that migrated while it was cut off.
+func (p *Peer) mergeView(v View) {
+	n := v.viewSlots()
+	type redirect struct{ from, to p2p.PeerID }
+	var redirects []redirect
+	p.peersMu.Lock()
+	p.growViewLocked(n)
+	newlyGone := make([]p2p.PeerID, 0, 2)
+	for i := 0; i < n; i++ {
+		var e uint64
+		if i < len(v.Epochs) {
+			e = v.Epochs[i]
+		}
+		if e <= p.epochs[i] {
+			continue
+		}
+		p.epochs[i] = e
+		wasGone := p.gone[i]
+		if i < len(v.Addrs) && v.Addrs[i] != "" {
+			p.peers[i] = v.Addrs[i]
+		}
+		if i < len(v.Gone) {
+			p.gone[i] = v.Gone[i]
+		}
+		if i < len(v.Fwd) {
+			p.fwd[i] = v.Fwd[i]
+		}
+		if !wasGone && p.gone[i] {
+			newlyGone = append(newlyGone, p2p.PeerID(i))
+		}
+	}
+	for _, slot := range newlyGone {
+		// Resolve the forwarding chain inside the merged view: the
+		// adopting successor may itself have departed since.
+		j := slot
+		for hops := 0; int(j) < len(p.gone) && p.gone[j] && p.fwd[j] != p2p.NoPeer && hops <= len(p.gone); hops++ {
+			j = p.fwd[j]
+		}
+		if j != slot {
+			redirects = append(redirects, redirect{from: slot, to: j})
+		}
+	}
+	p.peersMu.Unlock()
+	for _, r := range redirects {
+		p.rk.rerouteOwner(r.from, r.to)
+	}
+	if len(redirects) > 0 {
+		p.rerouteQueued()
+	}
+	p.wakeSenders()
+}
+
+// ExchangeView performs one anti-entropy round trip with dest: both
+// sides merge the other's (membership, epoch vector) digest, so after
+// a partition heals the two views reconcile to the highest-epoch owner
+// of every key range. Called by the cluster when a fenced slot becomes
+// reachable again.
+func (p *Peer) ExchangeView(dest p2p.PeerID) error {
+	addr := p.peerAddr(dest)
+	if addr == "" {
+		return fmt.Errorf("wire: no address for peer %d", dest)
+	}
+	conn, err := p.tr.Dial(p.cfg.ID, dest, addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(probeTimeout))
+	if err := writeFrame(conn, frameViewReq, encodeView(p.view())); err != nil {
+		return err
+	}
+	typ, payload, err := readFrame(conn)
+	if err != nil {
+		return err
+	}
+	if typ != frameViewResp {
+		return fmt.Errorf("wire: unexpected frame %c to view exchange", typ)
+	}
+	v, err := decodeView(payload)
+	if err != nil {
+		return err
+	}
+	p.mergeView(v)
+	return nil
 }
 
 // Start begins computing: it wakes the senders and performs the
@@ -457,8 +658,43 @@ func (p *Peer) serveConn(conn net.Conn) {
 			case <-p.quit:
 				return
 			}
+		case frameBatchEpoch:
+			from, origDest, seq, epoch, us, err := decodeBatchEpoch(payload)
+			if err != nil {
+				return
+			}
+			it := inItem{from: from, origDest: origDest, seq: seq, seqed: true, us: us,
+				epoch: epoch, hasEpoch: true,
+				ack:  func() { cw.write(frameAck, encodeAck(seq)) },
+				nack: func(cur uint64) { cw.write(frameNackEpoch, encodeNackEpoch(seq, cur)) }}
+			select {
+			case p.inbox <- it:
+			case <-p.quit:
+				return
+			}
 		case framePing:
-			if err := cw.write(framePong, nil); err != nil {
+			// A non-empty ping carries suspicion gossip; the pong answers
+			// with this slot's own suspicion set when the hook is wired.
+			var reply []byte
+			if len(payload) > 0 {
+				from, sus, err := decodeGossip(payload)
+				if err != nil {
+					return
+				}
+				if p.cfg.Gossip != nil {
+					reply = encodeGossip(p.cfg.ID, p.cfg.Gossip(from, sus))
+				}
+			}
+			if err := cw.write(framePong, reply); err != nil {
+				return
+			}
+		case frameViewReq:
+			v, err := decodeView(payload)
+			if err != nil {
+				return
+			}
+			p.mergeView(v)
+			if err := cw.write(frameViewResp, encodeView(p.view())); err != nil {
 				return
 			}
 		case frameSnapReq:
@@ -529,14 +765,59 @@ func (p *Peer) consume(items []inItem) {
 		}
 		if it.seqed {
 			key := stream{src: it.from, dest: it.origDest}
-			if it.seq <= p.lastSeq[key] {
+			// Dedup strictly before the epoch check: a retransmission of a
+			// frame that was folded before the range migrated here must be
+			// re-acked, never epoch-nacked — a nack would requeue updates
+			// whose originals were already folded. Sequence numbers the
+			// epoch fence rejected are exempt: lastSeq may have advanced
+			// past them when a later refreshed-epoch frame folded, but
+			// their updates never folded, so a retransmission (sent
+			// because the nack was lost) must face the fence again rather
+			// than be acknowledged as a duplicate.
+			_, wasRejected := p.rejected[key][it.seq]
+			if it.seq <= p.lastSeq[key] && !wasRejected {
 				p.m.dupDropped.Add(1)
 				if it.ack != nil {
 					it.ack() // re-ack so the sender can discard the frame
 				}
 				continue
 			}
-			p.lastSeq[key] = it.seq
+			if it.hasEpoch {
+				local := p.epochOf(it.origDest)
+				if it.epoch < local {
+					// The sender missed an ownership transfer of this key
+					// range: reject without folding or advancing dedup. The
+					// nack carries our epoch so the sender catches up and
+					// re-routes the updates by its refreshed owner table.
+					p.m.epochRejected.Add(1)
+					p.event(telemetry.EvEpochReject, float64(it.epoch), int64(it.origDest))
+					if p.rejected[key] == nil {
+						p.rejected[key] = make(map[uint64]struct{})
+					}
+					p.rejected[key][it.seq] = struct{}{}
+					if it.nack != nil {
+						it.nack(local)
+					}
+					continue
+				}
+				if it.epoch > local {
+					// We are the ones behind. The frame's epoch proves the
+					// transfer that minted it already happened, so adopt the
+					// number and fold: an eviction always stops the previous
+					// owner before its range migrates, so a higher-epoch
+					// frame can never race a live older owner.
+					p.adoptEpoch(it.origDest, it.epoch)
+				}
+			}
+			if wasRejected {
+				delete(p.rejected[key], it.seq)
+				if len(p.rejected[key]) == 0 {
+					delete(p.rejected, key)
+				}
+			}
+			if it.seq > p.lastSeq[key] {
+				p.lastSeq[key] = it.seq
+			}
 			acks = append(acks, it)
 		}
 		batch = append(batch, it.us...)
@@ -678,13 +959,14 @@ func (p *Peer) newSender(st stream) *sender {
 }
 
 // UpdateOwnership applies a membership change pushed by the cluster:
-// docs now belong to owner, and addrs is the refreshed address table
-// (departed slots redirected to their successor's address). Pending
-// retry-queue entries are rerouted to their documents' current owners
-// so updates parked for a departed peer chase the documents to
-// wherever they migrated.
-func (p *Peer) UpdateOwnership(docs []graph.NodeID, owner p2p.PeerID, addrs []string) {
-	p.SetPeers(addrs)
+// docs now belong to owner, and v is the refreshed membership view
+// (departed slots redirected to their successor's address, epochs
+// bumped for the ranges the transfer touched). Pending retry-queue
+// entries are rerouted to their documents' current owners so updates
+// parked for a departed peer chase the documents to wherever they
+// migrated.
+func (p *Peer) UpdateOwnership(docs []graph.NodeID, owner p2p.PeerID, v View) {
+	p.SetView(v)
 	p.rk.setOwner(docs, owner)
 	p.rerouteQueued()
 	p.wakeSenders()
@@ -763,10 +1045,20 @@ func (p *Peer) Adopt(h *Handoff) error {
 func (p *Peer) applyAdopt(h *Handoff) {
 	defer close(h.done)
 	p.rk.adopt(h.Docs, h.Rank, h.Acc, h.Last)
+	for i, e := range h.Epochs {
+		p.adoptEpoch(p2p.PeerID(i), e)
+	}
 	for st, seq := range h.LastSeq {
 		if seq > p.lastSeq[st] {
 			p.lastSeq[st] = seq
 		}
+	}
+	for _, e := range h.Rejected {
+		st := stream{src: e.Src, dest: e.Dest}
+		if p.rejected[st] == nil {
+			p.rejected[st] = make(map[uint64]struct{})
+		}
+		p.rejected[st][e.Seq] = struct{}{}
 	}
 	for _, ob := range h.Outbound {
 		st := stream{src: ob.Src, dest: ob.Dest}
@@ -796,7 +1088,11 @@ func (p *Peer) installAdoptedSender(st stream, ob OutboundState) {
 	s.nextSeq = ob.NextSeq
 	for _, uf := range ob.Unacked {
 		fr := &frameRec{seq: uf.Seq, updates: len(uf.Updates)}
-		fr.bytes = frameBytes(frameBatchStrm, encodeBatchStrm(st.src, st.dest, uf.Seq, uf.Updates))
+		// Re-encode under the restorer's current epoch for the range:
+		// stream and seq identity are preserved (dedup still works),
+		// but the frame carries a fence-aware epoch so a reconciled
+		// receiver can nack it if ownership moved on.
+		fr.bytes = frameBytes(frameBatchEpoch, encodeBatchEpoch(st.src, st.dest, uf.Seq, p.epochOf(st.dest), uf.Updates))
 		s.unacked = append(s.unacked, fr)
 	}
 	if len(s.unacked) > 0 {
@@ -959,7 +1255,10 @@ func (s *sender) nextFrame() *frameRec {
 	fr := &frameRec{seq: s.nextSeq, updates: len(us)}
 	s.nextSeq++
 	var buf bytes.Buffer
-	writeFrame(&buf, frameBatchStrm, encodeBatchStrm(s.strm.src, s.strm.dest, fr.seq, us))
+	// Fresh frames are stamped with the sender's current epoch for the
+	// destination key range; a receiver that saw a later ownership
+	// transfer of that range nacks the frame instead of folding it.
+	writeFrame(&buf, frameBatchEpoch, encodeBatchEpoch(s.strm.src, s.strm.dest, fr.seq, p.epochOf(s.strm.dest), us))
 	fr.bytes = buf.Bytes()
 	s.unacked = append(s.unacked, fr)
 	return fr
@@ -1058,7 +1357,30 @@ func (s *sender) readAcks(c net.Conn) {
 	defer s.p.wg.Done()
 	for {
 		typ, payload, err := readFrame(c)
-		if err != nil || typ != frameAck {
+		if err != nil {
+			s.closeConn(c)
+			s.wakeUp()
+			return
+		}
+		if typ == frameNackEpoch {
+			seq, epoch, err := decodeNackEpoch(payload)
+			if err != nil {
+				s.closeConn(c)
+				s.wakeUp()
+				return
+			}
+			s.handleNack(seq, epoch)
+			s.mu.Lock()
+			owed := len(s.unacked) > 0
+			s.mu.Unlock()
+			if owed {
+				c.SetReadDeadline(time.Now().Add(ackTimeout))
+			} else {
+				c.SetReadDeadline(time.Time{})
+			}
+			continue
+		}
+		if typ != frameAck {
 			s.closeConn(c)
 			s.wakeUp()
 			return
@@ -1097,4 +1419,73 @@ func (s *sender) ack(seq uint64) {
 		s.unacked = append([]*frameRec(nil), s.unacked[i:]...)
 	}
 	s.mu.Unlock()
+}
+
+// handleNack processes a stale-epoch rejection: adopt the receiver's
+// epoch for the stream's key range, withdraw exactly the rejected
+// frame, and requeue its updates through the current owner table —
+// the receiver never folded them, so re-originating them under this
+// peer's own streams keeps delivery exactly-once.
+func (s *sender) handleNack(seq, epoch uint64) {
+	s.p.adoptEpoch(s.strm.dest, epoch)
+	var us []p2p.Update
+	s.mu.Lock()
+	for i, fr := range s.unacked {
+		if fr.seq != seq {
+			continue
+		}
+		if _, _, _, decoded, err := decodeFrameBytes(fr.bytes); err == nil {
+			us = decoded
+		} else {
+		}
+		s.unacked = append(s.unacked[:i:i], s.unacked[i+1:]...)
+		break
+	}
+	s.mu.Unlock()
+	if len(us) > 0 {
+		s.p.requeueUpdates(us)
+	}
+	s.wakeUp()
+}
+
+// requeueUpdates re-routes nacked updates by the current owner table.
+// Accounting mirrors rerouteQueued: merges into existing queue entries
+// count as coalesced-and-processed, locally owned documents fold
+// through the inbox, and nothing is re-counted as sent — the updates'
+// origination was counted when they first shipped.
+func (p *Peer) requeueUpdates(us []p2p.Update) {
+	table := p.rk.ownerTable()
+	var selfUs []p2p.Update
+	merged := 0
+	p.rqMu.Lock()
+	for _, u := range us {
+		owner := p2p.NoPeer
+		if int(u.Doc) < len(table) {
+			owner = table[u.Doc]
+		}
+		if owner == p.cfg.ID || owner == p2p.NoPeer {
+			selfUs = append(selfUs, u)
+			continue
+		}
+		if p.rq.DeferMerge(owner, u) {
+			merged++
+		}
+	}
+	dests := p.rq.Dests()
+	p.rqMu.Unlock()
+	if merged > 0 {
+		p.m.coalesced.Add(uint64(merged))
+		p.m.processed.Add(uint64(merged))
+	}
+	for _, dest := range dests {
+		p.sender(stream{src: p.cfg.ID, dest: dest}).wakeUp()
+	}
+	if len(selfUs) > 0 {
+		// Locally owned (or owner-unresolvable) updates fold or get
+		// forwarded by handle on the processing loop.
+		select {
+		case p.inbox <- inItem{from: p.cfg.ID, us: selfUs}:
+		case <-p.quit:
+		}
+	}
 }

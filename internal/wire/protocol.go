@@ -36,6 +36,19 @@ const (
 	framePing      = 'P' // failure-detector heartbeat request
 	framePong      = 'O' // heartbeat response
 	frameStop      = 'X' // shut down
+
+	// Partition-tolerance frames. frameBatchEpoch supersedes
+	// frameBatchStrm on the live path: it carries the sender's epoch for
+	// the destination key range, so a receiver can fence out frames from
+	// senders that missed an ownership transfer. frameNackEpoch is the
+	// receiver's stale-epoch rejection (carrying its current epoch, so
+	// the sender can catch up and re-route). frameViewReq/frameViewResp
+	// exchange (membership, epoch vector) digests for anti-entropy after
+	// a partition heals.
+	frameBatchEpoch = 'E' // u32 sender, u32 origDest, u64 seq, u64 epoch, then a batch payload
+	frameNackEpoch  = 'N' // u64 seq, u64 epoch: per-frame stale-epoch rejection
+	frameViewReq    = 'W' // anti-entropy request: a view-digest payload
+	frameViewResp   = 'D' // anti-entropy response: a view-digest payload
 )
 
 // maxFrameBytes bounds a frame to keep a corrupted length prefix from
@@ -94,7 +107,7 @@ func decodeBatch(b []byte) ([]p2p.Update, error) {
 		return nil, fmt.Errorf("wire: batch too short")
 	}
 	n := binary.LittleEndian.Uint32(b[:4])
-	if uint32(len(b)-4) != 12*n {
+	if uint64(len(b)-4) != 12*uint64(n) {
 		return nil, fmt.Errorf("wire: batch length mismatch: %d entries, %d bytes", n, len(b)-4)
 	}
 	us := make([]p2p.Update, n)
@@ -242,7 +255,7 @@ func decodeRanks(b []byte, out []float64) (int, error) {
 		return 0, fmt.Errorf("wire: ranks too short")
 	}
 	n := binary.LittleEndian.Uint32(b[:4])
-	if uint32(len(b)-4) != 12*n {
+	if uint64(len(b)-4) != 12*uint64(n) {
 		return 0, fmt.Errorf("wire: ranks length mismatch")
 	}
 	off := 4
@@ -256,4 +269,243 @@ func decodeRanks(b []byte, out []float64) (int, error) {
 		off += 12
 	}
 	return int(n), nil
+}
+
+// batchEpochHeader is the length of the (sender, origDest, seq, epoch)
+// prefix an epoch-stamped batch carries in front of the plain batch
+// payload.
+const batchEpochHeader = 24
+
+// encodeBatchEpoch serializes an epoch-stamped stream batch: a
+// frameBatchStrm payload extended with the epoch of the origDest key
+// range as the sender last learned it. Receivers reject (nack) frames
+// whose epoch is behind their own view of the range, which fences a
+// healed minority out of ranges that migrated while it was cut off.
+func encodeBatchEpoch(sender, origDest p2p.PeerID, seq, epoch uint64, us []p2p.Update) []byte {
+	buf := make([]byte, batchEpochHeader+4+12*len(us))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(sender))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(origDest))
+	binary.LittleEndian.PutUint64(buf[8:16], seq)
+	binary.LittleEndian.PutUint64(buf[16:24], epoch)
+	binary.LittleEndian.PutUint32(buf[24:28], uint32(len(us)))
+	off := 28
+	for _, u := range us {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(u.Doc))
+		binary.LittleEndian.PutUint64(buf[off+4:], math.Float64bits(u.Delta))
+		off += 12
+	}
+	return buf
+}
+
+// decodeBatchEpoch parses an epoch-stamped stream batch payload.
+func decodeBatchEpoch(b []byte) (sender, origDest p2p.PeerID, seq, epoch uint64, us []p2p.Update, err error) {
+	if len(b) < batchEpochHeader {
+		return 0, 0, 0, 0, nil, fmt.Errorf("wire: epoch batch too short")
+	}
+	sender = p2p.PeerID(binary.LittleEndian.Uint32(b[:4]))
+	origDest = p2p.PeerID(binary.LittleEndian.Uint32(b[4:8]))
+	if sender < 0 || origDest < 0 {
+		return 0, 0, 0, 0, nil, fmt.Errorf("wire: epoch batch with negative peer id")
+	}
+	seq = binary.LittleEndian.Uint64(b[8:16])
+	epoch = binary.LittleEndian.Uint64(b[16:24])
+	us, err = decodeBatch(b[batchEpochHeader:])
+	if err != nil {
+		return 0, 0, 0, 0, nil, err
+	}
+	return sender, origDest, seq, epoch, us, nil
+}
+
+// encodeNackEpoch serializes a stale-epoch rejection: the rejected
+// frame's sequence number plus the receiver's current epoch for the
+// frame's origDest range.
+func encodeNackEpoch(seq, epoch uint64) []byte {
+	buf := make([]byte, 16)
+	binary.LittleEndian.PutUint64(buf[:8], seq)
+	binary.LittleEndian.PutUint64(buf[8:], epoch)
+	return buf
+}
+
+// decodeNackEpoch parses a stale-epoch rejection payload.
+func decodeNackEpoch(b []byte) (seq, epoch uint64, err error) {
+	if len(b) != 16 {
+		return 0, 0, fmt.Errorf("wire: epoch nack payload %d bytes", len(b))
+	}
+	return binary.LittleEndian.Uint64(b[:8]), binary.LittleEndian.Uint64(b[8:]), nil
+}
+
+// maxGossipPeers bounds the suspicion set carried on a ping/pong so a
+// corrupted count cannot force a large allocation.
+const maxGossipPeers = 1 << 16
+
+// encodeGossip serializes a suspicion-gossip payload for a ping or
+// pong frame: the reporting slot plus the slots it currently suspects.
+// An empty payload remains a valid (legacy) ping/pong.
+func encodeGossip(from p2p.PeerID, suspects []p2p.PeerID) []byte {
+	buf := make([]byte, 8+4*len(suspects))
+	binary.LittleEndian.PutUint32(buf[:4], uint32(from))
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(suspects)))
+	off := 8
+	for _, s := range suspects {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(s))
+		off += 4
+	}
+	return buf
+}
+
+// decodeGossip parses a suspicion-gossip payload.
+func decodeGossip(b []byte) (from p2p.PeerID, suspects []p2p.PeerID, err error) {
+	if len(b) < 8 {
+		return 0, nil, fmt.Errorf("wire: gossip payload too short")
+	}
+	from = p2p.PeerID(binary.LittleEndian.Uint32(b[:4]))
+	if from < 0 {
+		return 0, nil, fmt.Errorf("wire: gossip from negative peer %d", from)
+	}
+	n := binary.LittleEndian.Uint32(b[4:8])
+	if n > maxGossipPeers {
+		return 0, nil, fmt.Errorf("wire: gossip suspicion set of %d exceeds limit", n)
+	}
+	if uint64(len(b)-8) != 4*uint64(n) {
+		return 0, nil, fmt.Errorf("wire: gossip length mismatch")
+	}
+	suspects = make([]p2p.PeerID, n)
+	off := 8
+	for i := range suspects {
+		id := p2p.PeerID(binary.LittleEndian.Uint32(b[off:]))
+		if id < 0 {
+			return 0, nil, fmt.Errorf("wire: gossip suspect with negative peer id")
+		}
+		suspects[i] = id
+		off += 4
+	}
+	return from, suspects, nil
+}
+
+// View is one peer's picture of cluster membership: per slot the
+// current address, the ownership epoch of the slot's key range, whether
+// the slot departed permanently, and (for departed slots) the slot that
+// adopted its state. It is what the cluster pushes on every membership
+// change and what peers exchange as an anti-entropy digest after a
+// partition heals: the higher epoch wins per slot, so both sides
+// reconcile to the owner that the eviction quorum installed.
+type View struct {
+	Addrs  []string
+	Epochs []uint64
+	Gone   []bool
+	Fwd    []p2p.PeerID // adopting successor of a gone slot; NoPeer otherwise
+}
+
+// viewSlots normalizes a view's ragged slices to one slot count.
+func (v View) viewSlots() int {
+	n := len(v.Addrs)
+	if len(v.Epochs) > n {
+		n = len(v.Epochs)
+	}
+	if len(v.Gone) > n {
+		n = len(v.Gone)
+	}
+	if len(v.Fwd) > n {
+		n = len(v.Fwd)
+	}
+	return n
+}
+
+// maxViewSlots and maxViewAddr bound a decoded view digest.
+const (
+	maxViewSlots = 1 << 16
+	maxViewAddr  = 256
+)
+
+// noFwdWire marks "no forwarding slot" in the view digest encoding.
+const noFwdWire = ^uint32(0)
+
+// encodeView serializes a membership view digest: u32 slot count, then
+// per slot u8 gone flag, u32 forward slot (noFwdWire when none), u64
+// epoch, u16 address length, address bytes.
+func encodeView(v View) []byte {
+	n := v.viewSlots()
+	var buf []byte
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for i := 0; i < n; i++ {
+		var gone byte
+		if i < len(v.Gone) && v.Gone[i] {
+			gone = 1
+		}
+		fwd := noFwdWire
+		if i < len(v.Fwd) && v.Fwd[i] != p2p.NoPeer {
+			fwd = uint32(v.Fwd[i])
+		}
+		var epoch uint64
+		if i < len(v.Epochs) {
+			epoch = v.Epochs[i]
+		}
+		var addr string
+		if i < len(v.Addrs) {
+			addr = v.Addrs[i]
+		}
+		if len(addr) > maxViewAddr {
+			addr = addr[:maxViewAddr]
+		}
+		buf = append(buf, gone)
+		buf = binary.LittleEndian.AppendUint32(buf, fwd)
+		buf = binary.LittleEndian.AppendUint64(buf, epoch)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(addr)))
+		buf = append(buf, addr...)
+	}
+	return buf
+}
+
+// decodeView parses a view digest. Every count is bounded and every
+// structural inconsistency is an error, never a misparse.
+func decodeView(b []byte) (View, error) {
+	if len(b) < 4 {
+		return View{}, fmt.Errorf("wire: view digest too short")
+	}
+	n := binary.LittleEndian.Uint32(b[:4])
+	if n > maxViewSlots {
+		return View{}, fmt.Errorf("wire: view digest of %d slots exceeds limit", n)
+	}
+	v := View{
+		Addrs:  make([]string, 0, capAlloc(uint64(n))),
+		Epochs: make([]uint64, 0, capAlloc(uint64(n))),
+		Gone:   make([]bool, 0, capAlloc(uint64(n))),
+		Fwd:    make([]p2p.PeerID, 0, capAlloc(uint64(n))),
+	}
+	off := 4
+	for i := uint32(0); i < n; i++ {
+		if len(b)-off < 15 {
+			return View{}, fmt.Errorf("wire: truncated view digest slot %d", i)
+		}
+		gone := b[off]
+		if gone > 1 {
+			return View{}, fmt.Errorf("wire: view digest slot %d has bad gone flag %d", i, gone)
+		}
+		fwdWire := binary.LittleEndian.Uint32(b[off+1:])
+		epoch := binary.LittleEndian.Uint64(b[off+5:])
+		alen := int(binary.LittleEndian.Uint16(b[off+13:]))
+		off += 15
+		if alen > maxViewAddr {
+			return View{}, fmt.Errorf("wire: view digest address of %d bytes exceeds limit", alen)
+		}
+		if len(b)-off < alen {
+			return View{}, fmt.Errorf("wire: truncated view digest address in slot %d", i)
+		}
+		fwd := p2p.NoPeer
+		if fwdWire != noFwdWire {
+			if fwdWire >= maxViewSlots {
+				return View{}, fmt.Errorf("wire: view digest forward slot %d out of range", fwdWire)
+			}
+			fwd = p2p.PeerID(fwdWire)
+		}
+		v.Addrs = append(v.Addrs, string(b[off:off+alen]))
+		v.Epochs = append(v.Epochs, epoch)
+		v.Gone = append(v.Gone, gone == 1)
+		v.Fwd = append(v.Fwd, fwd)
+		off += alen
+	}
+	if off != len(b) {
+		return View{}, fmt.Errorf("wire: trailing bytes after view digest")
+	}
+	return v, nil
 }

@@ -174,6 +174,24 @@ func (r *ranker) ownerTable() []p2p.PeerID {
 	return append([]p2p.PeerID(nil), r.docPeer...)
 }
 
+// rerouteOwner repoints every routing entry held by from at to,
+// except documents this ranker itself holds. Used when a merged view
+// reveals that a slot's range moved (departed peer with a forwarding
+// successor, or a fenced slot reconciled to a higher-epoch owner).
+func (r *ranker) rerouteOwner(from, to p2p.PeerID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for d, owner := range r.docPeer {
+		if owner != from {
+			continue
+		}
+		if _, mine := r.index[graph.NodeID(d)]; mine {
+			continue
+		}
+		r.docPeer[d] = to
+	}
+}
+
 // setOwner points the routing table entries for docs at owner. New
 // outbound updates for those documents route to the new owner from
 // the next fold on.

@@ -24,22 +24,30 @@ type TCPResult struct {
 	Migrated   uint64 // documents re-homed by joins and leaves
 	Forwarded  uint64 // misrouted updates rerouted to the current owner
 	Misdropped uint64 // updates with no resolvable owner (should be 0)
+
+	// Partition-tolerance accounting (zero without network splits).
+	EvictionsQuorum  uint64 // evictions confirmed by a live-peer majority
+	EvictionsRefused uint64 // suspicions parked for lack of a quorum
+	EpochRejected    uint64 // frames nacked for carrying a stale ownership epoch
 }
 
 func fromClusterResult(res wire.ClusterResult) TCPResult {
 	return TCPResult{
-		Ranks:        res.Ranks,
-		Messages:     res.Messages,
-		Probes:       res.Probes,
-		Elapsed:      res.Elapsed,
-		Retries:      res.Retries,
-		Reconnects:   res.Reconnects,
-		Redeliveries: res.Redeliveries,
-		Joins:        res.Joins,
-		Leaves:       res.Leaves,
-		Migrated:     res.Migrated,
-		Forwarded:    res.Forwarded,
-		Misdropped:   res.Misdropped,
+		Ranks:            res.Ranks,
+		Messages:         res.Messages,
+		Probes:           res.Probes,
+		Elapsed:          res.Elapsed,
+		Retries:          res.Retries,
+		Reconnects:       res.Reconnects,
+		Redeliveries:     res.Redeliveries,
+		Joins:            res.Joins,
+		Leaves:           res.Leaves,
+		Migrated:         res.Migrated,
+		Forwarded:        res.Forwarded,
+		Misdropped:       res.Misdropped,
+		EvictionsQuorum:  res.EvictionsQuorum,
+		EvictionsRefused: res.EvictionsRefused,
+		EpochRejected:    res.EpochRejected,
 	}
 }
 
