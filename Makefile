@@ -1,7 +1,7 @@
 # Distributed Pagerank for P2P Systems — build/test/bench driver.
 GO ?= go
 
-.PHONY: all build vet lint test race chaos chaos-membership chaos-partition fuzz fuzz-csr bench bench-pipeline bench-check ci
+.PHONY: all build vet lint test race chaos chaos-membership chaos-partition chaos-overload fuzz fuzz-csr bench bench-pipeline bench-check ci
 
 all: build
 
@@ -45,6 +45,14 @@ chaos-membership:
 chaos-partition:
 	$(GO) test -race -count=1 -run 'Partition|Epoch' ./internal/wire
 
+# Overload-protection gate: the firehose scenario (credit stalls,
+# lossless coalescing, bounded queued-frame memory, no false eviction
+# of a slow-but-alive peer), the control-lane Leave-under-load check,
+# straggler degradation, and the raw-connection credit-window
+# enforcement test, under -race.
+chaos-overload:
+	$(GO) test -race -count=1 -run Overload ./internal/wire
+
 # Short fuzz burst over the checkpoint decoder (truncated/corrupt input).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeCheckpoint -fuzztime 30s ./internal/wire
@@ -79,4 +87,5 @@ ci:
 		&& $(GO) test -race ./internal/wire ./internal/p2p ./internal/telemetry \
 		&& $(GO) test -race -count=1 -run Chaos ./internal/wire \
 		&& $(GO) test -race -count=1 -run 'Membership|Leave|Join|FailureDetector' ./internal/wire \
-		&& $(GO) test -race -count=1 -run 'Partition|Epoch' ./internal/wire
+		&& $(GO) test -race -count=1 -run 'Partition|Epoch' ./internal/wire \
+		&& $(GO) test -race -count=1 -run Overload ./internal/wire

@@ -123,6 +123,25 @@ type Options struct {
 	// majority to agree. Zero picks the default of 3.
 	SuspectAfter int
 
+	// InboxCap bounds each TCP/HTTP peer's bulk inbound queue (update
+	// batches and rank pushes). When the queue is full the peer stops
+	// advertising credit, senders park further deltas in their retry
+	// queues (where same-document deltas coalesce losslessly), and
+	// membership/control traffic keeps flowing on a separate priority
+	// lane — so an overloaded peer slows its senders down instead of
+	// growing without bound or getting falsely evicted. Zero picks the
+	// default of 1024; negative is an error.
+	InboxCap int
+
+	// CreditWindow caps the number of unacknowledged frames a sender
+	// may have in flight per stream on the TCP cluster. Each
+	// acknowledgement carries the receiver's currently advertised
+	// window (shrunk when its inbox fills), so a fast sender framing
+	// into a slow receiver stalls after CreditWindow frames and the
+	// backlog coalesces in its retry queue instead of queueing on the
+	// socket. Zero picks the default of 32; negative is an error.
+	CreditWindow int
+
 	// DebugAddr, when non-empty, starts an HTTP debug listener on the
 	// TCP/HTTP cluster serving /metrics (plain-text exposition of the
 	// telemetry registry), /trace (the convergence event ring as JSON)

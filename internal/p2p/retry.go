@@ -93,6 +93,28 @@ func (q *RetryQueue) Drain(dest PeerID) []Update {
 	return us
 }
 
+// DrainN removes and returns at most n queued updates for dest, oldest
+// first, leaving the remainder queued. Senders throttling toward a slow
+// destination use it to frame small batches without giving up the
+// coalescing index on what stays behind. n <= 0 drains nothing.
+func (q *RetryQueue) DrainN(dest PeerID, n int) []Update {
+	us := q.pending[dest]
+	if len(us) == 0 || n <= 0 {
+		return nil
+	}
+	if n >= len(us) {
+		return q.Drain(dest)
+	}
+	out := make([]Update, n)
+	copy(out, us[:n])
+	rest := make([]Update, len(us)-n)
+	copy(rest, us[n:])
+	q.pending[dest] = rest
+	delete(q.index, dest) // positions shifted; rebuild on next merge
+	q.size -= n
+	return out
+}
+
 // DrainOnline drains every destination that is currently online in
 // net, invoking deliver for each update in queue order. Destinations
 // are visited in ascending peer order — not map order — so redelivery

@@ -82,6 +82,49 @@ func TestRetryQueueDeferMergeAfterPlainDefer(t *testing.T) {
 	}
 }
 
+func TestRetryQueueDrainNPartial(t *testing.T) {
+	q := NewRetryQueue()
+	for i := 0; i < 5; i++ {
+		q.DeferMerge(3, Update{Doc: graph.NodeID(i), Delta: float64(i)})
+	}
+	got := q.DrainN(3, 2)
+	if len(got) != 2 || got[0].Doc != 0 || got[1].Doc != 1 {
+		t.Fatalf("DrainN(2) = %v, want oldest two docs", got)
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d after partial drain, want 3", q.Len())
+	}
+	// The remainder must still coalesce: the index was invalidated by
+	// the shift and has to rebuild against the new positions.
+	if !q.DeferMerge(3, Update{Doc: 4, Delta: 1}) {
+		t.Fatal("did not merge into a remaining entry after partial drain")
+	}
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d after merge, want 3", q.Len())
+	}
+	// n past the queue length takes the full-drain path.
+	rest := q.DrainN(3, 10)
+	if len(rest) != 3 {
+		t.Fatalf("DrainN(10) drained %d updates, want 3", len(rest))
+	}
+	want := map[graph.NodeID]float64{2: 2, 3: 3, 4: 5}
+	for _, u := range rest {
+		if math.Abs(u.Delta-want[u.Doc]) > 1e-12 {
+			t.Fatalf("doc %d delta %v, want %v", u.Doc, u.Delta, want[u.Doc])
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after full drain, want 0", q.Len())
+	}
+	if us := q.DrainN(3, 1); us != nil {
+		t.Fatalf("DrainN on empty queue = %v, want nil", us)
+	}
+	q.DeferMerge(3, Update{Doc: 0, Delta: 1})
+	if us := q.DrainN(3, 0); us != nil {
+		t.Fatalf("DrainN(0) = %v, want nil", us)
+	}
+}
+
 func TestRetryQueueDrainResetsIndex(t *testing.T) {
 	q := NewRetryQueue()
 	q.DeferMerge(1, Update{Doc: 4, Delta: 1})

@@ -70,7 +70,7 @@ func TestDebugServerEndpoints(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &doc); err != nil {
 		t.Fatalf("/trace JSON: %v", err)
 	}
-	if doc.Len != 7 || len(doc.Events) != 7 {
+	if doc.Len != 9 || len(doc.Events) != 9 {
 		t.Fatalf("/trace doc = %+v", doc)
 	}
 

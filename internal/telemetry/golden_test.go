@@ -20,17 +20,27 @@ func goldenRegistry() *Registry {
 	r.Counter("wire_evictions_quorum").Add(1)
 	r.Counter("wire_evictions_refused").Add(2)
 	r.Counter("wire_epoch_rejected").Add(1)
+	r.Counter("wire_credit_stalls").Add(4)
+	r.Counter("wire_shed_coalesced").Add(96)
+	r.Counter("wire_slow_peer").Add(1)
 	r.FloatCounter("wire_delta_shipped").Add(1.25)
 	r.Gauge("wire_rank_mass").Set(150.5)
+	r.Gauge("wire_inbox_occupancy").Set(12)
+	r.Gauge("wire_unacked_frames").Set(3)
+	r.Gauge("wire_send_latency_ewma_seconds").Set(0.0125)
 	h := r.Histogram("pass_residual", []float64{0.001, 0.01, 0.1})
 	for _, v := range []float64{0.0005, 0.05, 0.05, 2} {
 		h.Observe(v)
+	}
+	lat := r.Histogram("wire_send_latency_seconds", ExpBuckets(100e-6, 4, 8))
+	for _, v := range []float64{0.0002, 0.004, 0.004, 0.3} {
+		lat.Observe(v)
 	}
 	return r
 }
 
 func goldenTrace() *Trace {
-	tr := NewTrace(8)
+	tr := NewTrace(16)
 	var ns int64 = 1000
 	tr.SetClock(func() int64 { ns += 500; return ns })
 	tr.Record(EvPassStart, -1, 1, 0, 42)
@@ -39,6 +49,8 @@ func goldenTrace() *Trace {
 	tr.Record(EvSuspect, 2, -1, 0, 4)
 	tr.Record(EvEvictRefused, 4, -1, 2, 0)
 	tr.Record(EvEpochReject, 1, -1, 7, 3)
+	tr.Record(EvCreditStall, 0, -1, 2, 2)
+	tr.Record(EvSlowPeer, 0, -1, 0.031, 2)
 	tr.Record(EvPassEnd, -1, 1, 0.05, 0)
 	return tr
 }
@@ -100,7 +112,7 @@ func TestTraceJSONSchema(t *testing.T) {
 		}
 	}
 	events, ok := doc["events"].([]any)
-	if !ok || len(events) != 7 {
+	if !ok || len(events) != 9 {
 		t.Fatalf("events = %v", doc["events"])
 	}
 	first, ok := events[0].(map[string]any)

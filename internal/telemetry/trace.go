@@ -31,6 +31,8 @@ const (
 	EvEvictRefused // a suspicion reached no eviction quorum this round
 	EvHeal         // a fenced slot was reached again and reconciled
 	EvEpochReject  // a receiver nacked a frame carrying a stale ownership epoch
+	EvCreditStall  // a sender stream ran out of credit and stopped framing
+	EvSlowPeer     // a destination's send-latency EWMA crossed into straggler mode
 )
 
 var eventNames = [...]string{
@@ -51,6 +53,8 @@ var eventNames = [...]string{
 	EvEvictRefused: "evict_refused",
 	EvHeal:         "heal",
 	EvEpochReject:  "epoch_reject",
+	EvCreditStall:  "credit_stall",
+	EvSlowPeer:     "slow_peer",
 }
 
 // String returns the stable wire name of the event type, used in the

@@ -46,10 +46,18 @@ import (
 // this exemption list, or a retransmission of the rejected frame
 // would be swallowed as a duplicate and its updates lost. Version 3
 // snapshots (no such list) still decode.
+//
+// Version 5 persists the overload-protection state: the three flow-
+// control counters (credit stalls, shed-coalesced updates, slow-peer
+// transitions) in the header, and per outbound stream the last credit
+// window the destination advertised, so a restarted sender resumes
+// under the receiver's pre-crash budget instead of bursting at the
+// configured maximum. Version 4 and 3 snapshots still decode; their
+// streams restart at the configured window.
 
 const (
 	peerSnapMagic   = "DPRW"
-	peerSnapVersion = 4
+	peerSnapVersion = 5
 )
 
 // PeerSnapshot is a crashed peer's durable state.
@@ -82,6 +90,8 @@ type PeerSnapshot struct {
 	Coalesced, DupDropped             uint64
 	Forwarded, Misdropped             uint64
 	EpochRejected                     uint64
+	CreditStalls, ShedCoalesced       uint64
+	SlowPeer                          uint64
 	DeltaShipped, DeltaFolded         float64
 }
 
@@ -102,6 +112,7 @@ type OutboundState struct {
 	Src     p2p.PeerID
 	Dest    p2p.PeerID
 	NextSeq uint64
+	Window  uint64         // last advertised credit window (0: use configured default)
 	Unacked []UnackedFrame // framed, possibly transmitted, not acknowledged
 	Pending []p2p.Update   // coalesced, not yet framed (Src == snapshot owner only)
 }
@@ -149,7 +160,7 @@ func HandoffFromSnapshot(s *PeerSnapshot) *Handoff {
 	h.Rejected = append([]SeqEntry(nil), s.Rejected...)
 	for _, ob := range s.Outbound {
 		h.Outbound = append(h.Outbound, OutboundState{
-			Src: ob.Src, Dest: ob.Dest, NextSeq: ob.NextSeq,
+			Src: ob.Src, Dest: ob.Dest, NextSeq: ob.NextSeq, Window: ob.Window,
 			Unacked: ob.Unacked, Pending: ob.Pending,
 		})
 	}
@@ -169,6 +180,9 @@ func (p *Peer) snapshot() *PeerSnapshot {
 		Last:          append([]float64(nil), p.rk.last...),
 		Epochs:        p.view().Epochs,
 		EpochRejected: p.m.epochRejected.Load(),
+		CreditStalls:  p.m.creditStalls.Load(),
+		ShedCoalesced: p.m.shedCoalesced.Load(),
+		SlowPeer:      p.m.slowPeer.Load(),
 		Sent:          p.m.sent.Load(),
 		Processed:     p.m.processed.Load(),
 		Retries:       p.m.retries.Load(),
@@ -222,7 +236,7 @@ func (p *Peer) snapshot() *PeerSnapshot {
 	})
 	for _, st := range strms {
 		snd := p.senders[st]
-		ob := OutboundState{Src: st.src, Dest: st.dest, NextSeq: snd.nextSeq}
+		ob := OutboundState{Src: st.src, Dest: st.dest, NextSeq: snd.nextSeq, Window: snd.window}
 		for _, fr := range snd.unacked {
 			// Decode the frame back into updates; the restore re-frames
 			// them with the same stream identity and sequence number.
@@ -330,6 +344,11 @@ func RestorePeer(cfg PeerConfig, snap *PeerSnapshot) (*Peer, error) {
 		}
 		s := p.newSender(st)
 		s.nextSeq = ob.NextSeq
+		if ob.Window > 0 {
+			// Resume under the receiver's pre-crash credit budget; the
+			// first credit ack refreshes it either way.
+			s.window = ob.Window
+		}
 		for _, uf := range ob.Unacked {
 			fr := &frameRec{seq: uf.Seq, updates: len(uf.Updates)}
 			// Same stream identity and seq (dedup survives the crash),
@@ -339,6 +358,7 @@ func RestorePeer(cfg PeerConfig, snap *PeerSnapshot) (*Peer, error) {
 		}
 		if len(s.unacked) > 0 {
 			s.sendSeq = s.unacked[0].seq
+			p.m.unackedFrames.Add(float64(len(s.unacked)))
 		} else {
 			s.sendSeq = s.nextSeq
 		}
@@ -490,7 +510,8 @@ func EncodeSnapshot(s *PeerSnapshot, w io.Writer) error {
 		s.Sent, s.Processed, s.Retries, s.Reconnects, s.Redeliveries,
 		s.Coalesced, s.DupDropped, s.Forwarded, s.Misdropped, s.EpochRejected,
 		math.Float64bits(s.DeltaShipped), math.Float64bits(s.DeltaFolded),
-		uint64(len(s.Rejected)), // v4: epoch-rejected seq records follow the outbound section
+		uint64(len(s.Rejected)),                     // v4: epoch-rejected seq records follow the outbound section
+		s.CreditStalls, s.ShedCoalesced, s.SlowPeer, // v5: overload-protection counters
 	}
 	for _, v := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
@@ -525,6 +546,7 @@ func EncodeSnapshot(s *PeerSnapshot, w io.Writer) error {
 		head := []uint64{
 			uint64(uint32(ob.Src)), uint64(uint32(ob.Dest)), ob.NextSeq,
 			uint64(len(ob.Unacked)), uint64(len(ob.Pending)),
+			ob.Window, // v5: last advertised credit window
 		}
 		for _, v := range head {
 			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
@@ -636,7 +658,7 @@ func DecodeSnapshot(r io.Reader) (*PeerSnapshot, error) {
 		&coalesced, &dup, &fwd, &misd, &epochRej, &shippedBits, &foldedBits); err != nil {
 		return nil, fmt.Errorf("wire: reading snapshot header: %w", err)
 	}
-	if version != peerSnapVersion && version != 3 {
+	if version != peerSnapVersion && version != 4 && version != 3 {
 		return nil, fmt.Errorf("wire: unsupported snapshot version %d", version)
 	}
 	var nrej uint64
@@ -646,6 +668,12 @@ func DecodeSnapshot(r io.Reader) (*PeerSnapshot, error) {
 		}
 		if nrej > uint64(maxFrameBytes) {
 			return nil, fmt.Errorf("wire: snapshot header sizes out of range")
+		}
+	}
+	var creditStalls, shedCoalesced, slowPeer uint64
+	if version >= 5 {
+		if err := readU64(br, &creditStalls, &shedCoalesced, &slowPeer); err != nil {
+			return nil, fmt.Errorf("wire: reading snapshot header: %w", err)
 		}
 	}
 	if id > uint64(^uint32(0)>>1) {
@@ -674,6 +702,9 @@ func DecodeSnapshot(r io.Reader) (*PeerSnapshot, error) {
 		Forwarded:     fwd,
 		Misdropped:    misd,
 		EpochRejected: epochRej,
+		CreditStalls:  creditStalls,
+		ShedCoalesced: shedCoalesced,
+		SlowPeer:      slowPeer,
 		DeltaShipped:  math.Float64frombits(shippedBits),
 		DeltaFolded:   math.Float64frombits(foldedBits),
 	}
@@ -717,6 +748,15 @@ func DecodeSnapshot(r io.Reader) (*PeerSnapshot, error) {
 		if err := readU64(br, &src, &dest, &nextSeq, &nun, &npend); err != nil {
 			return nil, fmt.Errorf("wire: reading snapshot outbound %d: %w", i, err)
 		}
+		var window uint64
+		if version >= 5 {
+			if err := readU64(br, &window); err != nil {
+				return nil, fmt.Errorf("wire: reading snapshot outbound %d: %w", i, err)
+			}
+			if window > uint64(maxFrameBytes) {
+				return nil, fmt.Errorf("wire: snapshot outbound window out of range")
+			}
+		}
 		if src > uint64(^uint32(0)>>1) || dest > uint64(^uint32(0)>>1) {
 			return nil, fmt.Errorf("wire: snapshot outbound peer id out of range")
 		}
@@ -725,6 +765,7 @@ func DecodeSnapshot(r io.Reader) (*PeerSnapshot, error) {
 		}
 		ob := OutboundState{
 			Src: p2p.PeerID(uint32(src)), Dest: p2p.PeerID(uint32(dest)), NextSeq: nextSeq,
+			Window: window,
 		}
 		for j := uint64(0); j < nun; j++ {
 			var seq uint64

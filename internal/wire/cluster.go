@@ -111,6 +111,23 @@ type ClusterConfig struct {
 	// itself — that takes a quorum of concurring vantages); 0 means 3.
 	SuspectAfter int
 
+	// InboxCap sizes each peer's bulk inbox lane — the queue of
+	// delivered-but-unfolded update batches, and the quantity the
+	// receiver's advertised credit window shrinks with. 0 means 1024;
+	// negative is rejected.
+	InboxCap int
+
+	// CreditWindow caps the unacknowledged frames a sender keeps in
+	// flight per stream and the largest window a receiver advertises.
+	// Together with InboxCap it bounds queued-frame memory per
+	// connection under overload. 0 means 32; negative is rejected.
+	CreditWindow int
+
+	// SlowThreshold is the send-to-ack latency EWMA past which a
+	// destination is treated as a straggler (smaller batches, stretched
+	// ship cadence). 0 means 25ms; negative is rejected.
+	SlowThreshold time.Duration
+
 	// Transport dials every peer-to-peer connection; nil means the
 	// real TCP dialer. Tests inject a FaultTransport to script
 	// failures.
@@ -142,6 +159,15 @@ func NewCluster(g *graph.Graph, cfg ClusterConfig) (*Cluster, error) {
 	}
 	if cfg.SuspectAfter <= 0 {
 		cfg.SuspectAfter = 3
+	}
+	if cfg.InboxCap < 0 {
+		return nil, fmt.Errorf("wire: negative InboxCap %d", cfg.InboxCap)
+	}
+	if cfg.CreditWindow < 0 {
+		return nil, fmt.Errorf("wire: negative CreditWindow %d", cfg.CreditWindow)
+	}
+	if cfg.SlowThreshold < 0 {
+		return nil, fmt.Errorf("wire: negative SlowThreshold %v", cfg.SlowThreshold)
 	}
 	r := rng.New(cfg.Seed)
 	docPeer := make([]p2p.PeerID, g.NumNodes())
@@ -231,7 +257,11 @@ func (c *Cluster) peerConfig(i int) PeerConfig {
 		Registry:  c.regs[i],
 		Trace:     c.trace,
 		Epochs:    append([]uint64(nil), c.epochs...),
-		Gossip:    c.gossipFor(i),
+
+		InboxCap:      c.cfg.InboxCap,
+		CreditWindow:  c.cfg.CreditWindow,
+		SlowThreshold: c.cfg.SlowThreshold,
+		Gossip:        c.gossipFor(i),
 	}
 }
 
@@ -299,6 +329,11 @@ type ClusterResult struct {
 	EvictionsQuorum  uint64 // evictions confirmed by a live-peer majority
 	EvictionsRefused uint64 // suspicions parked for lack of a quorum
 	EpochRejected    uint64 // frames nacked for carrying a stale ownership epoch
+
+	// Overload-protection accounting.
+	CreditStalls  uint64 // sender streams transitioning to credit-blocked
+	ShedCoalesced uint64 // updates losslessly coalesced while their stream was stalled
+	SlowPeer      uint64 // destinations transitioning into straggler mode
 }
 
 // Kill crashes peer i: its goroutines stop, its connections reset,
@@ -728,6 +763,8 @@ func snapStats(s *PeerSnapshot) PeerStats {
 		Redeliveries: s.Redeliveries, Coalesced: s.Coalesced,
 		DupDropped: s.DupDropped, Forwarded: s.Forwarded,
 		Misdropped: s.Misdropped, EpochRejected: s.EpochRejected,
+		CreditStalls: s.CreditStalls, ShedCoalesced: s.ShedCoalesced,
+		SlowPeer:     s.SlowPeer,
 		DeltaShipped: s.DeltaShipped, DeltaFolded: s.DeltaFolded,
 	}
 }
@@ -744,6 +781,9 @@ func addStats(a, b PeerStats) PeerStats {
 	a.Forwarded += b.Forwarded
 	a.Misdropped += b.Misdropped
 	a.EpochRejected += b.EpochRejected
+	a.CreditStalls += b.CreditStalls
+	a.ShedCoalesced += b.ShedCoalesced
+	a.SlowPeer += b.SlowPeer
 	a.DeltaShipped += b.DeltaShipped
 	a.DeltaFolded += b.DeltaFolded
 	return a
@@ -807,6 +847,9 @@ func (c *Cluster) Run(timeout time.Duration) (ClusterResult, error) {
 	res.EvictionsQuorum = c.mEvictQuorum.Load()
 	res.EvictionsRefused = c.mEvictRefused.Load()
 	res.EpochRejected = st.EpochRejected
+	res.CreditStalls = st.CreditStalls
+	res.ShedCoalesced = st.ShedCoalesced
+	res.SlowPeer = st.SlowPeer
 	res.Elapsed = time.Since(start)
 	c.Close()
 	return res, nil

@@ -63,6 +63,13 @@ type FaultTransport struct {
 	cut   map[dirKey]bool
 	conns map[dirKey]map[*faultConn]struct{}
 
+	// Straggler injection, per link direction: linkDelay adds a
+	// constant latency to every write, trickle throttles writes to
+	// chunkBytes per chunkEvery sleep. Both model a slow-but-alive
+	// destination — nothing is lost or reset, delivery just crawls.
+	linkDelay map[dirKey]time.Duration
+	trickle   map[dirKey]trickleSpec
+
 	drops, resets, dups, delays, dialFails, refusals atomic.Uint64
 }
 
@@ -78,12 +85,50 @@ func NewFaultTransport(inner Transport, cfg FaultConfig) *FaultTransport {
 		inner = TCPDialer()
 	}
 	return &FaultTransport{
-		inner: inner,
-		rng:   rng.New(cfg.Seed),
-		cfg:   cfg,
-		cut:   make(map[dirKey]bool),
-		conns: make(map[dirKey]map[*faultConn]struct{}),
+		inner:     inner,
+		rng:       rng.New(cfg.Seed),
+		cfg:       cfg,
+		cut:       make(map[dirKey]bool),
+		conns:     make(map[dirKey]map[*faultConn]struct{}),
+		linkDelay: make(map[dirKey]time.Duration),
+		trickle:   make(map[dirKey]trickleSpec),
 	}
+}
+
+// trickleSpec throttles one link direction: at most ChunkBytes are
+// written per chunk, with an Every sleep between chunks, so a frame of
+// n bytes takes about (n/ChunkBytes)*Every to deliver.
+type trickleSpec struct {
+	ChunkBytes int
+	Every      time.Duration
+}
+
+// SetLinkDelay adds a constant latency to every write in the from->to
+// direction (0 removes it). Unlike DelayProb this is deterministic and
+// per link, which is what a straggler-degradation test needs: one slow
+// destination among fast ones.
+func (t *FaultTransport) SetLinkDelay(from, to p2p.PeerID, d time.Duration) {
+	t.mu.Lock()
+	if d <= 0 {
+		delete(t.linkDelay, dirKey{from, to})
+	} else {
+		t.linkDelay[dirKey{from, to}] = d
+	}
+	t.mu.Unlock()
+}
+
+// SetLinkTrickle throttles the from->to direction to chunkBytes per
+// every sleep, modelling a stalled-but-alive connection that drains a
+// few bytes at a time. chunkBytes <= 0 or every <= 0 removes the
+// trickle.
+func (t *FaultTransport) SetLinkTrickle(from, to p2p.PeerID, chunkBytes int, every time.Duration) {
+	t.mu.Lock()
+	if chunkBytes <= 0 || every <= 0 {
+		delete(t.trickle, dirKey{from, to})
+	} else {
+		t.trickle[dirKey{from, to}] = trickleSpec{ChunkBytes: chunkBytes, Every: every}
+	}
+	t.mu.Unlock()
 }
 
 // SetConfig replaces the fault schedule at runtime.
@@ -211,17 +256,19 @@ type faultConn struct {
 
 // roll draws this write's fault decisions in one critical section so
 // the dice stream stays a deterministic function of the seed.
-func (c *faultConn) roll() (cut bool, delay time.Duration, drop, dup, reset bool) {
+func (c *faultConn) roll() (cut bool, delay time.Duration, drop, dup, reset bool, tr trickleSpec) {
 	t := c.t
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if t.cut[c.key] {
-		return true, 0, false, false, false
+		return true, 0, false, false, false, trickleSpec{}
 	}
 	cfg := t.cfg
 	if cfg.DelayProb > 0 && t.rng.Bool(cfg.DelayProb) && cfg.MaxDelay > 0 {
 		delay = time.Duration(t.rng.Float64() * float64(cfg.MaxDelay))
 	}
+	delay += t.linkDelay[c.key]
+	tr = t.trickle[c.key]
 	drop = t.rng.Bool(cfg.DropProb)
 	if !drop {
 		dup = t.rng.Bool(cfg.DupProb)
@@ -234,7 +281,7 @@ func (c *faultConn) Write(b []byte) (int, error) {
 	if c.dead.Load() {
 		return 0, fmt.Errorf("wire: connection reset by fault injector")
 	}
-	cut, delay, drop, dup, reset := c.roll()
+	cut, delay, drop, dup, reset, tr := c.roll()
 	if cut {
 		c.t.refusals.Add(1)
 		c.Close()
@@ -249,13 +296,13 @@ func (c *faultConn) Write(b []byte) (int, error) {
 		c.Close()
 		return 0, fmt.Errorf("wire: injected drop (frame lost, connection reset)")
 	}
-	n, err := c.Conn.Write(b) //dpr:nodeadline passthrough wrapper: the caller's deadline is set on the wrapped conn and applies here
+	n, err := c.write(b, tr)
 	if err != nil {
 		return n, err
 	}
 	if dup {
 		c.t.dups.Add(1)
-		c.Conn.Write(b) //dpr:nodeadline passthrough wrapper: the caller's deadline is set on the wrapped conn and applies here
+		c.write(b, tr)
 	}
 	if reset {
 		c.t.resets.Add(1)
@@ -263,6 +310,29 @@ func (c *faultConn) Write(b []byte) (int, error) {
 		return n, fmt.Errorf("wire: injected reset (frame delivered, connection reset)")
 	}
 	return n, nil
+}
+
+// write delivers b, trickled into chunks when the link is throttled.
+func (c *faultConn) write(b []byte, tr trickleSpec) (int, error) {
+	if tr.ChunkBytes <= 0 {
+		return c.Conn.Write(b) //dpr:nodeadline passthrough wrapper: the caller's deadline is set on the wrapped conn and applies here
+	}
+	written := 0
+	for written < len(b) {
+		end := written + tr.ChunkBytes
+		if end > len(b) {
+			end = len(b)
+		}
+		n, err := c.Conn.Write(b[written:end]) //dpr:nodeadline passthrough wrapper: the caller's deadline is set on the wrapped conn and applies here
+		written += n
+		if err != nil {
+			return written, err
+		}
+		if written < len(b) {
+			time.Sleep(tr.Every)
+		}
+	}
+	return written, nil
 }
 
 func (c *faultConn) Close() error {

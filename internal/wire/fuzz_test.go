@@ -8,10 +8,11 @@ import (
 	"dpr/internal/p2p"
 )
 
-// fuzzSeedSnapshot is a representative v3 snapshot exercising every
-// record kind: documents, stream-keyed dedup entries, own and adopted
-// outbound streams, unacked frames, pending updates and the
-// ownership-epoch vector.
+// fuzzSeedSnapshot is a representative current-version snapshot
+// exercising every record kind: documents, stream-keyed dedup entries,
+// own and adopted outbound streams, unacked frames, pending updates,
+// the ownership-epoch vector, and the v5 overload-protection fields
+// (per-stream credit windows plus the stall/shed/straggler counters).
 func fuzzSeedSnapshot() *PeerSnapshot {
 	return &PeerSnapshot{
 		ID:   1,
@@ -29,24 +30,25 @@ func fuzzSeedSnapshot() *PeerSnapshot {
 		},
 		Outbound: []OutboundState{
 			{
-				Src: 1, Dest: 0, NextSeq: 4,
+				Src: 1, Dest: 0, NextSeq: 4, Window: 2,
 				Unacked: []UnackedFrame{{Seq: 3, Updates: []p2p.Update{{Doc: 9, Delta: 0.5}}}},
 				Pending: []p2p.Update{{Doc: 7, Delta: -0.25}},
 			},
-			{Src: 4, Dest: 2, NextSeq: 2,
+			{Src: 4, Dest: 2, NextSeq: 2, Window: 16,
 				Unacked: []UnackedFrame{{Seq: 1, Updates: []p2p.Update{{Doc: 3, Delta: 1}}}}},
 		},
 		Epochs: []uint64{1, 0, 4, 0, 2},
 		Sent:   42, Processed: 40, Forwarded: 2, EpochRejected: 1,
+		CreditStalls: 5, ShedCoalesced: 17, SlowPeer: 1,
 		DeltaShipped: 3.5, DeltaFolded: 3.25,
 	}
 }
 
-// FuzzDecodeFrames hammers the partition-tolerance frame codecs —
-// epoch-stamped batches, suspicion gossip, membership views and
-// stale-epoch nacks — with corrupted and adversarial payloads. None
-// may panic or over-allocate, and accepted input must round-trip
-// through its encoder.
+// FuzzDecodeFrames hammers the partition-tolerance and flow-control
+// frame codecs — epoch-stamped batches, suspicion gossip, membership
+// views, stale-epoch nacks and credit acknowledgements — with
+// corrupted and adversarial payloads. None may panic or over-allocate,
+// and accepted input must round-trip through its encoder.
 func FuzzDecodeFrames(f *testing.F) {
 	batch := encodeBatchEpoch(1, 2, 7, 3, []p2p.Update{{Doc: 4, Delta: 0.5}, {Doc: 9, Delta: -1}})
 	gossip := encodeGossip(3, []p2p.PeerID{0, 5})
@@ -57,7 +59,8 @@ func FuzzDecodeFrames(f *testing.F) {
 		Fwd:    []p2p.PeerID{p2p.NoPeer, 2, p2p.NoPeer},
 	})
 	nack := encodeNackEpoch(12, 5)
-	for _, seed := range [][]byte{batch, gossip, view, nack, nil, {0xff}} {
+	credit := encodeCredit(1<<33, 32)
+	for _, seed := range [][]byte{batch, gossip, view, nack, credit, nil, {0xff}} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -83,6 +86,15 @@ func FuzzDecodeFrames(f *testing.F) {
 			again := encodeNackEpoch(seq, epoch)
 			if !bytes.Equal(data, again) {
 				t.Fatalf("nack round trip mismatch: %x != %x", data, again)
+			}
+		}
+		if seq, window, err := decodeCredit(data); err == nil {
+			if window == 0 {
+				t.Fatal("decoder accepted a zero credit window")
+			}
+			again := encodeCredit(seq, window)
+			if !bytes.Equal(data, again) {
+				t.Fatalf("credit round trip mismatch: %x != %x", data, again)
 			}
 		}
 	})

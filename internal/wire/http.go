@@ -97,6 +97,9 @@ func NewHTTPPeer(cfg PeerConfig) (*HTTPPeer, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = telemetry.NewRegistry()
 	}
+	if cfg.InboxCap <= 0 {
+		cfg.InboxCap = defaultInboxCap
+	}
 	m := newPeerMetrics(cfg.Registry)
 	p := &HTTPPeer{
 		cfg:     cfg,
@@ -106,7 +109,7 @@ func NewHTTPPeer(cfg PeerConfig) (*HTTPPeer, error) {
 		client:  client,
 		senders: make(map[p2p.PeerID]*postQueue),
 		rq:      p2p.NewRetryQueue(),
-		inbox:   make(chan inItem, 1024),
+		inbox:   make(chan inItem, cfg.InboxCap),
 		quit:    make(chan struct{}),
 		lastSeq: make(map[p2p.PeerID]uint64),
 		m:       m,

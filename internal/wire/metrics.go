@@ -19,6 +19,26 @@ type peerMetrics struct {
 	misdropped    *telemetry.Counter // updates with no resolvable owner (must stay 0)
 	epochRejected *telemetry.Counter // frames nacked for carrying a stale ownership epoch
 
+	// Overload protection: creditStalls counts stall episodes (a stream
+	// transitioning from framing to credit-blocked), shedCoalesced the
+	// updates losslessly absorbed by delta coalescing while their
+	// destination was credit-blocked, and slowPeer the transitions of a
+	// destination into straggler mode.
+	creditStalls  *telemetry.Counter
+	shedCoalesced *telemetry.Counter
+	slowPeer      *telemetry.Counter
+
+	// Occupancy instruments: inboxOccupancy is the bulk-lane depth
+	// observed at each processing batch, unackedFrames the in-flight
+	// (sent or framed, not yet acked) frames across this peer's
+	// senders, sendLatencyEwma the most recent send-to-ack EWMA any
+	// sender computed, and sendLatency the distribution of raw
+	// send-to-ack latencies.
+	inboxOccupancy  *telemetry.Gauge
+	unackedFrames   *telemetry.Gauge
+	sendLatencyEwma *telemetry.Gauge
+	sendLatency     *telemetry.Histogram
+
 	// The conservation pair: delta mass originated versus delta mass
 	// folded. At quiescence the two must be equal (dprlint's
 	// counterflow rule keeps every mutation two-sided).
@@ -42,9 +62,19 @@ func newPeerMetrics(reg *telemetry.Registry) peerMetrics {
 		forwarded:     reg.Counter("wire_forwarded"),
 		misdropped:    reg.Counter("wire_misdropped"),
 		epochRejected: reg.Counter("wire_epoch_rejected"),
-		deltaShipped:  reg.FloatCounter("wire_delta_shipped"),
-		deltaFolded:   reg.FloatCounter("wire_delta_folded"),
-		rankMass:      reg.Gauge("wire_rank_mass"),
+		creditStalls:  reg.Counter("wire_credit_stalls"),
+		shedCoalesced: reg.Counter("wire_shed_coalesced"),
+		slowPeer:      reg.Counter("wire_slow_peer"),
+
+		inboxOccupancy:  reg.Gauge("wire_inbox_occupancy"),
+		unackedFrames:   reg.Gauge("wire_unacked_frames"),
+		sendLatencyEwma: reg.Gauge("wire_send_latency_ewma_seconds"),
+		sendLatency: reg.Histogram("wire_send_latency_seconds",
+			telemetry.ExpBuckets(100e-6, 4, 8)),
+
+		deltaShipped: reg.FloatCounter("wire_delta_shipped"),
+		deltaFolded:  reg.FloatCounter("wire_delta_folded"),
+		rankMass:     reg.Gauge("wire_rank_mass"),
 	}
 }
 
@@ -61,6 +91,9 @@ func (m *peerMetrics) stats() PeerStats {
 		Forwarded:     m.forwarded.Load(),
 		Misdropped:    m.misdropped.Load(),
 		EpochRejected: m.epochRejected.Load(),
+		CreditStalls:  m.creditStalls.Load(),
+		ShedCoalesced: m.shedCoalesced.Load(),
+		SlowPeer:      m.slowPeer.Load(),
 		DeltaShipped:  m.deltaShipped.Load(),
 		DeltaFolded:   m.deltaFolded.Load(),
 	}
@@ -80,6 +113,9 @@ func (m *peerMetrics) restore(s *PeerSnapshot) {
 	m.forwarded.Store(s.Forwarded)
 	m.misdropped.Store(s.Misdropped)
 	m.epochRejected.Store(s.EpochRejected)
+	m.creditStalls.Store(s.CreditStalls)
+	m.shedCoalesced.Store(s.ShedCoalesced)
+	m.slowPeer.Store(s.SlowPeer)
 	m.deltaShipped.Store(s.DeltaShipped)
 	m.deltaFolded.Store(s.DeltaFolded)
 }

@@ -1,0 +1,359 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+)
+
+// TestOverloadFirehoseLosslessShedding is the acceptance scenario for
+// overload protection: both links into peer 2 are trickled to ~1.5MB/s
+// (localhost TCP otherwise moves hundreds of MB/s, so the senders
+// outpace the receiver's drain rate by far more than 10x) while the
+// failure detector runs. The overload must be sustained across
+// multiple suspect windows, and the protocol must respond by stalling
+// on credit and coalescing the backlog in the retry queues — never by
+// unbounded queueing, dropped deltas, or a false eviction of the
+// slow-but-alive peer. After the throttle lifts, the run converges to
+// the same fixed point as an unloaded run of the same placement.
+func TestOverloadFirehoseLosslessShedding(t *testing.T) {
+	defer assertNoGoroutineLeaks(t)()
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(400, 77))
+
+	// Unloaded reference run: same graph, same placement seed, no
+	// throttling, no detector.
+	ref, err := NewCluster(g, ClusterConfig{Peers: 3, Epsilon: 1e-9, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refRes, err := ref.Run(120 * time.Second)
+	ref.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ft := NewFaultTransport(nil, FaultConfig{Seed: 7})
+	const (
+		heartbeat = 40 * time.Millisecond
+		suspects  = 2
+		window    = 2
+	)
+	c, err := NewCluster(g, ClusterConfig{
+		Peers: 3, Epsilon: 1e-9, Seed: 5, Transport: ft,
+		Heartbeat: heartbeat, SuspectAfter: suspects,
+		InboxCap: 16, CreditWindow: window,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Throttle every link into the victim before the firehose opens.
+	// Heartbeat pings are smaller than one chunk, so the victim stays
+	// responsive to the detector while its bulk intake crawls.
+	const slow = p2p.PeerID(2)
+	ft.SetLinkTrickle(0, slow, 1500, time.Millisecond)
+	ft.SetLinkTrickle(1, slow, 1500, time.Millisecond)
+	resCh := runAsync(c, 120*time.Second)
+
+	// Queued-frame memory must stay bounded by the configured constant:
+	// at most CreditWindow unacknowledged frames per stream, over the 6
+	// ordered peer pairs. Track the gauge's peak while overloaded.
+	const unackedBound = 6 * window
+	peak := 0.0
+	sample := func() {
+		if v := c.TelemetrySnapshot().GaugeValue("wire_unacked_frames"); v > peak {
+			peak = v
+		}
+	}
+	waitCounter(t, 60*time.Second, "credit stalls under firehose", func() bool {
+		sample()
+		return c.stats().CreditStalls >= 3
+	})
+	// Hold the overload across at least two full suspect windows, so a
+	// wrongly starving detector would have had every chance to evict.
+	hold := time.Now().Add(2 * suspects * heartbeat)
+	for time.Now().Before(hold) {
+		sample()
+		time.Sleep(2 * time.Millisecond)
+	}
+	ft.SetLinkTrickle(0, slow, 0, 0)
+	ft.SetLinkTrickle(1, slow, 0, 0)
+
+	out := <-resCh
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	res := out.res
+
+	if res.CreditStalls == 0 {
+		t.Fatal("firehose produced no credit stalls")
+	}
+	if res.ShedCoalesced == 0 {
+		t.Fatal("no deltas recorded as shed into coalesced entries while stalled")
+	}
+	if res.EvictionsQuorum != 0 {
+		t.Fatalf("slow-but-alive peer evicted %d times, want 0", res.EvictionsQuorum)
+	}
+	if peak > unackedBound {
+		t.Fatalf("peak unacked frames %v exceeds configured bound %d", peak, unackedBound)
+	}
+	assertNoMassLost(t, res)
+	assertRegistryConservation(t, c.TelemetrySnapshot(), res.Ranks)
+	for i := range res.Ranks {
+		rel := res.Ranks[i] - refRes.Ranks[i]
+		if rel < 0 {
+			rel = -rel
+		}
+		if rel/refRes.Ranks[i] > 1e-6 {
+			t.Fatalf("doc %d: overloaded run %v vs unloaded run %v exceeds 1e-6 relative",
+				i, res.Ranks[i], refRes.Ranks[i])
+		}
+	}
+	t.Logf("firehose: %d msgs, stalls %d, shed %d, slow flags %d, peak unacked %v",
+		res.Messages, res.CreditStalls, res.ShedCoalesced, res.SlowPeer, peak)
+}
+
+// TestOverloadMembershipLeaveUnderFirehose checks the control lane:
+// with the bulk path of peer 3 jammed solid by trickled links and
+// stalled senders, a Leave — whose shed/adopt traffic rides the
+// priority lane — must still complete promptly instead of queueing
+// behind the firehose.
+func TestOverloadMembershipLeaveUnderFirehose(t *testing.T) {
+	defer assertNoGoroutineLeaks(t)()
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(500, 83))
+	ft := NewFaultTransport(nil, FaultConfig{Seed: 11})
+	c, err := NewCluster(g, ClusterConfig{
+		Peers: 4, Epsilon: 1e-6, Seed: 13, Transport: ft,
+		InboxCap: 16, CreditWindow: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const slow = p2p.PeerID(3)
+	for _, from := range []p2p.PeerID{0, 1, 2} {
+		ft.SetLinkTrickle(from, slow, 1500, time.Millisecond)
+	}
+	resCh := runAsync(c, 120*time.Second)
+	waitCounter(t, 60*time.Second, "credit stalls under firehose", func() bool {
+		return c.stats().CreditStalls >= 1
+	})
+
+	done := make(chan error, 1)
+	go func() { done <- c.Leave(1) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("Leave wedged for 20s behind bulk traffic; control lane not prioritized")
+	}
+
+	for _, from := range []p2p.PeerID{0, 1, 2} {
+		ft.SetLinkTrickle(from, slow, 0, 0)
+	}
+	out := <-resCh
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	res := out.res
+	if res.Leaves != 1 {
+		t.Fatalf("leaves = %d, want 1", res.Leaves)
+	}
+	if res.Misdropped != 0 {
+		t.Fatalf("%d updates lost to unresolved ownership", res.Misdropped)
+	}
+	assertSingleOwnership(t, c)
+	assertNoMassLost(t, res)
+	assertRegistryConservation(t, c.TelemetrySnapshot(), res.Ranks)
+	assertRanksMatch(t, g, res.Ranks, 1e-3)
+}
+
+// TestOverloadStragglerDegradation gives every write into peer 2 a
+// constant latency well past the configured SlowThreshold: the
+// senders' send-to-ack EWMAs must cross the threshold, flag the
+// destination slow (shrinking batches and stretching cadence toward
+// it), and the run must still converge losslessly once the link
+// recovers.
+func TestOverloadStragglerDegradation(t *testing.T) {
+	defer assertNoGoroutineLeaks(t)()
+	g := graph.MustGeneratePowerLaw(graph.DefaultPowerLawConfig(400, 91))
+	ft := NewFaultTransport(nil, FaultConfig{Seed: 17})
+	c, err := NewCluster(g, ClusterConfig{
+		Peers: 3, Epsilon: 1e-6, Seed: 19, Transport: ft,
+		CreditWindow: 4, SlowThreshold: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const slow = p2p.PeerID(2)
+	ft.SetLinkDelay(0, slow, 12*time.Millisecond)
+	ft.SetLinkDelay(1, slow, 12*time.Millisecond)
+	resCh := runAsync(c, 120*time.Second)
+	waitCounter(t, 60*time.Second, "straggler detection", func() bool {
+		return c.stats().SlowPeer >= 1
+	})
+	// Let the degraded mode actually run against the slow link for a
+	// while before it heals.
+	time.Sleep(100 * time.Millisecond)
+	ft.SetLinkDelay(0, slow, 0)
+	ft.SetLinkDelay(1, slow, 0)
+
+	out := <-resCh
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	res := out.res
+	if res.SlowPeer == 0 {
+		t.Fatal("no straggler detections recorded")
+	}
+	assertNoMassLost(t, res)
+	assertRegistryConservation(t, c.TelemetrySnapshot(), res.Ranks)
+	assertRanksMatch(t, g, res.Ranks, 1e-3)
+	t.Logf("straggler: %d msgs, slow flags %d, stalls %d", res.Messages, res.SlowPeer, res.CreditStalls)
+}
+
+// TestOverloadCreditWindowEnforced drives the credit protocol over a
+// raw connection: a fake receiver that withholds acknowledgements must
+// cap the sender at CreditWindow in-flight frames, a credit frame
+// advertising a smaller window must shrink it, and a larger one must
+// release the coalesced backlog — with every queued delta eventually
+// delivered exactly once.
+func TestOverloadCreditWindowEnforced(t *testing.T) {
+	defer assertNoGoroutineLeaks(t)()
+	// Docs 1..8 live on peer 1, which the test impersonates with a raw
+	// listener. Link structure is irrelevant: updates are injected
+	// straight into the sender's retry queue.
+	adj := make([][]graph.NodeID, 9)
+	for i := 1; i < 9; i++ {
+		adj[0] = append(adj[0], graph.NodeID(i))
+	}
+	g := graph.FromAdjacency(adj)
+	docPeer := make([]p2p.PeerID, 9)
+	for i := 1; i < 9; i++ {
+		docPeer[i] = 1
+	}
+	p, err := NewPeer(PeerConfig{
+		ID: 0, Graph: g, DocPeer: docPeer, Docs: []graph.NodeID{0},
+		CreditWindow: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	p.SetPeers([]string{p.Addr(), ln.Addr().String()})
+
+	var mu sync.Mutex
+	seqs := map[uint64]int{} // seq -> updates in that frame, first delivery only
+	connCh := make(chan net.Conn, 1)
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		connCh <- conn
+		for {
+			typ, payload, err := readFrame(conn)
+			if err != nil {
+				return
+			}
+			if typ != frameBatchEpoch {
+				continue
+			}
+			_, _, seq, _, us, err := decodeBatchEpoch(payload)
+			if err != nil {
+				continue
+			}
+			mu.Lock()
+			if _, dup := seqs[seq]; !dup {
+				seqs[seq] = len(us)
+			}
+			mu.Unlock()
+		}
+	}()
+
+	distinct := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(seqs)
+	}
+	waitFrames := func(want int) {
+		t.Helper()
+		waitCounter(t, 10*time.Second, "frames to arrive", func() bool {
+			return distinct() >= want
+		})
+	}
+
+	// Six updates for six distinct documents, spaced so each would be
+	// framed individually if credit allowed. The receiver acknowledges
+	// nothing, so exactly CreditWindow frames may leave; the other four
+	// updates must park (and stay coalescible) in the retry queue.
+	for i := 1; i <= 6; i++ {
+		p.queueRemote(1, []p2p.Update{{Doc: graph.NodeID(i), Delta: 0.1}})
+		time.Sleep(20 * time.Millisecond)
+	}
+	waitFrames(2)
+	time.Sleep(300 * time.Millisecond) // any third frame would arrive well within this
+	if n := distinct(); n != 2 {
+		t.Fatalf("receiver saw %d distinct frames with no credit granted, want exactly 2", n)
+	}
+	if st := p.Stats(); st.CreditStalls == 0 {
+		t.Fatal("sender recorded no credit stall while gated")
+	}
+
+	conn := <-connCh
+	defer conn.Close()
+
+	// Acknowledge both frames but shrink the window to 1: the four
+	// parked updates drain into one frame, and nothing may follow it —
+	// not even for updates queued afterwards.
+	if err := writeFrame(conn, frameCredit, encodeCredit(2, 1)); err != nil {
+		t.Fatal(err)
+	}
+	waitFrames(3)
+	p.queueRemote(1, []p2p.Update{{Doc: 7, Delta: 0.1}})
+	p.queueRemote(1, []p2p.Update{{Doc: 8, Delta: 0.1}})
+	time.Sleep(300 * time.Millisecond)
+	if n := distinct(); n != 3 {
+		t.Fatalf("receiver saw %d distinct frames under a window of 1, want exactly 3", n)
+	}
+
+	// Reopen the window: the rest of the backlog ships.
+	if err := writeFrame(conn, frameCredit, encodeCredit(3, 4)); err != nil {
+		t.Fatal(err)
+	}
+	waitFrames(4)
+	waitCounter(t, 10*time.Second, "all queued updates to deliver", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		total := 0
+		for _, n := range seqs {
+			total += n
+		}
+		return total == 8
+	})
+	mu.Lock()
+	total := 0
+	for _, n := range seqs {
+		total += n
+	}
+	mu.Unlock()
+	if total != 8 {
+		t.Fatalf("delivered %d updates across frames, want all 8 exactly once", total)
+	}
+}

@@ -251,13 +251,13 @@ func TestEpochRejectStaleFrame(t *testing.T) {
 
 	// Same seq at the current epoch: the rejection must not have
 	// advanced the dedup table, so this folds and acks.
-	if typ, _ = send(1, 5); typ != frameAck {
-		t.Fatalf("current-epoch frame answered with %c, want ack", typ)
+	if typ, _ = send(1, 5); typ != frameCredit {
+		t.Fatalf("current-epoch frame answered with %c, want credit", typ)
 	}
 
 	// Future epoch: adopted, folded...
-	if typ, _ = send(2, 7); typ != frameAck {
-		t.Fatalf("future-epoch frame answered with %c, want ack", typ)
+	if typ, _ = send(2, 7); typ != frameCredit {
+		t.Fatalf("future-epoch frame answered with %c, want credit", typ)
 	}
 	// ...after which the previously current epoch is stale.
 	typ, payload = send(3, 5)
@@ -273,8 +273,8 @@ func TestEpochRejectStaleFrame(t *testing.T) {
 
 	// A later frame at the current epoch folds and advances dedup past
 	// the rejected seq 3...
-	if typ, _ = send(4, 7); typ != frameAck {
-		t.Fatalf("current-epoch frame answered with %c, want ack", typ)
+	if typ, _ = send(4, 7); typ != frameCredit {
+		t.Fatalf("current-epoch frame answered with %c, want credit", typ)
 	}
 	// ...but a retransmission of the rejected frame (its nack was lost
 	// with the connection, say) must face the epoch fence again, not be
@@ -289,13 +289,13 @@ func TestEpochRejectStaleFrame(t *testing.T) {
 	}
 	// A re-stamped copy at the current epoch (what a restored or
 	// adopting sender emits) finally folds it, exactly once...
-	if typ, _ = send(3, 7); typ != frameAck {
-		t.Fatalf("re-stamped rejected frame answered with %c, want ack", typ)
+	if typ, _ = send(3, 7); typ != frameCredit {
+		t.Fatalf("re-stamped rejected frame answered with %c, want credit", typ)
 	}
 	before := p.Stats().DupDropped
 	// ...and only then does plain duplicate suppression take over.
-	if typ, _ = send(3, 7); typ != frameAck {
-		t.Fatalf("duplicate of folded frame answered with %c, want ack", typ)
+	if typ, _ = send(3, 7); typ != frameCredit {
+		t.Fatalf("duplicate of folded frame answered with %c, want credit", typ)
 	}
 	if got := p.Stats().DupDropped; got != before+1 {
 		t.Fatalf("dup_dropped = %d, want %d", got, before+1)

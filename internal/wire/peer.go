@@ -62,6 +62,31 @@ const writeTimeout = 10 * time.Second
 // and then hangs is torn down and its frames retransmitted elsewhere.
 const ackTimeout = 15 * time.Second
 
+// Overload-protection defaults; PeerConfig overrides each.
+const (
+	// defaultInboxCap sizes the bulk lane of the two-lane inbox.
+	defaultInboxCap = 1024
+	// defaultCreditWindow caps in-flight unacknowledged frames per
+	// stream. Small enough that a stalled receiver bounds sender memory
+	// at a few frames; large enough that a healthy pipeline never
+	// notices the window.
+	defaultCreditWindow = 32
+	// defaultSlowThreshold is the send-to-ack latency EWMA above which
+	// a destination is treated as a straggler.
+	defaultSlowThreshold = 25 * time.Millisecond
+
+	// ctlLaneCap sizes the control lane: membership operations and
+	// other must-not-starve items are rare, so a small buffer suffices.
+	ctlLaneCap = 64
+
+	// batchCap bounds the coalesced updates drained into one fresh
+	// frame; slowBatchCap is the shrunken bound used toward straggler
+	// destinations, trading throughput for shorter per-frame transmit
+	// and fold times on the slow path.
+	batchCap     = 4096
+	slowBatchCap = 256
+)
+
 // PeerConfig configures one TCP peer.
 type PeerConfig struct {
 	ID      p2p.PeerID
@@ -104,6 +129,22 @@ type PeerConfig struct {
 	// wires it to the slot's failure-detector vantage; a nil hook serves
 	// legacy empty pongs.
 	Gossip func(from p2p.PeerID, suspects []p2p.PeerID) []p2p.PeerID
+
+	// InboxCap sizes the bulk lane of the peer's two-lane inbox — the
+	// queue of not-yet-folded inbound update batches. 0 means 1024;
+	// negative is rejected by the cluster frontends.
+	InboxCap int
+
+	// CreditWindow caps the unacknowledged frames a sender keeps in
+	// flight per stream, and the largest window a receiver ever
+	// advertises on its credit acks. 0 means 32.
+	CreditWindow int
+
+	// SlowThreshold is the send-to-ack latency EWMA above which a
+	// destination counts as a straggler: senders shrink batches and
+	// stretch ship cadence toward it until the EWMA halves back below
+	// the threshold. 0 means 25ms.
+	SlowThreshold time.Duration
 }
 
 // stream identifies one exactly-once delivery sequence: the sender and
@@ -163,9 +204,16 @@ type Peer struct {
 	inMu sync.Mutex
 	ins  map[net.Conn]struct{}
 
-	inbox chan inItem
-	quit  chan struct{}
-	wg    sync.WaitGroup
+	// Two-lane inbox. ctl carries membership operations (handoff
+	// adoption, document shedding), which must never queue behind bulk
+	// updates: an overloaded peer still serves ownership transfers
+	// promptly, so a slow peer cannot wedge a cluster-wide Leave or
+	// Join. bulk carries update batches; its capacity (InboxCap) is
+	// what the receiver's advertised credit window shrinks with.
+	ctl  chan inItem
+	bulk chan inItem
+	quit chan struct{}
+	wg   sync.WaitGroup
 
 	// lastSeq is the duplicate-suppression table: the highest folded
 	// sequence number per delivery stream. Owned by processLoop; read
@@ -239,6 +287,8 @@ type PeerStats struct {
 	Coalesced, DupDropped             uint64
 	Forwarded, Misdropped             uint64
 	EpochRejected                     uint64
+	CreditStalls, ShedCoalesced       uint64
+	SlowPeer                          uint64
 	DeltaShipped, DeltaFolded         float64
 }
 
@@ -260,6 +310,15 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = telemetry.NewRegistry()
 	}
+	if cfg.InboxCap <= 0 {
+		cfg.InboxCap = defaultInboxCap
+	}
+	if cfg.CreditWindow <= 0 {
+		cfg.CreditWindow = defaultCreditWindow
+	}
+	if cfg.SlowThreshold <= 0 {
+		cfg.SlowThreshold = defaultSlowThreshold
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return nil, err
@@ -275,7 +334,8 @@ func NewPeer(cfg PeerConfig) (*Peer, error) {
 		senders:  make(map[stream]*sender),
 		rq:       p2p.NewRetryQueue(),
 		ins:      make(map[net.Conn]struct{}),
-		inbox:    make(chan inItem, 1024),
+		ctl:      make(chan inItem, ctlLaneCap),
+		bulk:     make(chan inItem, cfg.InboxCap),
 		quit:     make(chan struct{}),
 		lastSeq:  make(map[stream]uint64),
 		rejected: make(map[stream]map[uint64]struct{}),
@@ -487,11 +547,11 @@ func (p *Peer) Start() {
 		return
 	}
 	// Initial push of every owned document's starting rank. Self-
-	// directed updates enter through the inbox channel; the processing
+	// directed updates enter through the bulk lane; the processing
 	// loop is already running, so the buffered channel drains.
 	if self := p.ship(p.rk.initialOut(), true); len(self) > 0 {
 		select {
-		case p.inbox <- inItem{from: p.cfg.ID, us: self}:
+		case p.bulk <- inItem{from: p.cfg.ID, us: self}:
 		case <-p.quit:
 		}
 	}
@@ -629,7 +689,7 @@ func (p *Peer) serveConn(conn net.Conn) {
 				return
 			}
 			select {
-			case p.inbox <- inItem{us: us}:
+			case p.bulk <- inItem{us: us}:
 			case <-p.quit:
 				return
 			}
@@ -642,7 +702,7 @@ func (p *Peer) serveConn(conn net.Conn) {
 			it := inItem{from: from, origDest: p.cfg.ID, seq: seq, seqed: true, us: us,
 				ack: func() { cw.write(frameAck, encodeAck(seq)) }}
 			select {
-			case p.inbox <- it:
+			case p.bulk <- it:
 			case <-p.quit:
 				return
 			}
@@ -654,7 +714,7 @@ func (p *Peer) serveConn(conn net.Conn) {
 			it := inItem{from: from, origDest: origDest, seq: seq, seqed: true, us: us,
 				ack: func() { cw.write(frameAck, encodeAck(seq)) }}
 			select {
-			case p.inbox <- it:
+			case p.bulk <- it:
 			case <-p.quit:
 				return
 			}
@@ -663,12 +723,15 @@ func (p *Peer) serveConn(conn net.Conn) {
 			if err != nil {
 				return
 			}
+			// Acks on the epoch path are credit frames: the cumulative ack
+			// plus this receiver's advertised window, computed at ack time
+			// so it reflects current bulk-lane occupancy.
 			it := inItem{from: from, origDest: origDest, seq: seq, seqed: true, us: us,
 				epoch: epoch, hasEpoch: true,
-				ack:  func() { cw.write(frameAck, encodeAck(seq)) },
+				ack:  func() { cw.write(frameCredit, encodeCredit(seq, p.advertiseWindow())) },
 				nack: func(cur uint64) { cw.write(frameNackEpoch, encodeNackEpoch(seq, cur)) }}
 			select {
-			case p.inbox <- it:
+			case p.bulk <- it:
 			case <-p.quit:
 				return
 			}
@@ -720,28 +783,61 @@ func (p *Peer) serveConn(conn net.Conn) {
 	}
 }
 
+// advertiseWindow computes the credit window this receiver grants a
+// sender right now: the configured ceiling, shrunk toward 1 as the
+// bulk lane fills. The window is never zero — a stream always keeps
+// the right to one in-flight frame, so flow control throttles senders
+// without ever deadlocking them.
+func (p *Peer) advertiseWindow() uint32 {
+	w := p.cfg.CreditWindow
+	if free := cap(p.bulk) - len(p.bulk); free < w {
+		w = free
+	}
+	if w < 1 {
+		w = 1
+	}
+	return uint32(w)
+}
+
 // processLoop consumes delivered batches, coalescing whatever is
-// already queued before recomputing. Self-directed consequences are
-// folded in the same loop rather than re-queued through the inbox
-// channel, which would self-deadlock when the channel is full.
+// already queued before recomputing. The control lane has strict
+// priority: membership operations are served before any queued bulk
+// update, so an overloaded peer still turns around Adopt/Shed
+// promptly. Self-directed consequences are folded in the same loop
+// rather than re-queued through the inbox channels, which would
+// self-deadlock when the channel is full.
 func (p *Peer) processLoop() {
 	defer p.wg.Done()
 	for {
+		var it inItem
 		select {
 		case <-p.quit:
 			return
-		case it := <-p.inbox:
-			items := []inItem{it}
-			for drained := false; !drained; {
+		case it = <-p.ctl:
+		default:
+			select {
+			case <-p.quit:
+				return
+			case it = <-p.ctl:
+			case it = <-p.bulk:
+			}
+		}
+		items := []inItem{it}
+		for drained := false; !drained; {
+			select {
+			case more := <-p.ctl:
+				items = append(items, more)
+			default:
 				select {
-				case more := <-p.inbox:
+				case more := <-p.bulk:
 					items = append(items, more)
 				default:
 					drained = true
 				}
 			}
-			p.consume(items)
 		}
+		p.m.inboxOccupancy.Set(float64(len(items) + len(p.bulk)))
+		p.consume(items)
 	}
 }
 
@@ -926,11 +1022,18 @@ func (p *Peer) queueRemote(dest p2p.PeerID, us []p2p.Update) {
 		}
 	}
 	p.rqMu.Unlock()
+	s := p.sender(stream{src: p.cfg.ID, dest: dest})
 	if merged > 0 {
 		p.m.coalesced.Add(uint64(merged))
 		p.m.processed.Add(uint64(merged))
+		if s.isStalled() {
+			// Lossless load shedding: the destination is out of credit and
+			// these updates were absorbed into already-queued entries
+			// instead of growing the backlog.
+			p.m.shedCoalesced.Add(uint64(merged))
+		}
 	}
-	p.sender(stream{src: p.cfg.ID, dest: dest}).wakeUp()
+	s.wakeUp()
 }
 
 // sender returns (creating on first use) the stream's sender.
@@ -955,6 +1058,7 @@ func (p *Peer) newSender(st stream) *sender {
 		wake:    make(chan struct{}, 1),
 		nextSeq: 1,
 		sendSeq: 1,
+		window:  uint64(p.cfg.CreditWindow),
 	}
 }
 
@@ -1010,7 +1114,7 @@ func (p *Peer) rerouteQueued() {
 	}
 	if len(selfUs) > 0 {
 		select {
-		case p.inbox <- inItem{from: p.cfg.ID, us: selfUs}:
+		case p.bulk <- inItem{from: p.cfg.ID, us: selfUs}:
 		case <-p.quit:
 		}
 	}
@@ -1029,7 +1133,7 @@ func (p *Peer) Adopt(h *Handoff) error {
 	}
 	h.done = make(chan struct{})
 	select {
-	case p.inbox <- inItem{adopt: h}:
+	case p.ctl <- inItem{adopt: h}:
 	case <-p.quit:
 		return fmt.Errorf("wire: peer %d is shut down", p.cfg.ID)
 	}
@@ -1086,6 +1190,9 @@ func (p *Peer) installAdoptedSender(st stream, ob OutboundState) {
 	}
 	s := p.newSender(st)
 	s.nextSeq = ob.NextSeq
+	if ob.Window > 0 {
+		s.window = ob.Window
+	}
 	for _, uf := range ob.Unacked {
 		fr := &frameRec{seq: uf.Seq, updates: len(uf.Updates)}
 		// Re-encode under the restorer's current epoch for the range:
@@ -1097,6 +1204,7 @@ func (p *Peer) installAdoptedSender(st stream, ob OutboundState) {
 	}
 	if len(s.unacked) > 0 {
 		s.sendSeq = s.unacked[0].seq
+		p.m.unackedFrames.Add(float64(len(s.unacked)))
 	} else {
 		s.sendSeq = s.nextSeq
 	}
@@ -1114,7 +1222,7 @@ func (p *Peer) installAdoptedSender(st stream, ob OutboundState) {
 func (p *Peer) Shed(docs []graph.NodeID, newOwner p2p.PeerID) (rank, acc, last []float64, err error) {
 	req := &shedReq{docs: docs, newOwner: newOwner, reply: make(chan shedState, 1)}
 	select {
-	case p.inbox <- inItem{shed: req}:
+	case p.ctl <- inItem{shed: req}:
 	case <-p.quit:
 		return nil, nil, nil, fmt.Errorf("wire: peer %d is shut down", p.cfg.ID)
 	}
@@ -1151,6 +1259,20 @@ type sender struct {
 	nextSeq  uint64      // seq assigned to the next newly built frame
 	sendSeq  uint64      // seq of the next frame to (re)transmit
 	everConn bool
+
+	// Flow control: window is the receiver's advertised credit (frames
+	// in flight allowed); stalled marks a stream currently refusing to
+	// frame fresh updates for lack of credit, during which queued
+	// deltas coalesce in the retry queue instead of growing unacked.
+	window  uint64
+	stalled bool
+
+	// Straggler detection: an EWMA of send-to-ack latency per
+	// destination, with hysteresis on the slow flag (set above
+	// SlowThreshold, cleared below half of it) so the degraded mode
+	// does not flap.
+	ewma time.Duration
+	slow bool
 }
 
 // frameRec is one framed batch awaiting acknowledgement.
@@ -1159,6 +1281,7 @@ type frameRec struct {
 	bytes    []byte
 	updates  int
 	attempts int
+	sentAt   time.Time // last transmission start; feeds the latency EWMA
 }
 
 func (s *sender) wakeUp() {
@@ -1200,6 +1323,10 @@ func (s *sender) loop() {
 			fr.attempts++
 			retry := fr.attempts > 1
 			seq := fr.seq
+			// Latency is measured from transmission start, so a trickling
+			// connection (slow writes) raises the EWMA just like a slow
+			// folder on the far side.
+			fr.sentAt = time.Now()
 			s.mu.Unlock()
 			if retry {
 				s.p.m.retries.Add(1)
@@ -1225,15 +1352,34 @@ func (s *sender) loop() {
 			if s.sendSeq <= fr.seq {
 				s.sendSeq = fr.seq + 1
 			}
+			slow := s.slow
 			s.mu.Unlock()
+			if slow {
+				// Straggler degradation: stretch the ship cadence so the
+				// slow destination drains between frames instead of
+				// accumulating an in-flight pile-up.
+				select {
+				case <-s.p.quit:
+					return
+				case <-time.After(s.p.cfg.SlowThreshold / 4):
+				}
+			}
 		}
 	}
 }
 
 // nextFrame returns the next frame to transmit: the first
 // unacknowledged frame at or past the send cursor, else — for streams
-// this peer originates — a fresh frame built from the retry queue's
-// coalesced pending updates.
+// this peer originates, when credit allows — a fresh frame built from
+// the retry queue's coalesced pending updates.
+//
+// Credit gating happens here, and only for fresh frames:
+// retransmissions of already-built frames never consume new credit
+// (the receiver granted it when they were first framed), so a
+// reconnect can always drain the pipe. While the stream is out of
+// credit, queued updates stay in the retry queue where DeferMerge
+// coalesces them per document — sender memory stays bounded by the
+// destination's distinct documents, and no delta mass is dropped.
 func (s *sender) nextFrame() *frameRec {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -1246,8 +1392,21 @@ func (s *sender) nextFrame() *frameRec {
 	if s.strm.src != p.cfg.ID {
 		return nil // adopted stream: only inherited frames, never fresh ones
 	}
+	if uint64(len(s.unacked)) >= s.window {
+		if !s.stalled {
+			s.stalled = true
+			p.m.creditStalls.Add(1)
+			p.event(telemetry.EvCreditStall, float64(len(s.unacked)), int64(s.strm.dest))
+		}
+		return nil
+	}
+	s.stalled = false
+	limit := batchCap
+	if s.slow {
+		limit = slowBatchCap
+	}
 	p.rqMu.Lock()
-	us := p.rq.Drain(s.strm.dest)
+	us := p.rq.DrainN(s.strm.dest, limit)
 	p.rqMu.Unlock()
 	if len(us) == 0 {
 		return nil
@@ -1261,6 +1420,7 @@ func (s *sender) nextFrame() *frameRec {
 	writeFrame(&buf, frameBatchEpoch, encodeBatchEpoch(s.strm.src, s.strm.dest, fr.seq, p.epochOf(s.strm.dest), us))
 	fr.bytes = buf.Bytes()
 	s.unacked = append(s.unacked, fr)
+	p.m.unackedFrames.Add(1)
 	return fr
 }
 
@@ -1380,12 +1540,22 @@ func (s *sender) readAcks(c net.Conn) {
 			}
 			continue
 		}
-		if typ != frameAck {
-			s.closeConn(c)
-			s.wakeUp()
-			return
+		var seq uint64
+		switch typ {
+		case frameAck:
+			seq, err = decodeAck(payload)
+		case frameCredit:
+			// A credit frame is a cumulative ack carrying the receiver's
+			// refreshed window; adopt the window before discarding frames
+			// so a woken sender sees the new budget.
+			var window uint32
+			seq, window, err = decodeCredit(payload)
+			if err == nil {
+				s.setWindow(window)
+			}
+		default:
+			err = fmt.Errorf("wire: unexpected frame %c on ack path", typ)
 		}
-		seq, err := decodeAck(payload)
 		if err != nil {
 			s.closeConn(c)
 			s.wakeUp()
@@ -1405,20 +1575,78 @@ func (s *sender) readAcks(c net.Conn) {
 	}
 }
 
-// ack discards every frame with seq <= the cumulative acknowledgement.
+// ack discards every frame with seq <= the cumulative acknowledgement,
+// feeds the send-to-ack latency of the newest discarded frame into the
+// destination's straggler EWMA, and wakes the sender loop — a stream
+// that stalled on credit regains it exactly here.
 func (s *sender) ack(seq uint64) {
+	now := time.Now()
+	var lat time.Duration
+	var slowFlip bool
+	var ewma time.Duration
 	s.mu.Lock()
 	i := 0
 	for i < len(s.unacked) && s.unacked[i].seq <= seq {
 		if s.unacked[i].attempts > 1 {
 			s.p.m.redeliveries.Add(1)
 		}
+		if !s.unacked[i].sentAt.IsZero() {
+			lat = now.Sub(s.unacked[i].sentAt)
+		}
 		i++
 	}
 	if i > 0 {
 		s.unacked = append([]*frameRec(nil), s.unacked[i:]...)
+		s.p.m.unackedFrames.Add(float64(-i))
+	}
+	if i > 0 && lat > 0 {
+		// EWMA with alpha = 1/4: new = old + (sample - old) / 4. The
+		// first sample seeds the average directly.
+		if s.ewma == 0 {
+			s.ewma = lat
+		} else {
+			s.ewma += (lat - s.ewma) / 4
+		}
+		ewma = s.ewma
+		threshold := s.p.cfg.SlowThreshold
+		switch {
+		case !s.slow && s.ewma > threshold:
+			s.slow, slowFlip = true, true
+		case s.slow && s.ewma < threshold/2:
+			s.slow = false
+		}
 	}
 	s.mu.Unlock()
+	if i > 0 {
+		if lat > 0 {
+			s.p.m.sendLatency.Observe(lat.Seconds())
+			s.p.m.sendLatencyEwma.Set(ewma.Seconds())
+		}
+		if slowFlip {
+			s.p.m.slowPeer.Add(1)
+			s.p.event(telemetry.EvSlowPeer, ewma.Seconds(), int64(s.strm.dest))
+		}
+		s.wakeUp()
+	}
+}
+
+// setWindow adopts the receiver's advertised credit window. A grown
+// window wakes the loop so a credit-stalled stream resumes framing.
+func (s *sender) setWindow(w uint32) {
+	s.mu.Lock()
+	grew := uint64(w) > s.window
+	s.window = uint64(w)
+	s.mu.Unlock()
+	if grew {
+		s.wakeUp()
+	}
+}
+
+// isStalled reports whether the stream is currently credit-blocked.
+func (s *sender) isStalled() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stalled
 }
 
 // handleNack processes a stale-epoch rejection: adopt the receiver's
@@ -1439,6 +1667,7 @@ func (s *sender) handleNack(seq, epoch uint64) {
 		} else {
 		}
 		s.unacked = append(s.unacked[:i:i], s.unacked[i+1:]...)
+		s.p.m.unackedFrames.Add(-1)
 		break
 	}
 	s.mu.Unlock()
@@ -1484,7 +1713,7 @@ func (p *Peer) requeueUpdates(us []p2p.Update) {
 		// Locally owned (or owner-unresolvable) updates fold or get
 		// forwarded by handle on the processing loop.
 		select {
-		case p.inbox <- inItem{from: p.cfg.ID, us: selfUs}:
+		case p.bulk <- inItem{from: p.cfg.ID, us: selfUs}:
 		case <-p.quit:
 		}
 	}

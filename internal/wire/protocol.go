@@ -49,6 +49,15 @@ const (
 	frameNackEpoch  = 'N' // u64 seq, u64 epoch: per-frame stale-epoch rejection
 	frameViewReq    = 'W' // anti-entropy request: a view-digest payload
 	frameViewResp   = 'D' // anti-entropy response: a view-digest payload
+
+	// frameCredit is the flow-controlled acknowledgement that supersedes
+	// frameAck on the epoch-batch path: the cumulative ack seq plus the
+	// receiver's advertised credit window — the number of frames the
+	// sender may keep in flight on this stream. A shrinking window is how
+	// an overloaded receiver pushes back without dropping rank mass; the
+	// advertised window is never zero, so a stalled stream always retains
+	// the right to one in-flight frame and progress is guaranteed.
+	frameCredit = 'C' // u64 seq, u32 window
 )
 
 // maxFrameBytes bounds a frame to keep a corrupted length prefix from
@@ -218,6 +227,30 @@ func decodeAck(b []byte) (uint64, error) {
 		return 0, fmt.Errorf("wire: ack payload %d bytes", len(b))
 	}
 	return binary.LittleEndian.Uint64(b), nil
+}
+
+// encodeCredit serializes a flow-controlled acknowledgement: the
+// cumulative ack plus the receiver's advertised credit window.
+func encodeCredit(seq uint64, window uint32) []byte {
+	buf := make([]byte, 12)
+	binary.LittleEndian.PutUint64(buf[:8], seq)
+	binary.LittleEndian.PutUint32(buf[8:], window)
+	return buf
+}
+
+// decodeCredit parses a flow-controlled acknowledgement payload. A
+// zero window is a structural error: the protocol guarantees at least
+// one frame of credit so a stream can always make progress.
+func decodeCredit(b []byte) (seq uint64, window uint32, err error) {
+	if len(b) != 12 {
+		return 0, 0, fmt.Errorf("wire: credit payload %d bytes", len(b))
+	}
+	seq = binary.LittleEndian.Uint64(b[:8])
+	window = binary.LittleEndian.Uint32(b[8:])
+	if window == 0 {
+		return 0, 0, fmt.Errorf("wire: credit frame with zero window")
+	}
+	return seq, window, nil
 }
 
 // encodeSnapshot serializes a termination-probe response.

@@ -29,6 +29,11 @@ type TCPResult struct {
 	EvictionsQuorum  uint64 // evictions confirmed by a live-peer majority
 	EvictionsRefused uint64 // suspicions parked for lack of a quorum
 	EpochRejected    uint64 // frames nacked for carrying a stale ownership epoch
+
+	// Overload-protection accounting (zero on an unloaded run).
+	CreditStalls  uint64 // sender stall episodes on an exhausted credit window
+	ShedCoalesced uint64 // deltas folded into queued ones while stalled
+	SlowPeer      uint64 // straggler detections (send-latency EWMA crossings)
 }
 
 func fromClusterResult(res wire.ClusterResult) TCPResult {
@@ -48,6 +53,9 @@ func fromClusterResult(res wire.ClusterResult) TCPResult {
 		EvictionsQuorum:  res.EvictionsQuorum,
 		EvictionsRefused: res.EvictionsRefused,
 		EpochRejected:    res.EpochRejected,
+		CreditStalls:     res.CreditStalls,
+		ShedCoalesced:    res.ShedCoalesced,
+		SlowPeer:         res.SlowPeer,
 	}
 }
 
@@ -60,6 +68,8 @@ func (o Options) clusterConfig() wire.ClusterConfig {
 		Retry:        wire.RetryPolicy{Base: o.RetryBase, Max: o.RetryMax},
 		Heartbeat:    o.Heartbeat,
 		SuspectAfter: o.SuspectAfter,
+		InboxCap:     o.InboxCap,
+		CreditWindow: o.CreditWindow,
 		DebugAddr:    o.DebugAddr,
 	}
 }
