@@ -1,7 +1,7 @@
 # Distributed Pagerank for P2P Systems — build/test/bench driver.
 GO ?= go
 
-.PHONY: all build vet lint test race chaos chaos-membership chaos-partition chaos-overload fuzz fuzz-csr bench bench-pipeline bench-check ci
+.PHONY: all build vet lint lint-graphs test race chaos chaos-membership chaos-partition chaos-overload fuzz fuzz-csr bench bench-pipeline bench-check ci
 
 all: build
 
@@ -13,9 +13,17 @@ vet:
 
 # dprlint: the repo's own invariant checkers (determinism, wire
 # deadlines, lock hygiene, hot-path allocations, counter
-# conservation). Exits non-zero on any finding.
+# conservation, goroutine lifecycle, lock ordering, atomic access
+# discipline, codec symmetry). Exits non-zero on any finding.
 lint:
 	$(GO) run ./cmd/dprlint
+
+# Same findings as `lint`, plus the call graph and mutex-acquisition
+# graph written to results/ as dot + JSON. These are the proof
+# artifacts for the goroutinelife and lockorder rules: the lock graph
+# in particular is what "the wire/p2p mutex graph is acyclic" means.
+lint-graphs:
+	$(GO) run ./cmd/dprlint -graphs results
 
 # -shuffle=on randomizes test order each run, so accidental
 # inter-test coupling (shared globals, leftover files) surfaces early.
@@ -82,7 +90,7 @@ bench-check:
 
 # Full gate: what a CI job should run.
 ci:
-	$(GO) vet ./... && $(GO) build ./... && $(GO) run ./cmd/dprlint \
+	$(GO) vet ./... && $(GO) build ./... && $(GO) run ./cmd/dprlint -graphs results \
 		&& $(GO) test -race -shuffle=on ./... \
 		&& $(GO) test -race ./internal/wire ./internal/p2p ./internal/telemetry \
 		&& $(GO) test -race -count=1 -run Chaos ./internal/wire \

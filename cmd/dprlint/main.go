@@ -1,20 +1,25 @@
 // Command dprlint runs the repository's invariant checkers over the
 // whole module: determinism (no global rand / clocks / map-ordered
 // output in the deterministic packages), wire-deadline discipline,
-// lock hygiene, the //dpr:hotpath allocation guard, and
-// shipped/folded counter conservation. It exits non-zero when any
-// diagnostic survives.
+// lock hygiene, the //dpr:hotpath allocation guard (direct and
+// transitive through the call graph), shipped/folded counter
+// conservation, goroutine join proofs, lock-acquisition-order
+// acyclicity, atomic/plain access mixing, and codec symmetry. It
+// exits non-zero when any diagnostic survives.
 //
 // Usage:
 //
-//	dprlint [-root dir] [-rules rule1,rule2] [package-path-suffix ...]
+//	dprlint [-root dir] [-rules rule1,rule2] [-graphs dir] [package-path-suffix ...]
 //
 // With no arguments every package in the module is linted. Positional
 // arguments restrict reporting to packages whose import path has one
-// of the given suffixes (e.g. `dprlint internal/wire`).
+// of the given suffixes (e.g. `dprlint internal/wire`). With -graphs,
+// the call graph and lock-acquisition graph are written to dir as
+// callgraph.{json,dot} and lockgraph.{json,dot}.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,8 +32,9 @@ import (
 func main() {
 	root := flag.String("root", "", "module root (default: nearest go.mod above cwd)")
 	rules := flag.String("rules", "", "comma-separated rule subset (default: all)")
+	graphs := flag.String("graphs", "", "write callgraph/lockgraph artifacts (json+dot) to this directory")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: dprlint [-root dir] [-rules %s] [pkg-suffix ...]\n",
+		fmt.Fprintf(os.Stderr, "usage: dprlint [-root dir] [-rules %s] [-graphs dir] [pkg-suffix ...]\n",
 			strings.Join(lint.AllRules, ","))
 		flag.PrintDefaults()
 	}
@@ -73,17 +79,47 @@ func main() {
 	if *rules != "" {
 		cfg.Rules = strings.Split(*rules, ",")
 	}
-	diags := lint.Run(loader, pkgs, cfg)
-	for _, d := range diags {
+	res := lint.Analyze(loader, pkgs, cfg)
+	if *graphs != "" {
+		if err := writeGraphs(*graphs, res); err != nil {
+			fmt.Fprintln(os.Stderr, "dprlint:", err)
+			os.Exit(2)
+		}
+	}
+	for _, d := range res.Diags {
 		if rel, err := filepath.Rel(dir, d.File); err == nil && !strings.HasPrefix(rel, "..") {
 			d.File = rel
 		}
 		fmt.Println(d)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "dprlint: %d issue(s)\n", len(diags))
+	if len(res.Diags) > 0 {
+		fmt.Fprintf(os.Stderr, "dprlint: %d issue(s)\n", len(res.Diags))
 		os.Exit(1)
 	}
+}
+
+// writeGraphs dumps the interprocedural proof artifacts (when the
+// corresponding rules ran) as JSON and Graphviz dot.
+func writeGraphs(dir string, res lint.Result) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, g := range []*lint.GraphDoc{res.CallGraph, res.LockGraph} {
+		if g == nil {
+			continue
+		}
+		data, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, g.Name+".json"), append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		if err := os.WriteFile(filepath.Join(dir, g.Name+".dot"), []byte(g.Dot()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // findModuleRoot walks up from the working directory to a go.mod.

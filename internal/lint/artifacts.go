@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"fmt"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GraphDoc is a serializable proof artifact: the call graph or the
+// lock-acquisition graph the interprocedural rules reasoned over.
+// Written as JSON (for tooling) and Graphviz dot (for eyes) under
+// results/ by `dprlint -graphs`, so a failing CI run ships the exact
+// graph the verdict was computed from.
+type GraphDoc struct {
+	Name  string      `json:"name"`
+	Nodes []GraphNode `json:"nodes"`
+	Edges []GraphEdge `json:"edges"`
+}
+
+// GraphNode is one vertex: a function (call graph) or a mutex (lock
+// graph).
+type GraphNode struct {
+	ID  string `json:"id"`
+	Pkg string `json:"pkg,omitempty"`
+	Pos string `json:"pos,omitempty"`
+}
+
+// GraphEdge is one directed edge with its source witness.
+type GraphEdge struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Kind string `json:"kind"` // call|go|direct|via-call
+	Pos  string `json:"pos,omitempty"`
+}
+
+// doc exports the call graph. Edge kinds: "call" for synchronous
+// calls (nested-literal calls included), "go" for goroutine spawns.
+func (g *callGraph) doc(prog *program) *GraphDoc {
+	d := &GraphDoc{Name: "callgraph"}
+	for _, n := range g.nodes {
+		pos := prog.loader.Fset.Position(n.decl.Pos())
+		d.Nodes = append(d.Nodes, GraphNode{
+			ID:  n.name(),
+			Pkg: n.pkg.ImportPath,
+			Pos: fmt.Sprintf("%s:%d", shortFile(pos.Filename), pos.Line),
+		})
+		seen := make(map[GraphEdge]bool)
+		for _, c := range n.calls {
+			kind := "call"
+			if c.viaGo {
+				kind = "go"
+			}
+			pos := prog.loader.Fset.Position(c.pos)
+			e := GraphEdge{
+				From: n.name(), To: c.callee.name(), Kind: kind,
+				Pos: fmt.Sprintf("%s:%d", shortFile(pos.Filename), pos.Line),
+			}
+			dedup := GraphEdge{From: e.From, To: e.To, Kind: e.Kind}
+			if !seen[dedup] {
+				seen[dedup] = true
+				d.Edges = append(d.Edges, e)
+			}
+		}
+	}
+	d.sortStable()
+	return d
+}
+
+// lockGraphDoc exports the lock-acquisition graph computed by
+// checkLockOrder.
+func lockGraphDoc(prog *program, order []types.Object,
+	labels map[types.Object]string, edges map[lockEdgeKey]lockEdgeInfo) *GraphDoc {
+
+	d := &GraphDoc{Name: "lockgraph"}
+	for _, obj := range order {
+		pos := prog.loader.Fset.Position(obj.Pos())
+		node := GraphNode{ID: labels[obj]}
+		if obj.Pkg() != nil {
+			node.Pkg = obj.Pkg().Path()
+		}
+		if pos.IsValid() {
+			node.Pos = fmt.Sprintf("%s:%d", shortFile(pos.Filename), pos.Line)
+		}
+		d.Nodes = append(d.Nodes, node)
+	}
+	for k, info := range edges {
+		pos := prog.loader.Fset.Position(info.pos)
+		e := GraphEdge{
+			From: labels[k.from], To: labels[k.to], Kind: info.kind,
+			Pos: fmt.Sprintf("%s:%d", shortFile(pos.Filename), pos.Line),
+		}
+		d.Edges = append(d.Edges, e)
+	}
+	d.sortStable()
+	return d
+}
+
+// sortStable orders nodes and edges deterministically so artifact
+// diffs track real graph changes.
+func (d *GraphDoc) sortStable() {
+	sort.Slice(d.Nodes, func(i, j int) bool { return d.Nodes[i].ID < d.Nodes[j].ID })
+	sort.Slice(d.Edges, func(i, j int) bool {
+		a, b := d.Edges[i], d.Edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Pos < b.Pos
+	})
+}
+
+// Dot renders the graph in Graphviz dot syntax. Spawn ("go") and
+// via-call edges are dashed; everything else is solid.
+func (d *GraphDoc) Dot() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", d.Name)
+	b.WriteString("  rankdir=LR;\n  node [shape=box, fontsize=10];\n")
+	for _, n := range d.Nodes {
+		attrs := fmt.Sprintf("label=%q", n.ID)
+		if n.Pos != "" {
+			attrs += fmt.Sprintf(", tooltip=%q", n.Pos)
+		}
+		fmt.Fprintf(&b, "  %q [%s];\n", n.ID, attrs)
+	}
+	for _, e := range d.Edges {
+		style := "solid"
+		if e.Kind == "go" || e.Kind == "via-call" {
+			style = "dashed"
+		}
+		fmt.Fprintf(&b, "  %q -> %q [style=%s, label=%q", e.From, e.To, style, e.Kind)
+		if e.Pos != "" {
+			fmt.Fprintf(&b, ", tooltip=%q", e.Pos)
+		}
+		b.WriteString("];\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

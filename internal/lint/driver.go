@@ -5,31 +5,60 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"sort"
 	"strings"
 )
 
-// pass is the per-package analysis context handed to each analyzer.
+// program is the module-wide analysis context: every loaded package,
+// the annotation index (with per-suppression use tracking, so stale
+// ignores can be reported), and — once an interprocedural rule asks
+// for it — the static call graph.
+type program struct {
+	cfg    Config
+	loader *Loader
+	pkgs   []*Package
+
+	anns  *annotations
+	graph *callGraph // nil until buildCallGraph
+
+	lockGraph *GraphDoc // populated by checkLockOrder
+
+	diags []Diagnostic
+}
+
+// pass is the per-package analysis context handed to each
+// single-package analyzer. It shares the program's annotation index
+// and diagnostic sink.
 type pass struct {
+	prog   *program
 	cfg    Config
 	loader *Loader
 	pkg    *Package
+}
 
-	// suppress maps file -> line -> rules ignored on that line (from
-	// //dpr:ignore comments; "*" means every rule). nodeadline maps
-	// file -> line -> true for //dpr:nodeadline annotations.
-	suppress   map[string]map[int][]string
-	nodeadline map[string]map[int]bool
-
-	diags []Diagnostic
+// Result is everything one analysis run produced: the findings plus
+// the proof artifacts (call graph, lock-acquisition graph) that the
+// interprocedural rules reasoned over.
+type Result struct {
+	Diags     []Diagnostic
+	CallGraph *GraphDoc
+	LockGraph *GraphDoc
 }
 
 // Run executes every configured analyzer over pkgs and returns the
 // surviving (non-suppressed) diagnostics sorted by position.
 func Run(loader *Loader, pkgs []*Package, cfg Config) []Diagnostic {
-	var all []Diagnostic
+	return Analyze(loader, pkgs, cfg).Diags
+}
+
+// Analyze is Run plus the graph artifacts.
+func Analyze(loader *Loader, pkgs []*Package, cfg Config) Result {
+	prog := &program{cfg: cfg, loader: loader, pkgs: pkgs}
+	prog.collectAnnotations()
+
+	// Per-package rules.
 	for _, pkg := range pkgs {
-		p := &pass{cfg: cfg, loader: loader, pkg: pkg}
-		p.collectAnnotations()
+		p := &pass{prog: prog, cfg: cfg, loader: loader, pkg: pkg}
 		if cfg.ruleEnabled(RuleDeterminism) && cfg.inScope(cfg.DeterministicPkgs, pkg.ImportPath) {
 			p.checkDeterminism()
 		}
@@ -45,41 +74,104 @@ func Run(loader *Loader, pkgs []*Package, cfg Config) []Diagnostic {
 		if cfg.ruleEnabled(RuleCounterFlow) {
 			p.checkCounterFlow()
 		}
-		all = append(all, p.diags...)
+		if cfg.ruleEnabled(RuleCodecSym) && cfg.inScope(cfg.CodecPkgs, pkg.ImportPath) {
+			p.checkCodecSym()
+		}
 	}
-	sortDiagnostics(all)
-	return all
+
+	// Interprocedural rules share one call graph over every package.
+	if cfg.ruleEnabled(RuleGoroutineLife) || cfg.ruleEnabled(RuleLockOrder) ||
+		cfg.ruleEnabled(RuleHotPathTrans) {
+		prog.buildCallGraph()
+		if cfg.ruleEnabled(RuleGoroutineLife) {
+			prog.checkGoroutineLife()
+		}
+		if cfg.ruleEnabled(RuleLockOrder) {
+			prog.checkLockOrder()
+		}
+		if cfg.ruleEnabled(RuleHotPathTrans) {
+			prog.checkHotPathTransitive()
+		}
+	}
+	if cfg.ruleEnabled(RuleAtomicMix) {
+		prog.checkAtomicMix()
+	}
+	prog.checkAnnotations()
+
+	diags := append(prog.diags, loader.LoadDiagnostics()...)
+	sortDiagnostics(diags)
+	res := Result{Diags: diags, LockGraph: prog.lockGraph}
+	if prog.graph != nil {
+		res.CallGraph = prog.graph.doc(prog)
+	}
+	return res
 }
 
-// collectAnnotations scans every comment in the package for
-// //dpr:ignore and //dpr:nodeadline markers.
-func (p *pass) collectAnnotations() {
-	p.suppress = make(map[string]map[int][]string)
-	p.nodeadline = make(map[string]map[int]bool)
-	for _, f := range p.pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				text := c.Text
-				pos := p.loader.Fset.Position(c.Pos())
-				if rest, ok := cutDirective(text, "dpr:ignore"); ok {
-					rules := parseIgnoreList(rest)
-					if len(rules) == 0 {
-						rules = []string{"*"}
+// ignoreEntry is one //dpr:ignore comment. used flips when the entry
+// actually suppresses a diagnostic; entries still false at the end of
+// the run (for rules that ran) are themselves reported.
+type ignoreEntry struct {
+	file   string
+	line   int
+	pos    token.Pos
+	rules  []string
+	reason string
+	used   bool
+}
+
+// annotations indexes every dpr: directive in the program.
+type annotations struct {
+	ignores    []*ignoreEntry
+	byLine     map[string]map[int][]*ignoreEntry
+	nodeadline map[string]map[int]bool
+	detached   map[string]map[int]string // file -> line -> reason
+}
+
+// collectAnnotations scans every comment in every package for
+// //dpr:ignore, //dpr:nodeadline and //dpr:detached markers.
+func (prog *program) collectAnnotations() {
+	a := &annotations{
+		byLine:     make(map[string]map[int][]*ignoreEntry),
+		nodeadline: make(map[string]map[int]bool),
+		detached:   make(map[string]map[int]string),
+	}
+	prog.anns = a
+	for _, pkg := range prog.pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := c.Text
+					pos := prog.loader.Fset.Position(c.Pos())
+					if rest, ok := cutDirective(text, "dpr:ignore"); ok {
+						rules, reason := parseIgnore(rest)
+						e := &ignoreEntry{
+							file: pos.Filename, line: pos.Line, pos: c.Pos(),
+							rules: rules, reason: reason,
+						}
+						a.ignores = append(a.ignores, e)
+						m := a.byLine[pos.Filename]
+						if m == nil {
+							m = make(map[int][]*ignoreEntry)
+							a.byLine[pos.Filename] = m
+						}
+						m[pos.Line] = append(m[pos.Line], e)
 					}
-					m := p.suppress[pos.Filename]
-					if m == nil {
-						m = make(map[int][]string)
-						p.suppress[pos.Filename] = m
+					if _, ok := cutDirective(text, "dpr:nodeadline"); ok {
+						m := a.nodeadline[pos.Filename]
+						if m == nil {
+							m = make(map[int]bool)
+							a.nodeadline[pos.Filename] = m
+						}
+						m[pos.Line] = true
 					}
-					m[pos.Line] = append(m[pos.Line], rules...)
-				}
-				if _, ok := cutDirective(text, "dpr:nodeadline"); ok {
-					m := p.nodeadline[pos.Filename]
-					if m == nil {
-						m = make(map[int]bool)
-						p.nodeadline[pos.Filename] = m
+					if rest, ok := cutDirective(text, "dpr:detached"); ok {
+						m := a.detached[pos.Filename]
+						if m == nil {
+							m = make(map[int]string)
+							a.detached[pos.Filename] = m
+						}
+						m[pos.Line] = rest
 					}
-					m[pos.Line] = true
 				}
 			}
 		}
@@ -97,33 +189,136 @@ func cutDirective(comment, directive string) (rest string, ok bool) {
 	if !ok {
 		return "", false
 	}
-	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' && rest[0] != ':' {
 		return "", false // e.g. dpr:ignorexyz
 	}
 	return strings.TrimSpace(rest), true
 }
 
 // suppressed reports whether rule is ignored at pos (same line or the
-// line directly above).
-func (p *pass) suppressed(rule string, pos token.Position) bool {
-	m := p.suppress[pos.Filename]
+// line directly above), marking any matching entry as used.
+func (prog *program) suppressed(rule string, pos token.Position) bool {
+	m := prog.anns.byLine[pos.Filename]
 	if m == nil {
 		return false
 	}
+	hit := false
 	for _, line := range []int{pos.Line, pos.Line - 1} {
-		for _, r := range m[line] {
-			if r == rule || r == "*" {
-				return true
+		for _, e := range m[line] {
+			for _, r := range e.rules {
+				if r == rule || r == "*" {
+					e.used = true
+					hit = true
+				}
 			}
 		}
 	}
-	return false
+	return hit
+}
+
+// detachedAt returns the //dpr:detached annotation covering pos (same
+// line or the line above): found=false when absent, reason possibly
+// empty when malformed.
+func (prog *program) detachedAt(pos token.Position) (reason string, found bool) {
+	m := prog.anns.detached[pos.Filename]
+	if m == nil {
+		return "", false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if r, ok := m[line]; ok {
+			return r, true
+		}
+	}
+	return "", false
+}
+
+// checkAnnotations enforces suppression hygiene (rule "ignore"):
+// every //dpr:ignore names known rules and carries a reason, and every
+// suppression whose rules all ran this pass must have suppressed
+// something — a stale ignore is dead weight that hides future bugs.
+func (prog *program) checkAnnotations() {
+	if !prog.cfg.ruleEnabled(RuleIgnore) {
+		return
+	}
+	known := func(rule string) bool {
+		if rule == "*" {
+			return true
+		}
+		for _, r := range AllRules {
+			if r == rule {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range prog.anns.ignores {
+		bad := false
+		for _, r := range e.rules {
+			if !known(r) {
+				prog.reportAt(RuleIgnore, e.pos,
+					"//dpr:ignore names unknown rule %q (known: %s)", r, strings.Join(AllRules, ", "))
+				bad = true
+			}
+		}
+		if e.reason == "" {
+			prog.reportAt(RuleIgnore, e.pos,
+				"//dpr:ignore without a reason; write //dpr:ignore rule[,rule]: <why this finding is acceptable>")
+			continue
+		}
+		if bad || e.used {
+			continue
+		}
+		// Only call a suppression stale when every rule it names ran:
+		// under -rules subsets an ignore for an unrun rule proves
+		// nothing either way. Wildcards need the full rule set.
+		ran := true
+		for _, r := range e.rules {
+			if r == "*" {
+				ran = ran && len(prog.cfg.Rules) == 0
+			} else {
+				ran = ran && prog.cfg.ruleEnabled(r)
+			}
+		}
+		if ran {
+			prog.reportAt(RuleIgnore, e.pos,
+				"unused //dpr:ignore suppression (%s): nothing was reported here; delete it",
+				strings.Join(e.rules, ","))
+		}
+	}
+}
+
+// report records a diagnostic unless an ignore comment covers it.
+func (prog *program) report(rule string, pos token.Pos, format string, args ...interface{}) {
+	position := prog.loader.Fset.Position(pos)
+	if prog.suppressed(rule, position) {
+		return
+	}
+	prog.diags = append(prog.diags, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Column:  position.Column,
+		Rule:    rule,
+		Message: sprintf(format, args...),
+	})
+}
+
+// reportAt records a diagnostic unconditionally (meta-rules are not
+// themselves suppressible).
+func (prog *program) reportAt(rule string, pos token.Pos, format string, args ...interface{}) {
+	position := prog.loader.Fset.Position(pos)
+	prog.diags = append(prog.diags, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Column:  position.Column,
+		Rule:    rule,
+		Message: sprintf(format, args...),
+	})
 }
 
 // hasNoDeadline reports whether a //dpr:nodeadline annotation covers
 // pos: same line, the line above, or the doc comment of fn.
 func (p *pass) hasNoDeadline(pos token.Position, fn *ast.FuncDecl) bool {
-	if m := p.nodeadline[pos.Filename]; m != nil && (m[pos.Line] || m[pos.Line-1]) {
+	if m := p.prog.anns.nodeadline[pos.Filename]; m != nil && (m[pos.Line] || m[pos.Line-1]) {
 		return true
 	}
 	if fn != nil && fn.Doc != nil {
@@ -138,17 +333,7 @@ func (p *pass) hasNoDeadline(pos token.Position, fn *ast.FuncDecl) bool {
 
 // report records a diagnostic unless an ignore comment covers it.
 func (p *pass) report(rule string, pos token.Pos, format string, args ...interface{}) {
-	position := p.loader.Fset.Position(pos)
-	if p.suppressed(rule, position) {
-		return
-	}
-	p.diags = append(p.diags, Diagnostic{
-		File:    position.Filename,
-		Line:    position.Line,
-		Column:  position.Column,
-		Rule:    rule,
-		Message: sprintf(format, args...),
-	})
+	p.prog.report(rule, pos, format, args...)
 }
 
 // typeOf resolves an expression's type (nil when unknown).
@@ -250,3 +435,6 @@ func sprintf(format string, args ...interface{}) string {
 	}
 	return fmt.Sprintf(format, args...)
 }
+
+// sortStrings is sort.Strings, aliased so graph code reads plainly.
+func sortStrings(s []string) { sort.Strings(s) }

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// checkHotPathTransitive extends the hotpath allocation contract
+// through the call graph: a //dpr:hotpath function must not call a
+// callee that allocates, however deep the allocation hides. The base
+// rule catches `make` written inside the hot function; this one
+// catches the helper that was extracted last month and quietly grew a
+// fmt.Sprintf three frames down.
+//
+// A function's allocation summary is the same construct list the base
+// rule enforces (make/new, map and slice literals, closures, fresh
+// append, fmt calls, string concatenation and conversions, go
+// statements), observed in its own declaration scope, propagated to
+// callers over synchronous non-literal call edges. Diagnostics carry
+// the witness chain — hot fn → helper → helper — down to the
+// allocating line, so the fix site is in the message.
+func (prog *program) checkHotPathTransitive() {
+	g := prog.graph
+	allocs := g.propagate(prog.allocFacts())
+
+	for _, n := range g.nodes {
+		if !n.pass.isHotPath(n.decl) {
+			continue
+		}
+		reported := make(map[*funcNode]bool)
+		for _, c := range n.calls {
+			if c.viaGo || c.inLit || reported[c.callee] {
+				continue
+			}
+			f, ok := allocs[c.callee][allocMark{}]
+			if !ok {
+				continue
+			}
+			reported[c.callee] = true
+			prog.report(RuleHotPathTrans, c.pos,
+				"hot-path function %s calls %s, which allocates (%s)",
+				n.decl.Name.Name, c.callee.shortName(),
+				prog.witnessChain(allocs, allocMark{}, fact{pos: c.pos, via: c.callee, desc: f.desc}))
+		}
+	}
+}
+
+// allocMark is the single fact key for "this function allocates".
+type allocMark struct{}
+
+// allocFacts records, per function, the first allocating construct in
+// its declaration scope. Nested literals are opaque (they are
+// themselves the allocation; what they do inside runs on their own
+// schedule), and go statements count as allocations outright.
+func (prog *program) allocFacts() map[*funcNode]factSet {
+	direct := make(map[*funcNode]factSet)
+	for _, n := range prog.graph.nodes {
+		if desc, pos, ok := firstAlloc(n.pass, n.decl.Body); ok {
+			direct[n] = factSet{allocMark{}: {pos: pos, desc: desc}}
+		}
+	}
+	return direct
+}
+
+// firstAlloc finds the first allocating construct in body, mirroring
+// checkHotFunc's construct list but stopping at the first hit.
+func firstAlloc(p *pass, body *ast.BlockStmt) (desc string, pos token.Pos, found bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			desc, pos, found = "closure literal", n.Pos(), true
+			return false
+		case *ast.GoStmt:
+			desc, pos, found = "go statement", n.Pos(), true
+		case *ast.CompositeLit:
+			t := p.typeOf(n)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Map:
+				desc, pos, found = "map literal", n.Pos(), true
+			case *types.Slice:
+				desc, pos, found = "slice literal", n.Pos(), true
+			}
+		case *ast.BinaryExpr:
+			if n.Op.String() == "+" && isString(p.typeOf(n)) {
+				desc, pos, found = "string concatenation", n.Pos(), true
+			}
+		case *ast.CallExpr:
+			// Allocations feeding a panic are a crash path, not a hot
+			// path; skip the panic's arguments entirely.
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				if _, builtin := p.objectOf(id).(*types.Builtin); builtin {
+					return false
+				}
+			}
+			if d, ok := allocCall(p, n); ok {
+				desc, pos, found = d, n.Pos(), true
+			}
+		}
+		return !found
+	})
+	return desc, pos, found
+}
+
+// allocCall classifies a call as allocating, mirroring checkHotCall.
+func allocCall(p *pass, call *ast.CallExpr) (string, bool) {
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, builtin := p.objectOf(id).(*types.Builtin); builtin {
+			switch id.Name {
+			case "make":
+				return "make", true
+			case "new":
+				return "new", true
+			case "append":
+				if len(call.Args) > 0 && isFreshBase(call.Args[0]) {
+					return "append to fresh slice", true
+				}
+			}
+			return "", false
+		}
+	}
+	if pkgPath, name := p.calleePkg(call); pkgPath == "fmt" {
+		return "fmt." + name, true
+	}
+	if tv, ok := p.pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		to, from := p.typeOf(call.Fun), p.typeOf(call.Args[0])
+		if (isString(to) && isByteSlice(from)) || (isByteSlice(to) && isString(from)) {
+			return "string/[]byte conversion", true
+		}
+	}
+	return "", false
+}

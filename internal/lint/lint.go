@@ -20,12 +20,39 @@
 //     counter must also mutate a DeltaFolded-family counter, keeping
 //     the mass-conservation accounting two-sided.
 //
+// On top of those per-package checks sits an interprocedural engine
+// (callgraph.go): a static call graph over every loaded package, with
+// transitive summaries (which locks a call acquires, which WaitGroups
+// it signals, whether it allocates) and shutdown-path reachability.
+// Five rules use it:
+//
+//   - goroutinelife: every `go` statement in the wire/p2p packages
+//     must be provably joined — its body signals a WaitGroup (Done)
+//     or closes a done channel that some Close/Stop/Shutdown/Kill
+//     path waits on — or carry `//dpr:detached <reason>`.
+//   - lockorder: the module-wide mutex-acquisition graph (lock A held
+//     while lock B is taken, directly or through call edges) must be
+//     acyclic, ruling out lock-inversion deadlocks across the wire
+//     and p2p slot paths.
+//   - atomicmix: a field ever accessed through sync/atomic (or typed
+//     atomic.X) must never be read or written plainly.
+//   - codecsym: every encodeX has a bounds-checked decodeX, every
+//     wire codec is exercised by a fuzz target, and the checkpoint
+//     decoder keeps accepting every snapshot version back to the
+//     compatibility floor.
+//   - hotpath-transitive: a //dpr:hotpath function may not call a
+//     callee (transitively) that allocates.
+//
 // Diagnostics print as "file:line: [rule] message". A diagnostic is
-// suppressed by a `//dpr:ignore rule[,rule]` comment on the same line
-// or the line directly above; the wiredeadline rule alternatively
-// accepts `//dpr:nodeadline <reason>` (same placement, or in the
-// enclosing function's doc comment) for connections whose lifetime is
-// bounded some other way.
+// suppressed by a `//dpr:ignore rule[,rule]: reason` comment on the
+// same line or the line directly above; the reason is mandatory, and
+// a suppression that no longer suppresses anything is itself an error
+// (rule "ignore"), so stale ignores rot visibly. The wiredeadline
+// rule alternatively accepts `//dpr:nodeadline <reason>` (same
+// placement, or in the enclosing function's doc comment) for
+// connections whose lifetime is bounded some other way, and
+// goroutinelife accepts `//dpr:detached <reason>` on a go statement
+// whose goroutine intentionally outlives its spawner's shutdown path.
 //
 // Everything here is built on go/parser, go/types and go/ast alone —
 // no analysis frameworks, matching the repository's from-scratch
@@ -45,11 +72,24 @@ const (
 	RuleLockHold     = "lockhold"
 	RuleHotPath      = "hotpath"
 	RuleCounterFlow  = "counterflow"
+
+	// Interprocedural rules, built on the call-graph engine.
+	RuleGoroutineLife = "goroutinelife"
+	RuleLockOrder     = "lockorder"
+	RuleAtomicMix     = "atomicmix"
+	RuleCodecSym      = "codecsym"
+	RuleHotPathTrans  = "hotpath-transitive"
+
+	// Meta rules: annotation hygiene and load-stage failures.
+	RuleIgnore = "ignore"
+	RuleLoad   = "load"
 )
 
 // AllRules lists every rule in reporting order.
 var AllRules = []string{
 	RuleDeterminism, RuleWireDeadline, RuleLockHold, RuleHotPath, RuleCounterFlow,
+	RuleGoroutineLife, RuleLockOrder, RuleAtomicMix, RuleCodecSym, RuleHotPathTrans,
+	RuleIgnore,
 }
 
 // Diagnostic is one finding.
@@ -77,8 +117,18 @@ type Config struct {
 	// (rule: wiredeadline).
 	DeadlinePkgs []string
 
-	// LockPkgs are the packages under lock hygiene (rule: lockhold).
+	// LockPkgs are the packages under lock hygiene (rules: lockhold,
+	// lockorder — the acquisition-order graph is rooted here, but its
+	// call edges follow helpers into any loaded package).
 	LockPkgs []string
+
+	// GoroutinePkgs are the packages whose go statements must be
+	// provably joined on shutdown (rule: goroutinelife).
+	GoroutinePkgs []string
+
+	// CodecPkgs are the packages under encoder/decoder symmetry and
+	// fuzz-coverage discipline (rule: codecsym).
+	CodecPkgs []string
 
 	// Rules optionally restricts which rules run; empty means all.
 	Rules []string
@@ -92,9 +142,12 @@ func DefaultConfig(module string) Config {
 			p("internal/rng"), p("internal/graph"), p("internal/core"),
 			p("internal/chaotic"), p("internal/simnet"), p("internal/experiments"),
 			p("internal/telemetry"), p("internal/csr"),
+			p("internal/solver"), p("internal/search"), p("internal/netmodel"),
 		},
-		DeadlinePkgs: []string{p("internal/wire")},
-		LockPkgs:     []string{p("internal/wire"), p("internal/p2p")},
+		DeadlinePkgs:  []string{p("internal/wire")},
+		LockPkgs:      []string{p("internal/wire"), p("internal/p2p")},
+		GoroutinePkgs: []string{p("internal/wire"), p("internal/p2p")},
+		CodecPkgs:     []string{p("internal/wire")},
 	}
 }
 
@@ -136,21 +189,28 @@ func sortDiagnostics(ds []Diagnostic) {
 	})
 }
 
-// parseIgnoreList parses the rule list of a //dpr:ignore comment body
-// ("rule1,rule2 optional reason...").
-func parseIgnoreList(body string) []string {
-	body = strings.TrimSpace(body)
-	if body == "" {
-		return nil
+// parseIgnore parses a //dpr:ignore comment body of the form
+// "rule1,rule2: reason" ("*" or an empty rule list means every rule).
+// The reason is everything after the first colon; reason == "" means
+// the annotation is malformed, which the ignore meta-rule reports.
+func parseIgnore(body string) (rules []string, reason string) {
+	rulePart := strings.TrimSpace(body)
+	if i := strings.Index(body, ":"); i >= 0 {
+		rulePart = strings.TrimSpace(body[:i])
+		reason = strings.TrimSpace(body[i+1:])
+	} else {
+		// Legacy form without a reason: treat the first space-separated
+		// token as the rule list so the suppression still applies (one
+		// actionable "missing reason" finding, not a cascade).
+		rulePart = strings.SplitN(rulePart, " ", 2)[0]
 	}
-	fields := strings.FieldsFunc(strings.SplitN(body, " ", 2)[0], func(r rune) bool {
-		return r == ','
-	})
-	var rules []string
-	for _, f := range fields {
+	for _, f := range strings.Split(rulePart, ",") {
 		if f = strings.TrimSpace(f); f != "" {
 			rules = append(rules, f)
 		}
 	}
-	return rules
+	if len(rules) == 0 {
+		rules = []string{"*"}
+	}
+	return rules, reason
 }

@@ -32,6 +32,8 @@ func loadFixture(t *testing.T, name, rule string) []Diagnostic {
 		DeterministicPkgs: []string{ip},
 		DeadlinePkgs:      []string{ip},
 		LockPkgs:          []string{ip},
+		GoroutinePkgs:     []string{ip},
+		CodecPkgs:         []string{ip},
 		Rules:             []string{rule},
 	}
 	return Run(loader, []*Package{pkg}, cfg)

@@ -8,6 +8,7 @@ import (
 	"go/build/constraint"
 	"go/importer"
 	"go/parser"
+	"go/scanner"
 	"go/token"
 	"go/types"
 	"os"
@@ -32,6 +33,12 @@ type Package struct {
 // go/importer's source importer. Loading the whole dpr module this
 // way takes a few seconds — acceptable for a lint gate, and it keeps
 // the tool free of external dependencies.
+//
+// Malformed input is survivable by design: a file that does not
+// parse, a package that does not type-check, or a package whose files
+// are all excluded by build constraints each produce a Rule "load"
+// diagnostic (collected via LoadDiagnostics) instead of aborting the
+// run, and the analyzers proceed over every package that did load.
 type Loader struct {
 	Fset *token.FileSet
 
@@ -41,6 +48,7 @@ type Loader struct {
 	pkgs     map[string]*loadEntry // import path -> entry
 	checking map[string]bool       // cycle detection
 	std      types.Importer
+	diags    []Diagnostic // load-stage findings (parse/type/build-tag)
 }
 
 type loadEntry struct {
@@ -136,15 +144,36 @@ func (l *Loader) LoadModule(root string) ([]*Package, error) {
 		l.pkgs[ip] = entry
 	}
 
+	// Type-check whatever parsed. A package that fails here (or whose
+	// imports failed) is reported through LoadDiagnostics and dropped;
+	// the rest of the module is still analyzed.
 	var out []*Package
 	for _, ip := range paths {
 		p, err := l.check(ip)
 		if err != nil {
-			return nil, fmt.Errorf("lint: %s: %w", ip, err)
+			continue // diagnosed inside check
 		}
 		out = append(out, p)
 	}
 	return out, nil
+}
+
+// LoadDiagnostics returns the findings produced while loading:
+// unparseable files, packages that fail type-checking, and packages
+// whose files are all excluded by build constraints. They carry Rule
+// "load" and are not suppressible.
+func (l *Loader) LoadDiagnostics() []Diagnostic {
+	ds := append([]Diagnostic(nil), l.diags...)
+	sortDiagnostics(ds)
+	return ds
+}
+
+// loadDiag records one load-stage finding.
+func (l *Loader) loadDiag(file string, line, col int, format string, args ...interface{}) {
+	l.diags = append(l.diags, Diagnostic{
+		File: file, Line: line, Column: col,
+		Rule: RuleLoad, Message: sprintf(format, args...),
+	})
 }
 
 // LoadDir parses and type-checks the single package in dir under the
@@ -160,34 +189,55 @@ func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
 	return l.check(importPath)
 }
 
-// parseDir parses the non-test .go files of one directory.
+// parseDir parses the non-test .go files of one directory. Files that
+// do not parse are diagnosed and skipped; only I/O failures are
+// returned as errors.
 func (l *Loader) parseDir(dir, importPath string) (*loadEntry, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
 	p := &Package{Dir: dir, ImportPath: importPath}
+	sawGo, sawBroken := false, false
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		src, err := os.ReadFile(filepath.Join(dir, name))
+		sawGo = true
+		path := filepath.Join(dir, name)
+		src, err := os.ReadFile(path)
 		if err != nil {
 			return nil, err
 		}
 		if !buildTagsMatch(name, src) {
 			continue
 		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), src,
+		f, err := parser.ParseFile(l.Fset, path, src,
 			parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			return nil, err
+			sawBroken = true
+			line, col := 1, 1
+			if list, ok := err.(scanner.ErrorList); ok && len(list) > 0 {
+				line, col = list[0].Pos.Line, list[0].Pos.Column
+				err = fmt.Errorf("%s", list[0].Msg)
+			}
+			l.loadDiag(path, line, col, "file does not parse: %v", err)
+			continue
 		}
 		p.Files = append(p.Files, f)
 	}
 	if len(p.Files) == 0 {
-		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+		switch {
+		case sawBroken:
+			// Already diagnosed file by file.
+		case sawGo:
+			l.loadDiag(filepath.Join(dir, "."), 1, 1,
+				"package %s has no files matching the host build configuration", importPath)
+		default:
+			return nil, fmt.Errorf("lint: no Go files in %s", dir)
+		}
+		return &loadEntry{err: fmt.Errorf("lint: no loadable Go files in %s", dir)}, nil
 	}
 	return &loadEntry{pkg: p}, nil
 }
@@ -296,9 +346,24 @@ func (l *Loader) check(importPath string) (*Package, error) {
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	conf := types.Config{Importer: l}
+	// Collect every type error as a load diagnostic rather than
+	// stopping at the first: a broken package is dropped from analysis
+	// but reported in full, and the rest of the module still lints.
+	var typeErrs int
+	conf := types.Config{Importer: l, Error: func(err error) {
+		te, ok := err.(types.Error)
+		if !ok || typeErrs >= 20 {
+			return
+		}
+		typeErrs++
+		pos := te.Fset.Position(te.Pos)
+		l.loadDiag(pos.Filename, pos.Line, pos.Column, "type error: %s", te.Msg)
+	}}
 	tpkg, err := conf.Check(importPath, l.Fset, p.Files, info)
 	if err != nil {
+		if typeErrs == 0 {
+			l.loadDiag(filepath.Join(p.Dir, "."), 1, 1, "package %s does not type-check: %v", importPath, err)
+		}
 		entry.err = err
 		return nil, err
 	}

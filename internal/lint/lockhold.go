@@ -128,9 +128,20 @@ func (p *pass) checkScopeLocks(scope funcScope, conn *types.Interface) {
 // sync.RWMutex (possibly behind a pointer) and name is one of names.
 // It returns the rendered receiver expression as the region key.
 func (p *pass) mutexCall(call *ast.CallExpr, names ...string) (key string, rlock bool, ok bool) {
+	x, rlock, ok := p.mutexCallX(call, names...)
+	if !ok {
+		return "", false, false
+	}
+	return types.ExprString(x), rlock, true
+}
+
+// mutexCallX is mutexCall returning the receiver expression itself,
+// for callers (lockorder) that key sections by object identity rather
+// than source rendering.
+func (p *pass) mutexCallX(call *ast.CallExpr, names ...string) (x ast.Expr, rlock bool, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel {
-		return "", false, false
+		return nil, false, false
 	}
 	match := false
 	for _, n := range names {
@@ -140,13 +151,13 @@ func (p *pass) mutexCall(call *ast.CallExpr, names ...string) (key string, rlock
 		}
 	}
 	if !match {
-		return "", false, false
+		return nil, false, false
 	}
 	t := p.typeOf(sel.X)
 	if t == nil || !isSyncMutex(t) {
-		return "", false, false
+		return nil, false, false
 	}
-	return types.ExprString(sel.X), sel.Sel.Name == "RLock" || sel.Sel.Name == "RUnlock", true
+	return sel.X, sel.Sel.Name == "RLock" || sel.Sel.Name == "RUnlock", true
 }
 
 func isSyncMutex(t types.Type) bool {

@@ -1,0 +1,62 @@
+// Package atomicmix exercises the all-or-nothing atomicity rule: a
+// variable accessed through sync/atomic anywhere must be accessed
+// through sync/atomic everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+// ctr is raw-atomic: incremented via AddUint64, so the plain ++ in
+// mixed is a race.
+var ctr uint64
+
+func incr() {
+	atomic.AddUint64(&ctr, 1)
+}
+
+func mixed() uint64 {
+	ctr++ // want `accessed with sync/atomic elsewhere`
+	return atomic.LoadUint64(&ctr)
+}
+
+// counter's field is raw-atomic through one method and plain through
+// another.
+type counter struct {
+	n uint64
+}
+
+func (c *counter) inc() {
+	atomic.AddUint64(&c.n, 1)
+}
+
+func (c *counter) read() uint64 {
+	return c.n // want `accessed with sync/atomic elsewhere`
+}
+
+// box wraps a typed atomic: method calls and address-taking are the
+// only legal uses.
+type box struct {
+	flag atomic.Bool
+}
+
+func flip(b *box) bool {
+	b.flag.Store(true)
+	return b.flag.Load()
+}
+
+func ptr(b *box) *atomic.Bool {
+	return &b.flag
+}
+
+func badCopy(b *box) {
+	consume(b.flag) // want `used as a plain value`
+}
+
+func consume(atomic.Bool) {}
+
+// plain is never touched atomically, so ordinary access stays legal.
+var plain uint64
+
+func bump() uint64 {
+	plain++
+	return plain
+}

@@ -1,0 +1,71 @@
+// Package codecsym exercises encoder/decoder symmetry: every encoder
+// has a bounds-checked decoder, every paired decoder has round-trip
+// fuzz coverage, and frame constants must be live.
+package codecsym
+
+import "fmt"
+
+const (
+	frameGood = 'G'
+	frameDead = 'D' // want `frame constant frameDead is never used`
+)
+
+func dispatch(t byte, b []byte) error {
+	switch t {
+	case frameGood:
+		_, err := decodeGood(b)
+		return err
+	}
+	return fmt.Errorf("unknown frame %d", t)
+}
+
+// encodeGood/decodeGood is the fully compliant pair: bounds-checked
+// decode, fuzzed with a round trip, seeded corpus.
+func encodeGood(v uint32) []byte {
+	return []byte{frameGood, byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)}
+}
+
+func decodeGood(b []byte) (uint32, error) {
+	if len(b) < 5 {
+		return 0, fmt.Errorf("codecsym: short frame")
+	}
+	return uint32(b[1]) | uint32(b[2])<<8 | uint32(b[3])<<16 | uint32(b[4])<<24, nil
+}
+
+// encodeOrphan has no decoder at all.
+func encodeOrphan(v byte) []byte { // want `no matching decoder`
+	return []byte{v}
+}
+
+// decodeNoBounds indexes its input without ever checking len.
+func encodeNoBounds(v byte) []byte {
+	return []byte{v}
+}
+
+func decodeNoBounds(b []byte) (byte, error) { // want `never checks len`
+	return b[0], nil
+}
+
+// decodeNoFuzz is well-formed but no fuzz target exercises it.
+func encodeNoFuzz(v byte) []byte {
+	return []byte{v}
+}
+
+func decodeNoFuzz(b []byte) (byte, error) { // want `not exercised by any Fuzz`
+	if len(b) < 1 {
+		return 0, fmt.Errorf("codecsym: short frame")
+	}
+	return b[0], nil
+}
+
+// decodeOneWay is fuzzed, but the fuzz target never re-encodes.
+func encodeOneWay(v byte) []byte {
+	return []byte{v}
+}
+
+func decodeOneWay(b []byte) (byte, error) { // want `never re-encodes`
+	if len(b) < 1 {
+		return 0, fmt.Errorf("codecsym: short frame")
+	}
+	return b[0], nil
+}

@@ -1,0 +1,25 @@
+package codecsym
+
+import "testing"
+
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{frameGood, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		if v, err := decodeGood(b); err == nil {
+			_ = encodeGood(v)
+		}
+		if v, err := decodeNoBounds(b); err == nil {
+			_ = encodeNoBounds(v)
+		}
+		if _, err := decodeOneWay(b); err == nil {
+			_ = err // decode-only: round trip deliberately missing
+		}
+	})
+}
+
+func FuzzNoSeed(f *testing.F) { // want `no seed corpus`
+	f.Fuzz(func(t *testing.T, b []byte) {
+		_, _ = decodeGood(b)
+		_ = encodeGood(0)
+	})
+}

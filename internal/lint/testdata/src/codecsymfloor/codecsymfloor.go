@@ -1,0 +1,18 @@
+// Package codecsymfloor exercises the missing-compatibility-floor
+// check: a current-version constant with no xSnapMinVersion companion.
+package codecsymfloor
+
+import "fmt"
+
+const mySnapVersion = 2 // want `no compatibility floor`
+
+func decodeState(b []byte) (int, error) {
+	if len(b) < 1 {
+		return 0, fmt.Errorf("codecsymfloor: empty")
+	}
+	v := int(b[0])
+	if v != mySnapVersion {
+		return 0, fmt.Errorf("codecsymfloor: unsupported version %d", v)
+	}
+	return v, nil
+}

@@ -1,0 +1,27 @@
+// Package codecsymver exercises the snapshot-version window check: a
+// decode path must exist for every version between the floor and the
+// current constant.
+package codecsymver
+
+import "fmt"
+
+const (
+	kSnapMinVersion = 1
+	kSnapVersion    = 3 // want `no decode path mentions snapshot version 2`
+)
+
+func decodeSnap(b []byte) (int, error) {
+	if len(b) < 1 {
+		return 0, fmt.Errorf("codecsymver: empty snapshot")
+	}
+	v := int(b[0])
+	if v < kSnapMinVersion || v > kSnapVersion {
+		return 0, fmt.Errorf("codecsymver: unsupported version %d", v)
+	}
+	if v >= 3 {
+		_ = b[1:]
+	}
+	// Version 2's extension block is never read: the window check
+	// catches the hole.
+	return v, nil
+}

@@ -1,0 +1,105 @@
+// Package goroutinelife exercises the goroutine join-proof rule:
+// every spawned goroutine must signal its exit (WaitGroup.Done or
+// close of a done channel) and be joined from a shutdown root, or
+// carry //dpr:detached with a reason.
+package goroutinelife
+
+import "sync"
+
+// server is the canonical joined lifecycle: Add before spawn, Done on
+// exit, Wait in Close.
+type server struct {
+	wg sync.WaitGroup
+}
+
+func (s *server) start() {
+	s.wg.Add(1)
+	go s.loop()
+}
+
+func (s *server) loop() {
+	defer s.wg.Done()
+}
+
+func (s *server) Close() {
+	s.wg.Wait()
+}
+
+// chanServer signals by closing a done channel that Stop receives;
+// the spawned body is a literal whose signal is found inside it.
+type chanServer struct {
+	done chan struct{}
+}
+
+func (c *chanServer) start() {
+	go func() {
+		defer close(c.done)
+	}()
+}
+
+func (c *chanServer) Stop() {
+	<-c.done
+}
+
+// helperSignal signals through a synchronous callee: the literal
+// calls finish, which Done()s the WaitGroup.
+type helperSignal struct {
+	wg sync.WaitGroup
+}
+
+func (h *helperSignal) start() {
+	h.wg.Add(1)
+	go func() {
+		h.finish()
+	}()
+}
+
+func (h *helperSignal) finish() {
+	h.wg.Done()
+}
+
+func (h *helperSignal) Shutdown() {
+	h.wg.Wait()
+}
+
+// leaky never signals at all.
+type leaky struct{}
+
+func (l *leaky) start() {
+	go l.run() // want `never signals its exit`
+}
+
+func (l *leaky) run() {}
+
+// unjoined signals a WaitGroup nobody ever waits on from a shutdown
+// path.
+type unjoined struct {
+	wg sync.WaitGroup
+}
+
+func (u *unjoined) start() {
+	u.wg.Add(1)
+	go u.run() // want `signals its exit but is never joined`
+}
+
+func (u *unjoined) run() {
+	defer u.wg.Done()
+}
+
+// detachedOK opts out explicitly, with a reason.
+func detachedOK() {
+	//dpr:detached fixture goroutine that intentionally outlives its spawner
+	go func() {}()
+}
+
+// detachedBad opts out without saying why.
+func detachedBad() {
+	//dpr:detached
+	go func() {}() // want `requires a reason`
+}
+
+// dynamic spawns through a function value the static call graph
+// cannot resolve.
+func dynamic(fn func()) {
+	go fn() // want `cannot resolve`
+}

@@ -1,0 +1,70 @@
+// Package hotpathtrans exercises the transitive hot-path allocation
+// rule: a //dpr:hotpath function may not call a callee that
+// allocates, however deep the allocation hides.
+package hotpathtrans
+
+import "fmt"
+
+//dpr:hotpath
+func hot(dst []int) []int {
+	dst = grow(dst) // want `calls grow, which allocates`
+	helperOK(dst)
+	return dst
+}
+
+func grow(dst []int) []int {
+	extra := make([]int, 4)
+	return append(dst, extra...)
+}
+
+func helperOK(dst []int) {
+	for i := range dst {
+		dst[i]++
+	}
+}
+
+//dpr:hotpath
+func hotDeep(n int) int {
+	return outer(n) // want `via outer → inner: make`
+}
+
+func outer(n int) int {
+	return inner(n)
+}
+
+func inner(n int) int {
+	s := make([]int, n)
+	return len(s)
+}
+
+// checked's only allocation feeds a panic — a crash path, not a hot
+// path — so hotPanic stays clean.
+//
+//dpr:hotpath
+func hotPanic(n int) int {
+	return checked(n)
+}
+
+func checked(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("hotpathtrans: negative %d", n))
+	}
+	return n
+}
+
+// hotSpawn's go statement is the base hotpath rule's problem; the
+// transitive rule must not charge the spawner for the callee's
+// allocations.
+//
+//dpr:hotpath
+func hotSpawn(dst []int) {
+	go grow(dst)
+}
+
+// hotIgnored shows a justified suppression at the call site.
+//
+//dpr:hotpath
+func hotIgnored(dst []int) []int {
+	//dpr:ignore hotpath-transitive: fixture cold path, grown once then reused
+	return grow(dst)
+}

@@ -1,0 +1,29 @@
+// Package ignorehygiene exercises the suppression meta-rule: every
+// //dpr:ignore needs a reason, must name known rules, and must
+// actually suppress something.
+package ignorehygiene
+
+import "time"
+
+// justified suppresses a real determinism finding with a reason:
+// fully legal, nothing reported.
+func justified() time.Time {
+	//dpr:ignore determinism: fixture exercises a justified suppression
+	return time.Now()
+}
+
+// noReason suppresses a real finding but never says why.
+func noReason() time.Time {
+	//dpr:ignore determinism // want `without a reason`
+	return time.Now()
+}
+
+// stale suppresses nothing at all.
+//
+//dpr:ignore determinism: stale suppression kept for the fixture // want `unused //dpr:ignore suppression`
+func stale() {}
+
+// typo names a rule that does not exist.
+//
+//dpr:ignore determinsm: misspelled rule name // want `unknown rule`
+func typo() {}

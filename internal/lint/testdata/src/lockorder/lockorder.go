@@ -1,0 +1,93 @@
+// Package lockorder exercises the lock-acquisition-order rule: the
+// graph of "B taken while A held" edges — direct or through call
+// chains — must be acyclic.
+package lockorder
+
+import "sync"
+
+// ordered takes its locks in the same order everywhere: edges exist
+// but no cycle.
+type ordered struct {
+	a, b sync.Mutex
+}
+
+func (o *ordered) one() {
+	o.a.Lock()
+	o.b.Lock()
+	o.b.Unlock()
+	o.a.Unlock()
+}
+
+func (o *ordered) two() {
+	o.a.Lock()
+	defer o.a.Unlock()
+	o.b.Lock()
+	defer o.b.Unlock()
+}
+
+// pair inverts its order between ab and ba: a direct two-lock cycle.
+type pair struct {
+	a, b sync.Mutex
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	p.b.Lock() // want `lock acquisition cycle`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// vc hides one direction behind a helper call: xy holds x and calls
+// lockY, which takes y; yx takes them directly in the other order.
+type vc struct {
+	x, y sync.Mutex
+}
+
+func (v *vc) lockY() {
+	v.y.Lock()
+	v.y.Unlock()
+}
+
+func (v *vc) xy() {
+	v.x.Lock()
+	v.lockY() // want `lock acquisition cycle`
+	v.x.Unlock()
+}
+
+func (v *vc) yx() {
+	v.y.Lock()
+	v.x.Lock()
+	v.x.Unlock()
+	v.y.Unlock()
+}
+
+// spawn would be a cycle if go-spawned callees counted — they must
+// not: the new goroutine does not hold its spawner's locks.
+type spawn struct {
+	m, n sync.Mutex
+}
+
+func (s *spawn) lockN() {
+	s.n.Lock()
+	s.n.Unlock()
+}
+
+func (s *spawn) go1() {
+	s.m.Lock()
+	go s.lockN()
+	s.m.Unlock()
+}
+
+func (s *spawn) go2() {
+	s.n.Lock()
+	s.m.Lock()
+	s.m.Unlock()
+	s.n.Unlock()
+}

@@ -58,6 +58,11 @@ import (
 const (
 	peerSnapMagic   = "DPRW"
 	peerSnapVersion = 5
+	// peerSnapMinVersion is the compatibility floor: the oldest
+	// snapshot version the decoder still accepts. Raising it is a
+	// breaking change for any peer restoring an older checkpoint and
+	// must be called out in the release notes.
+	peerSnapMinVersion = 3
 )
 
 // PeerSnapshot is a crashed peer's durable state.
@@ -658,8 +663,9 @@ func DecodeSnapshot(r io.Reader) (*PeerSnapshot, error) {
 		&coalesced, &dup, &fwd, &misd, &epochRej, &shippedBits, &foldedBits); err != nil {
 		return nil, fmt.Errorf("wire: reading snapshot header: %w", err)
 	}
-	if version != peerSnapVersion && version != 4 && version != 3 {
-		return nil, fmt.Errorf("wire: unsupported snapshot version %d", version)
+	if version < peerSnapMinVersion || version > peerSnapVersion {
+		return nil, fmt.Errorf("wire: unsupported snapshot version %d (supported %d..%d)",
+			version, peerSnapMinVersion, peerSnapVersion)
 	}
 	var nrej uint64
 	if version >= 4 {

@@ -44,13 +44,15 @@ func fuzzSeedSnapshot() *PeerSnapshot {
 	}
 }
 
-// FuzzDecodeFrames hammers the partition-tolerance and flow-control
-// frame codecs — epoch-stamped batches, suspicion gossip, membership
-// views, stale-epoch nacks and credit acknowledgements — with
-// corrupted and adversarial payloads. None may panic or over-allocate,
-// and accepted input must round-trip through its encoder.
+// FuzzDecodeFrames hammers every byte-slice frame codec — epoch- and
+// stream-identified batches, suspicion gossip, membership views,
+// stale-epoch nacks, plain and credit acknowledgements, termination
+// probes and rank transfers — with corrupted and adversarial payloads.
+// None may panic or over-allocate, and accepted input must round-trip
+// through its encoder.
 func FuzzDecodeFrames(f *testing.F) {
 	batch := encodeBatchEpoch(1, 2, 7, 3, []p2p.Update{{Doc: 4, Delta: 0.5}, {Doc: 9, Delta: -1}})
+	strm := encodeBatchStrm(2, 4, 9, []p2p.Update{{Doc: 1, Delta: 0.25}})
 	gossip := encodeGossip(3, []p2p.PeerID{0, 5})
 	view := encodeView(View{
 		Addrs:  []string{"a:1", "", "c:3"},
@@ -60,7 +62,10 @@ func FuzzDecodeFrames(f *testing.F) {
 	})
 	nack := encodeNackEpoch(12, 5)
 	credit := encodeCredit(1<<33, 32)
-	for _, seed := range [][]byte{batch, gossip, view, nack, credit, nil, {0xff}} {
+	ack := encodeAck(991)
+	probe := encodeSnapshot(17, 12)
+	ranks := encodeRanks([]graph.NodeID{0, 3}, []float64{0.5, 1.25})
+	for _, seed := range [][]byte{batch, strm, gossip, view, nack, credit, ack, probe, ranks, nil, {0xff}} {
 		f.Add(seed)
 	}
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -95,6 +100,33 @@ func FuzzDecodeFrames(f *testing.F) {
 			again := encodeCredit(seq, window)
 			if !bytes.Equal(data, again) {
 				t.Fatalf("credit round trip mismatch: %x != %x", data, again)
+			}
+		}
+		if sender, origDest, seq, us, err := decodeBatchStrm(data); err == nil {
+			again := encodeBatchStrm(sender, origDest, seq, us)
+			if !bytes.Equal(data, again) {
+				t.Fatalf("stream batch round trip mismatch: %x != %x", data, again)
+			}
+		}
+		if seq, err := decodeAck(data); err == nil {
+			again := encodeAck(seq)
+			if !bytes.Equal(data, again) {
+				t.Fatalf("ack round trip mismatch: %x != %x", data, again)
+			}
+		}
+		if sent, processed, err := decodeSnapshot(data); err == nil {
+			again := encodeSnapshot(sent, processed)
+			if !bytes.Equal(data, again) {
+				t.Fatalf("probe round trip mismatch: %x != %x", data, again)
+			}
+		}
+		// decodeRanks scatters into a dense vector, so the doc order of
+		// the original encoding is not recoverable; the obligations here
+		// are no-panic and strict length/id validation.
+		out := make([]float64, 16)
+		if n, err := decodeRanks(data, out); err == nil {
+			if want := (len(data) - 4) / 12; n != want {
+				t.Fatalf("decodeRanks accepted %d bytes but reported %d entries (want %d)", len(data), n, want)
 			}
 		}
 	})

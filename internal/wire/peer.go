@@ -658,7 +658,7 @@ func (cw *connWriter) write(typ byte, payload []byte) error {
 	defer cw.mu.Unlock()
 	cw.conn.SetWriteDeadline(time.Now().Add(writeTimeout))
 	defer cw.conn.SetWriteDeadline(time.Time{})
-	//dpr:ignore lockhold — intentional: the write deadline above bounds the hold to writeTimeout
+	//dpr:ignore lockhold: intentional — the write deadline above bounds the hold to writeTimeout
 	return writeFrame(cw.conn, typ, payload)
 }
 
