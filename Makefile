@@ -1,7 +1,7 @@
 # Distributed Pagerank for P2P Systems — build/test/bench driver.
 GO ?= go
 
-.PHONY: all build vet lint lint-graphs test race chaos chaos-membership chaos-partition chaos-overload fuzz fuzz-csr bench bench-pipeline bench-check ci
+.PHONY: all build vet lint lint-graphs test race race-engines-smoke chaos chaos-membership chaos-partition chaos-overload fuzz fuzz-csr bench bench-pipeline bench-check ci
 
 all: build
 
@@ -61,6 +61,14 @@ chaos-partition:
 chaos-overload:
 	$(GO) test -race -count=1 -run Overload ./internal/wire
 
+# Engine-race smoke gate: every registered solver engine (pass, async,
+# chaotic, diffusion, walk) races on one small seeded graph; asserts
+# the deterministic engines reach the shared accuracy target and the
+# diffusion engine beats the pass engine on work-to-target. -count=1
+# defeats the cache so the gate actually reruns.
+race-engines-smoke:
+	$(GO) test -count=1 -run TestRaceEnginesSmoke ./internal/race
+
 # Short fuzz burst over the checkpoint decoder (truncated/corrupt input).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzDecodeCheckpoint -fuzztime 30s ./internal/wire
@@ -96,4 +104,5 @@ ci:
 		&& $(GO) test -race -count=1 -run Chaos ./internal/wire \
 		&& $(GO) test -race -count=1 -run 'Membership|Leave|Join|FailureDetector' ./internal/wire \
 		&& $(GO) test -race -count=1 -run 'Partition|Epoch' ./internal/wire \
-		&& $(GO) test -race -count=1 -run Overload ./internal/wire
+		&& $(GO) test -race -count=1 -run Overload ./internal/wire \
+		&& $(GO) test -count=1 -run TestRaceEnginesSmoke ./internal/race

@@ -15,6 +15,18 @@
 //	dprbench -docs 10000000 -compressed                      # CSR in heap
 //	dprbench -docs 10000000 -compressed -graphfile g.dprz    # out-of-core mmap
 //	dprbench -docs 100000 -json results/BENCH_bigraph.json   # record the run
+//
+// The engine race runs every registered solver engine (pass, async,
+// chaotic, diffusion, walk) on the same seeded 100k power-law graph
+// across the plain, CSR and mmap substrates, recording each engine's
+// trajectory toward a shared accuracy target:
+//
+//	dprbench -race-engines                                   # writes results/BENCH_engines.json
+//	dprbench -race-engines -race-docs 10000 -race-target 1e-4
+//
+// Individual table experiments can also swap the solver:
+//
+//	dprbench -table 2 -engine diffusion
 package main
 
 import (
@@ -22,12 +34,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"dpr/internal/experiments"
 	"dpr/internal/metrics"
+	"dpr/internal/race"
 	"dpr/internal/telemetry"
 )
 
@@ -43,8 +57,21 @@ func main() {
 	compressedFlag := flag.Bool("compressed", false, "BigGraph: use the compressed delta-varint CSR substrate")
 	workers := flag.Int("workers", 0, "BigGraph: pass-engine workers (0 serial, -1 GOMAXPROCS)")
 	graphFile := flag.String("graphfile", "", "BigGraph: write the compressed graph to this DPRZ file and solve from a read-only mapping of it")
-	jsonOut := flag.String("json", "", "BigGraph: merge the run into this JSON file, keyed by docs+substrate")
+	jsonOut := flag.String("json", "", "BigGraph / race: write the run into this JSON file")
+	engineName := flag.String("engine", "", "solver engine for the table experiments (see internal/engine; \"\" = pass)")
+	raceEngines := flag.Bool("race-engines", false, "race every registered engine on a seeded 100k graph across substrates and write results/BENCH_engines.json")
+	raceDocs := flag.Int("race-docs", 100_000, "race: graph size")
+	racePeers := flag.Int("race-peers", 500, "race: peer count")
+	raceTarget := flag.Float64("race-target", 1e-3, "race: shared max-rel-error target vs the centralized reference")
 	flag.Parse()
+
+	if *raceEngines {
+		if err := runRace(*raceDocs, *racePeers, *seed, *raceTarget, *jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "dprbench: race-engines: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *docs > 0 {
 		if err := runBigGraph(*docs, *workers, *seed, *compressedFlag, *graphFile, *jsonOut); err != nil {
@@ -108,6 +135,7 @@ func main() {
 		fail(2)
 	}
 	sc.Seed = *seed
+	sc.Engine = *engineName
 
 	// Telemetry: one registry + trace shared by every experiment's
 	// pass engines, dumped in exposition format when the run ends.
@@ -266,6 +294,76 @@ func main() {
 	dumpTelemetry()
 	stopProfiles()
 	writeHeap()
+}
+
+// runRace executes the cross-engine convergence race and writes the
+// machine-readable report (default results/BENCH_engines.json). The
+// harness itself is deterministic; wall-clock and hardware identity
+// are attached here, at the edge.
+func runRace(docs, peers int, seed uint64, target float64, jsonOut string) error {
+	if jsonOut == "" {
+		jsonOut = "results/BENCH_engines.json"
+	}
+	tmp, err := os.MkdirTemp("", "dpr-race-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+	start := time.Now()
+	rep, err := race.Run(race.Config{
+		Docs:       docs,
+		Peers:      peers,
+		Seed:       seed,
+		Target:     target,
+		Substrates: []string{"plain", "csr", "csr_mmap"},
+		GraphFile:  filepath.Join(tmp, "race.dprz"),
+		Clock:      func() int64 { return time.Now().UnixNano() },
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("engine race: %d docs, %d edges, %d peers, target %g (%v)\n",
+		rep.Docs, rep.Edges, rep.Peers, rep.Target, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("%-10s %-9s %7s %9s %12s %12s %10s %11s\n",
+		"engine", "substrate", "steps", "eq-passes", "msgs-to-tgt", "final-err", "wall", "at-target")
+	for _, r := range rep.Runs {
+		eq, msgs, at := "-", "-", "no"
+		if r.ReachedTarget {
+			eq = fmt.Sprintf("%.2f", r.EquivPassesToTarget)
+			msgs = fmt.Sprintf("%d", r.MessagesToTarget)
+			at = "yes"
+		}
+		fmt.Printf("%-10s %-9s %7d %9s %12s %12.3g %10s %11s\n",
+			r.Engine, r.Substrate, r.Steps, eq, msgs, r.FinalErr,
+			time.Duration(r.WallNanos).Round(time.Millisecond), at)
+	}
+
+	doc := struct {
+		Benchmark string         `json:"benchmark"`
+		Hardware  map[string]any `json:"hardware"`
+		*race.Report
+	}{
+		Benchmark: "cross-engine convergence race (cmd/dprbench -race-engines)",
+		Hardware: map[string]any{
+			"cpus":       runtime.NumCPU(),
+			"gomaxprocs": runtime.GOMAXPROCS(0),
+			"goos":       runtime.GOOS,
+			"goarch":     runtime.GOARCH,
+		},
+		Report: rep,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(jsonOut), 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(jsonOut, append(out, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("recorded: %s\n", jsonOut)
+	return nil
 }
 
 // bigBenchFile is the shape of results/BENCH_bigraph.json: a run per

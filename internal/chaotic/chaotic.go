@@ -148,52 +148,23 @@ type Result struct {
 // until all pending deltas fall below Eps. Component processing order
 // is deliberately FIFO-arbitrary — the algorithm tolerates any order,
 // which is the Chazan-Miranker result the paper builds on.
+//
+// Solve is a Stepper driven to completion in one call; the two are
+// behaviorally identical.
 func (s *System) Solve(opt Options) (Result, error) {
-	opt = opt.withDefaults(s.n)
-	if opt.Eps <= 0 {
-		return Result{}, fmt.Errorf("chaotic: Eps must be positive")
+	st, err := s.NewStepper(opt)
+	if err != nil {
+		return Result{}, err
 	}
-	x := append([]float64(nil), s.c...)
-	pending := make([]float64, s.n) // un-propagated change per component
-	inQueue := make([]bool, s.n)
-	queue := make([]int32, 0, s.n)
-	for j := 0; j < s.n; j++ {
-		pending[j] = x[j]
-		if pending[j] != 0 {
-			queue = append(queue, int32(j))
-			inQueue[j] = true
+	for {
+		_, done, err := st.StepN(1 << 20)
+		if err != nil {
+			return Result{X: st.x, Steps: st.steps}, err
+		}
+		if done {
+			return Result{X: st.x, Steps: st.steps, Converged: true}, nil
 		}
 	}
-	res := Result{}
-	for len(queue) > 0 {
-		j := queue[0]
-		queue = queue[1:]
-		inQueue[j] = false
-		delta := pending[j]
-		pending[j] = 0
-		if math.Abs(delta) <= opt.Eps {
-			continue
-		}
-		res.Steps++
-		if res.Steps > opt.MaxSteps {
-			res.X = x
-			return res, fmt.Errorf("chaotic: exceeded %d steps; system may not contract (max column sum %.3f)",
-				opt.MaxSteps, s.MaxColumnSum())
-		}
-		for i := s.colStart[j]; i < s.colStart[j+1]; i++ {
-			row := s.rows[i]
-			d := s.coeffs[i] * delta
-			x[row] += d
-			pending[row] += d
-			if !inQueue[row] && math.Abs(pending[row]) > opt.Eps {
-				queue = append(queue, row)
-				inQueue[row] = true
-			}
-		}
-	}
-	res.X = x
-	res.Converged = true
-	return res, nil
 }
 
 // FromJacobi converts a square linear system A x = b with non-zero

@@ -1,0 +1,127 @@
+package chaotic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stepper runs the sequential chaotic relaxation of Solve in resumable
+// slices: callers hand it a relaxation-step budget at a time and
+// observe the intermediate state between slices. Solve is implemented
+// on top of it, so the two share one worklist discipline and produce
+// identical results — the stepper exists so the engine seam
+// (internal/engine) can expose the chaotic solver's progress as
+// pass-comparable steps instead of one opaque blocking call.
+type Stepper struct {
+	s       *System
+	opt     Options
+	x       []float64
+	pending []float64 // un-propagated change per component
+	inQueue []bool
+	queue   []int32
+	steps   int64
+
+	// shipped accumulates, at fold time, every delta propagated into a
+	// dependent row. The conservation identity sum_i(x_i - c_i) ==
+	// shipped holds exactly up to float rounding; a skipped or doubled
+	// fold breaks it. (The engine seam's mass audit checks this.)
+	shipped float64
+
+	// OnPush, when non-nil, observes every individual delta propagation
+	// col -> row. The engine seam uses it to price cross-peer traffic;
+	// nil costs one branch per fold.
+	OnPush func(col, row int32)
+}
+
+// NewStepper prepares a relaxation from x = c with every non-zero
+// component queued, exactly as Solve starts.
+func (s *System) NewStepper(opt Options) (*Stepper, error) {
+	opt = opt.withDefaults(s.n)
+	if opt.Eps <= 0 {
+		return nil, fmt.Errorf("chaotic: Eps must be positive")
+	}
+	st := &Stepper{
+		s:       s,
+		opt:     opt,
+		x:       append([]float64(nil), s.c...),
+		pending: make([]float64, s.n),
+		inQueue: make([]bool, s.n),
+		queue:   make([]int32, 0, s.n),
+	}
+	for j := 0; j < s.n; j++ {
+		st.pending[j] = st.x[j]
+		if st.pending[j] != 0 {
+			st.queue = append(st.queue, int32(j))
+			st.inQueue[j] = true
+		}
+	}
+	return st, nil
+}
+
+// StepN performs at most budget relaxation steps (component drains
+// that actually propagate), returning how many ran and whether the
+// worklist emptied. It errors past the MaxSteps cap, like Solve.
+func (st *Stepper) StepN(budget int64) (ran int64, done bool, err error) {
+	for ran < budget && len(st.queue) > 0 {
+		j := st.queue[0]
+		st.queue = st.queue[1:]
+		st.inQueue[j] = false
+		delta := st.pending[j]
+		st.pending[j] = 0
+		if math.Abs(delta) <= st.opt.Eps {
+			continue
+		}
+		st.steps++
+		ran++
+		if st.steps > st.opt.MaxSteps {
+			return ran, false, fmt.Errorf("chaotic: exceeded %d steps; system may not contract (max column sum %.3f)",
+				st.opt.MaxSteps, st.s.MaxColumnSum())
+		}
+		for i := st.s.colStart[j]; i < st.s.colStart[j+1]; i++ {
+			row := st.s.rows[i]
+			d := st.s.coeffs[i] * delta
+			st.x[row] += d
+			st.pending[row] += d
+			st.shipped += d
+			if st.OnPush != nil {
+				st.OnPush(j, row)
+			}
+			if !st.inQueue[row] && math.Abs(st.pending[row]) > st.opt.Eps {
+				st.queue = append(st.queue, row)
+				st.inQueue[row] = true
+			}
+		}
+	}
+	return ran, len(st.queue) == 0, nil
+}
+
+// X returns the current solution estimate (live view).
+func (st *Stepper) X() []float64 { return st.x }
+
+// Steps returns the relaxation steps performed so far.
+func (st *Stepper) Steps() int64 { return st.steps }
+
+// Done reports whether the worklist has emptied.
+func (st *Stepper) Done() bool { return len(st.queue) == 0 }
+
+// MaxPending returns the largest absolute un-propagated delta, the
+// stepper's convergence residual.
+func (st *Stepper) MaxPending() float64 {
+	worst := 0.0
+	for _, p := range st.pending {
+		if a := math.Abs(p); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}
+
+// MassBalance returns the fold-side and drain-side mass accounts:
+// sum_i(x_i - c_i) recomputed from state, against the shipped
+// accumulator. Exact bookkeeping keeps them equal to float rounding.
+func (st *Stepper) MassBalance() (folded, shipped float64) {
+	for i := range st.x {
+		folded += st.x[i] - st.s.c[i]
+	}
+	return folded, st.shipped
+}

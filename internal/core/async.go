@@ -37,6 +37,7 @@ type AsyncEngine struct {
 	interMsgs atomic.Int64
 	intraMsgs atomic.Int64
 	batches   atomic.Int64
+	processed atomic.Int64
 }
 
 // mailbox is an unbounded, mutex-guarded message queue with a edge-
@@ -155,6 +156,7 @@ func (e *AsyncEngine) peerLoop(self p2p.PeerID, quit <-chan struct{}, wg *sync.W
 	// Initial push (the "At time = 0" block of Figure 1).
 	for _, d := range e.net.Docs(self) {
 		e.pushAsync(self, cur, d, out)
+		e.processed.Add(1)
 	}
 	e.flush(self, out)
 	e.settleCredit(1) // the seed unit for this peer's initial work
@@ -177,6 +179,7 @@ func (e *AsyncEngine) peerLoop(self p2p.PeerID, quit <-chan struct{}, wg *sync.W
 			}
 			for d := range dirtyDocs {
 				old, new := e.st.recompute(d)
+				e.processed.Add(1)
 				if e.st.exceeds(old, new) {
 					e.pushAsync(self, cur, d, out)
 				}

@@ -1,0 +1,87 @@
+package engine
+
+import (
+	"math"
+
+	"dpr/internal/core"
+	"dpr/internal/p2p"
+)
+
+func init() { Register("async", newAsyncEngine) }
+
+// asyncEngine re-homes core.AsyncEngine — the live one-goroutine-per-
+// peer chaotic system — behind the seam. The async engine has no
+// internal step structure (that is its point), so its single Step runs
+// the whole computation to distributed quiescence; subsequent Steps
+// are no-ops.
+//
+// Residual semantics: +Inf before the run; after quiescence every
+// pending per-document change is below the configured relative
+// epsilon, so the engine reports that epsilon as its residual bound.
+//
+// Determinism: the async engine is the one seam member whose exact
+// bits depend on goroutine scheduling (fold order is racy by design).
+// Runs agree with each other and the reference to within the epsilon
+// tolerance, not bit-for-bit; the equivalence suite tests it
+// accordingly.
+type asyncEngine struct {
+	e   *core.AsyncEngine
+	eps float64
+	ran bool
+	res core.Result
+}
+
+func newAsyncEngine(cfg Config) (Engine, error) {
+	if err := requireStatic("async", cfg); err != nil {
+		return nil, err
+	}
+	e, err := core.NewAsyncEngine(cfg.Graph, cfg.Net, cfg.Opt)
+	if err != nil {
+		return nil, err
+	}
+	eps := cfg.Opt.Epsilon
+	if eps == 0 {
+		eps = core.DefaultEpsilon
+	}
+	return &asyncEngine{e: e, eps: eps}, nil
+}
+
+func (a *asyncEngine) Name() string { return "async" }
+
+func (a *asyncEngine) Step() StepStats {
+	if a.ran {
+		return StepStats{Step: 1, Residual: a.eps, Done: true}
+	}
+	a.res = a.e.Run()
+	a.ran = true
+	return StepStats{
+		Step:      1,
+		Residual:  a.eps,
+		Processed: a.e.ProcessedDocs(),
+		Messages:  a.res.Counters.InterPeerMsgs,
+		Done:      true,
+	}
+}
+
+func (a *asyncEngine) Ranks() []float64 { return a.e.Ranks() }
+
+func (a *asyncEngine) Residual() float64 {
+	if !a.ran {
+		return math.Inf(1)
+	}
+	return a.eps
+}
+
+func (a *asyncEngine) Converged() bool { return a.ran }
+
+func (a *asyncEngine) Counters() p2p.Counters {
+	c := a.res.Counters
+	if a.ran {
+		c.Passes = 1
+	}
+	return c
+}
+
+func (a *asyncEngine) MassBalance() (got, want float64) { return a.e.MassBalance() }
+
+var _ MassAccountant = (*asyncEngine)(nil)

@@ -1,0 +1,200 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+
+	"dpr/internal/core"
+	"dpr/internal/graph"
+	"dpr/internal/p2p"
+	"dpr/internal/rng"
+)
+
+func init() { Register("walk", newWalkEngine) }
+
+// walkEngine estimates pagerank with a seeded random-walk ensemble
+// (Das Sarma et al., PAPERS.md): each round starts one walk at every
+// document; a walk at v counts a visit, then continues with
+// probability d to a uniformly random out-neighbor (walks at dangling
+// documents terminate). The expected visit count per round is
+// x_v/((1-d)·N)·N = x_v/(1-d) for the scaled ranks this repo uses
+// (sum ≈ N), so after R rounds the estimator is
+//
+//	rank_v = (1-d) · visits_v / R.
+//
+// Stopping rule: ε-precision on the estimator itself. The engine
+// tracks per-document visit variance across rounds and stops when the
+// worst-case 3σ confidence halfwidth of rank_v falls below the
+// configured epsilon — a statistical bound, not the deterministic
+// residual of the iterative engines, and the reason the equivalence
+// suite holds this engine to a documented statistical tolerance
+// rather than 1e-6.
+//
+// Determinism: walk (round, origin) reseeds a private generator from
+// mix(seed, round, origin), so every walk's trajectory is a pure
+// function of the seed — independent of visit order, worker count and
+// substrate. Visit counts are exact integers, making cross-run and
+// cross-worker comparisons bit-identical.
+type walkEngine struct {
+	g   graph.Linker
+	cur graph.LinkCursor
+	net *p2p.Network
+
+	damping float64
+	eps     float64
+	seed    uint64
+
+	visits  []int64 // cumulative visit counts across all rounds
+	sumsq   []float64
+	scratch []int64 // per-round visit counts
+	rank    []float64
+
+	starts int64 // total walks started (N per round)
+	hops   int64 // total walk transitions taken
+
+	counters p2p.Counters
+	sink     sinkRecorder
+	round    int
+	r        rng.Rand
+}
+
+func newWalkEngine(cfg Config) (Engine, error) {
+	if err := requireStatic("walk", cfg); err != nil {
+		return nil, err
+	}
+	if cfg.Opt.Teleport != nil {
+		return nil, fmt.Errorf("engine: walk does not support teleport personalization")
+	}
+	damping := cfg.Opt.Damping
+	if damping == 0 {
+		damping = core.DefaultDamping
+	}
+	if damping <= 0 || damping >= 1 {
+		return nil, fmt.Errorf("engine: damping %v outside (0,1)", damping)
+	}
+	eps := cfg.Opt.Epsilon
+	if eps == 0 {
+		eps = core.DefaultEpsilon
+	}
+	n := cfg.Graph.NumNodes()
+	return &walkEngine{
+		g:       cfg.Graph,
+		cur:     graph.CursorFor(cfg.Graph),
+		net:     cfg.Net,
+		damping: damping,
+		eps:     eps,
+		seed:    cfg.Seed,
+		visits:  make([]int64, n),
+		sumsq:   make([]float64, n),
+		scratch: make([]int64, n),
+		rank:    make([]float64, n),
+		sink:    sinkRecorder{sink: cfg.Sink},
+	}, nil
+}
+
+func (e *walkEngine) Name() string { return "walk" }
+
+// walkSeed derives the per-(round, origin) generator seed. SplitMix-
+// style multiply-xor mixing keeps nearby (round, origin) pairs
+// statistically independent.
+func walkSeed(seed uint64, round int, origin graph.NodeID) uint64 {
+	z := seed ^ (uint64(round) * 0x9e3779b97f4a7c15) ^ (uint64(uint32(origin)) * 0xbf58476d1ce4e5b9)
+	z ^= z >> 30
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func (e *walkEngine) Step() StepStats {
+	if e.Converged() {
+		return StepStats{Step: e.round, Residual: e.Residual(), Done: true}
+	}
+	e.round++
+	n := len(e.visits)
+	msgs0 := e.counters.InterPeerMsgs
+	e.sink.start(e.round, n)
+	for i := range e.scratch {
+		e.scratch[i] = 0
+	}
+	for origin := 0; origin < n; origin++ {
+		e.r.Reseed(walkSeed(e.seed, e.round, graph.NodeID(origin)))
+		v := graph.NodeID(origin)
+		e.starts++
+		for {
+			e.scratch[v]++
+			links := e.cur.OutLinks(v)
+			if len(links) == 0 || e.r.Float64() >= e.damping {
+				break
+			}
+			next := links[e.r.Intn(len(links))]
+			classify(e.net, v, next, &e.counters)
+			e.hops++
+			v = next
+		}
+	}
+	for i, c := range e.scratch {
+		e.visits[i] += c
+		e.sumsq[i] += float64(c) * float64(c)
+	}
+	e.refreshRanks()
+	e.counters.Passes = e.round
+	res := e.Residual()
+	e.sink.record(e.round, res, n)
+	return StepStats{
+		Step:      e.round,
+		Residual:  res,
+		Processed: int64(n),
+		Messages:  e.counters.InterPeerMsgs - msgs0,
+		Done:      e.Converged(),
+	}
+}
+
+func (e *walkEngine) refreshRanks() {
+	scale := (1 - e.damping) / float64(e.round)
+	for i, c := range e.visits {
+		e.rank[i] = scale * float64(c)
+	}
+}
+
+// Residual is the worst-case 3σ confidence halfwidth of the rank
+// estimator: 3·(1-d)·sqrt(Var[visits per round]/R)/sqrt(R) where the
+// per-round variance is estimated from the sample sum of squares.
+// Infinite before the second round (no variance estimate yet).
+func (e *walkEngine) Residual() float64 {
+	r := float64(e.round)
+	if e.round < 2 {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i := range e.visits {
+		mean := float64(e.visits[i]) / r
+		variance := e.sumsq[i]/r - mean*mean
+		if variance < 0 {
+			variance = 0 // float cancellation on near-constant counts
+		}
+		// Unbiased sample variance, then the sample-mean variance.
+		variance *= r / (r - 1)
+		if hw := 3 * (1 - e.damping) * math.Sqrt(variance/r); hw > worst {
+			worst = hw
+		}
+	}
+	return worst
+}
+
+func (e *walkEngine) Ranks() []float64 { return e.rank }
+
+func (e *walkEngine) Converged() bool { return e.round >= 2 && e.Residual() <= e.eps }
+
+func (e *walkEngine) Counters() p2p.Counters { return e.counters }
+
+// MassBalance for the walk ensemble is exact integer accounting:
+// every visit is either a walk start or the landing of a hop.
+func (e *walkEngine) MassBalance() (got, want float64) {
+	var total int64
+	for _, c := range e.visits {
+		total += c
+	}
+	return float64(total), float64(e.starts + e.hops)
+}
+
+var _ MassAccountant = (*walkEngine)(nil)

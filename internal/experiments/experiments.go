@@ -7,8 +7,10 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"dpr/internal/core"
+	"dpr/internal/engine"
 	"dpr/internal/graph"
 	"dpr/internal/p2p"
 	"dpr/internal/rng"
@@ -24,6 +26,13 @@ type Scale struct {
 	InsertTrials int   // random nodes sampled for Table 4 (paper: 1000)
 	CorpusDocs   int   // documents in the search corpus (paper: 11000)
 	Seed         uint64
+
+	// Engine selects the solver for the distributed runs, resolved
+	// through the internal/engine registry ("" means "pass", the
+	// paper's engine). Non-pass engines have no store-and-retry path,
+	// so availability sweeps (Table 1's churn columns) require the
+	// default.
+	Engine string
 
 	// Sink, when non-nil, is attached to every pass engine the
 	// drivers run, so a frontend (cmd/dprbench -telemetry) can watch
@@ -84,6 +93,19 @@ func (sc Scale) validate() error {
 	if sc.InsertTrials < 1 {
 		return fmt.Errorf("experiments: InsertTrials must be positive")
 	}
+	if sc.Engine != "" && sc.Engine != "pass" {
+		known := false
+		for _, n := range engine.Names() {
+			if n == sc.Engine {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("experiments: unknown engine %q (valid: %s)",
+				sc.Engine, strings.Join(engine.Names(), ", "))
+		}
+	}
 	return nil
 }
 
@@ -110,8 +132,10 @@ func (sc Scale) buildNetwork(g *graph.Graph, peers int) *p2p.Network {
 	return net
 }
 
-// runDistributed runs the pass engine to convergence at the given
-// threshold and availability, returning the result and the engine.
+// runDistributed runs the scale's selected engine to convergence at
+// the given threshold and availability, returning the result and —
+// for the pass engine only — the concrete engine (callers that dig
+// into pass internals get nil for other engines).
 func (sc Scale) runDistributed(g *graph.Graph, eps, availability float64) (core.Result, *core.PassEngine, error) {
 	net := sc.buildNetwork(g, sc.Peers)
 	var churn *p2p.Churn
@@ -121,6 +145,25 @@ func (sc Scale) runDistributed(g *graph.Graph, eps, availability float64) (core.
 		if err != nil {
 			return core.Result{}, nil, err
 		}
+	}
+	if sc.Engine != "" && sc.Engine != "pass" {
+		e, err := engine.New(sc.Engine, engine.Config{
+			Graph: g,
+			Net:   net,
+			Churn: churn,
+			Opt:   core.Options{Epsilon: eps, MaxPass: 100000},
+			Seed:  sc.Seed,
+			Sink:  sc.Sink,
+		})
+		if err != nil {
+			return core.Result{}, nil, err
+		}
+		res := engine.Drive(e, 100000)
+		if !res.Converged {
+			return res, nil, fmt.Errorf("experiments: %d-node %s run at eps=%g did not converge",
+				g.NumNodes(), sc.Engine, eps)
+		}
+		return res, nil, nil
 	}
 	e, err := core.NewPassEngine(g, net, churn, core.Options{Epsilon: eps, MaxPass: 100000})
 	if err != nil {

@@ -363,3 +363,52 @@ func TestInsertCostCrossValidation(t *testing.T) {
 		t.Fatal("render empty")
 	}
 }
+
+// TestScaleEngineSelection covers the -engine plumbing: a named
+// engine resolves through the internal/engine registry, an unknown
+// name fails fast listing the valid engines, and churn sweeps reject
+// engines without a store-and-retry path.
+func TestScaleEngineSelection(t *testing.T) {
+	sc := tinyScale()
+	g, err := sc.buildGraph(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := referenceRanks(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"", "pass", "diffusion", "chaotic"} {
+		sc.Engine = name
+		res, _, err := sc.runDistributed(g, 1e-6, 1.0)
+		if err != nil {
+			t.Fatalf("engine %q: %v", name, err)
+		}
+		if !res.Converged {
+			t.Fatalf("engine %q did not converge", name)
+		}
+		worst := 0.0
+		for i := range res.Ranks {
+			if d := res.Ranks[i] - ref[i]; d > worst {
+				worst = d
+			} else if -d > worst {
+				worst = -d
+			}
+		}
+		if worst > 1e-3 {
+			t.Fatalf("engine %q: worst abs err %v vs reference", name, worst)
+		}
+	}
+
+	sc.Engine = "gauss-seidel"
+	if _, err := Table1(sc); err == nil {
+		t.Fatal("unknown engine accepted")
+	} else if !strings.Contains(err.Error(), "valid: async, chaotic, diffusion, pass, walk") {
+		t.Fatalf("unknown-engine error does not list valid engines: %v", err)
+	}
+
+	sc.Engine = "diffusion"
+	if _, _, err := sc.runDistributed(g, 1e-6, 0.5); err == nil {
+		t.Fatal("diffusion accepted a churn run")
+	}
+}

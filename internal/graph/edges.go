@@ -1,0 +1,23 @@
+package graph
+
+// EdgeCounter is implemented by representations that track their edge
+// count directly (the plain Graph and the compressed CSR both do).
+type EdgeCounter interface {
+	NumEdges() int64
+}
+
+// CountEdges returns the number of edges in any Linker: straight off
+// the representation when it keeps a count, otherwise by summing
+// out-degrees (O(N), no adjacency decode). Engine-agnostic consumers
+// (the convergence race harness's work normalization, reports) use
+// this instead of type-asserting concrete graph types.
+func CountEdges(g Linker) int64 {
+	if ec, ok := g.(EdgeCounter); ok {
+		return ec.NumEdges()
+	}
+	var total int64
+	for v := 0; v < g.NumNodes(); v++ {
+		total += int64(g.OutDegree(NodeID(v)))
+	}
+	return total
+}

@@ -143,6 +143,7 @@ func DefaultConfig(module string) Config {
 			p("internal/chaotic"), p("internal/simnet"), p("internal/experiments"),
 			p("internal/telemetry"), p("internal/csr"),
 			p("internal/solver"), p("internal/search"), p("internal/netmodel"),
+			p("internal/engine"), p("internal/race"),
 		},
 		DeadlinePkgs:  []string{p("internal/wire")},
 		LockPkgs:      []string{p("internal/wire"), p("internal/p2p")},

@@ -158,6 +158,23 @@ func (q *RetryQueue) Dests() []PeerID {
 // Len returns the number of updates currently queued.
 func (q *RetryQueue) Len() int { return q.size }
 
+// Mass sums the queued rank deltas across every destination: the
+// in-flight mass parked at the sender. It is one term of the engine
+// seam's rank-mass conservation audit (internal/engine), so updates
+// lost or duplicated by the store-and-retry path show up as a balance
+// break rather than a silently wrong fixed point. Destinations are
+// visited in map order; summing is the only fold so the result is
+// order-sensitive only in float rounding.
+func (q *RetryQueue) Mass() float64 {
+	total := 0.0
+	for _, us := range q.pending {
+		for _, u := range us {
+			total += u.Delta
+		}
+	}
+	return total
+}
+
 // MaxLen returns the high-water mark of queued updates, the "amount of
 // state saved" the paper bounds by the sum of out-links per peer.
 func (q *RetryQueue) MaxLen() int { return q.maxSize }

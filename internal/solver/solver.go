@@ -165,14 +165,23 @@ func pushPass(g *graph.Graph, d float64, base, cur, next []float64) {
 	}
 }
 
-func maxRelChange(old, new []float64) float64 {
+func maxRelChange(old, new []float64) float64 { return MaxRelDiff(old, new) }
+
+// MaxRelDiff returns the maximum per-component relative difference
+// between a candidate rank vector and a reference, |got-ref|/|ref|
+// (denominator floored at 1 for zero components). It is the shared
+// convergence metric: the solvers' internal residual, the engine
+// equivalence suite's agreement bound, and the race harness's
+// distance-to-reference all use this one definition, so "reached the
+// target" means the same thing for every engine.
+func MaxRelDiff(got, ref []float64) float64 {
 	max := 0.0
-	for i := range old {
-		denom := math.Abs(new[i])
+	for i := range got {
+		denom := math.Abs(ref[i])
 		if denom == 0 {
 			denom = 1
 		}
-		if d := math.Abs(new[i]-old[i]) / denom; d > max {
+		if d := math.Abs(ref[i]-got[i]) / denom; d > max {
 			max = d
 		}
 	}
